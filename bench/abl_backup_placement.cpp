@@ -1,0 +1,90 @@
+// Ablation (design choice called out in §III-D) — backup placement.
+//
+// The paper chooses *random* backup targets "because we assume catastrophic
+// correlated failures, we spread copies as randomly as possible", noting
+// that localized placement (replicating to nearby nodes) would percolate
+// faster after small failures but is exactly wrong under region failures.
+// This bench measures that trade-off: under the half-torus catastrophe,
+// neighbour placement loses dramatically more data points (a node's
+// neighbours sit in the same blast radius), while under uncorrelated random
+// churn both placements survive equally.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/polystyrene.hpp"
+#include "scenario/simulation.hpp"
+#include "shape/grid_torus.hpp"
+
+namespace {
+
+using namespace poly;
+
+struct Outcome {
+  double reliability_mean = 0.0;
+  double reshaping_mean = 0.0;
+  std::size_t reshaped_runs = 0;
+};
+
+/// Runs `reps` repetitions of a region or random failure with the given
+/// placement; returns measured reliability and reshaping.
+Outcome run_case(core::BackupPlacement placement, bool region_failure,
+                 const bench::BenchOptions& opt) {
+  shape::GridTorusShape shape(80, 40);
+  util::RunningStats reliability;
+  util::RunningStats reshaping;
+  for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+    scenario::SimulationConfig config;
+    config.seed = opt.seed + rep;
+    config.poly.replication = 4;
+    config.poly.backup_placement = placement;
+    scenario::Simulation sim(shape, config);
+    sim.run_rounds(20);
+    if (region_failure) {
+      sim.crash_failure_half();
+    } else {
+      sim.crash_random(1600);
+    }
+    const double href = sim.reference_homogeneity();
+    double reshaped_at = -1;
+    for (int round = 1; round <= 50; ++round) {
+      sim.run_round();
+      if (reshaped_at < 0 && sim.homogeneity() < href) reshaped_at = round;
+    }
+    reliability.add(sim.reliability());
+    if (reshaped_at > 0) reshaping.add(reshaped_at);
+  }
+  return Outcome{reliability.mean() * 100.0, reshaping.mean(),
+                 reshaping.count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/5);
+  std::printf("Ablation: backup placement under correlated vs uncorrelated "
+              "failures (80x40, K=4, %zu reps)\n\n",
+              opt.reps);
+
+  util::Table table({"placement", "failure", "reliability (%)",
+                     "reshaping (rounds)"});
+  const std::pair<core::BackupPlacement, const char*> placements[] = {
+      {core::BackupPlacement::kRandom, "random (paper)"},
+      {core::BackupPlacement::kNeighbor, "neighbour"},
+  };
+  for (const auto& [placement, name] : placements) {
+    for (bool region : {true, false}) {
+      const auto r = run_case(placement, region, opt);
+      table.add_row({name, region ? "half-torus region" : "random 50%",
+                     util::fmt(r.reliability_mean, 2),
+                     r.reshaped_runs > 0 ? util::fmt(r.reshaping_mean, 2)
+                                         : "DNF>50"});
+    }
+  }
+
+  bench::emit(table, opt, "abl_backup_placement");
+  std::puts("\nExpected: random placement survives the region failure at "
+            "the §III-D analytic rate (≈ 96.9% for K=4); neighbour "
+            "placement loses most points in the crashed half — the reason "
+            "the paper spreads copies randomly.");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench accepts the same knobs, via CLI flags or environment:
+//
+//   --reps N / POLY_BENCH_REPS          repetitions per configuration
+//                                       (paper: 25; defaults are smaller so
+//                                       a full `for b in bench/*` sweep
+//                                       finishes in minutes — EXPERIMENTS.md
+//                                       records what was used)
+//   --max-nodes N / POLY_BENCH_MAX_NODES  cap for the scalability sweeps
+//   --seed N / POLY_BENCH_SEED          base RNG seed
+//   --csv DIR / POLY_BENCH_CSV          also write gnuplot-ready CSVs there
+//
+// Output format: every bench prints the same rows/series its paper
+// table/figure reports, as an aligned ASCII table.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "shape/grid_torus.hpp"
+#include "util/table.hpp"
+
+namespace poly::bench {
+
+struct BenchOptions {
+  std::size_t reps = 5;
+  std::size_t max_nodes = 51200;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_dir;
+
+  static BenchOptions parse(int argc, char** argv,
+                            std::size_t default_reps = 5) {
+    BenchOptions opt;
+    opt.reps = default_reps;
+    if (const char* e = std::getenv("POLY_BENCH_REPS"))
+      opt.reps = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("POLY_BENCH_MAX_NODES"))
+      opt.max_nodes = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("POLY_BENCH_SEED"))
+      opt.seed = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("POLY_BENCH_CSV")) opt.csv_dir = e;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : "";
+      };
+      if (std::strcmp(argv[i], "--reps") == 0)
+        opt.reps = std::strtoull(next(), nullptr, 10);
+      else if (std::strcmp(argv[i], "--max-nodes") == 0)
+        opt.max_nodes = std::strtoull(next(), nullptr, 10);
+      else if (std::strcmp(argv[i], "--seed") == 0)
+        opt.seed = std::strtoull(next(), nullptr, 10);
+      else if (std::strcmp(argv[i], "--csv") == 0)
+        opt.csv_dir = next();
+      else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "options: --reps N --max-nodes N --seed N --csv DIR\n"
+            "env:     POLY_BENCH_REPS POLY_BENCH_MAX_NODES POLY_BENCH_SEED "
+            "POLY_BENCH_CSV\n");
+        std::exit(0);
+      }
+    }
+    if (opt.reps == 0) opt.reps = 1;
+    return opt;
+  }
+};
+
+/// Emits the table to stdout and optionally to <csv_dir>/<name>.csv.
+inline void emit(const util::Table& table, const BenchOptions& opt,
+                 const std::string& name) {
+  std::fputs(table.to_string().c_str(), stdout);
+  if (opt.csv_dir) {
+    const std::string path = *opt.csv_dir + "/" + name + ".csv";
+    if (table.write_csv(path)) std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+/// Grid dimensions for a target node count: the paper scales its torus by
+/// doubling one axis at a time (40×80 → … → 160×320), keeping a 1:2 aspect
+/// where possible.  Returns {nx, ny} with nx*ny == n for the standard sweep
+/// sizes (powers of two times 100).
+struct GridDims {
+  unsigned nx;
+  unsigned ny;
+};
+inline GridDims grid_for(std::size_t n) {
+  // 100→10×10, 200→20×10, 400→20×20, 800→40×20, 1600→40×40, 3200→80×40,
+  // 6400→80×80, 12800→160×80, 25600→160×160, 51200→320×160.
+  unsigned nx = 10;
+  unsigned ny = 10;
+  std::size_t cur = 100;
+  bool grow_x = true;
+  while (cur < n) {
+    if (grow_x) nx *= 2; else ny *= 2;
+    grow_x = !grow_x;
+    cur *= 2;
+  }
+  return {nx, ny};
+}
+
+/// The standard scalability sweep (paper Fig. 10 x-axis), capped by opt.
+inline std::vector<std::size_t> sweep_sizes(const BenchOptions& opt) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 100; n <= opt.max_nodes && n <= 51200; n *= 2)
+    sizes.push_back(n);
+  return sizes;
+}
+
+/// Repetition count scaled down for large networks so the default sweep
+/// stays affordable; `--reps` sets the budget for the small sizes.
+inline std::size_t reps_for_size(const BenchOptions& opt, std::size_t nodes) {
+  if (nodes >= 51200) return std::max<std::size_t>(1, opt.reps / 3);
+  if (nodes >= 12800) return std::max<std::size_t>(1, opt.reps / 2);
+  return opt.reps;
+}
+
+/// The four configurations of the paper's Figs. 6 and 7: Polystyrene with
+/// K ∈ {8, 4, 2} and bare T-Man, all on the 80×40 torus, all through the
+/// three-phase scenario (converge 20 / fail 80 / re-inject 100).
+struct PaperScenarioResults {
+  scenario::ExperimentResult poly_k8;
+  scenario::ExperimentResult poly_k4;
+  scenario::ExperimentResult poly_k2;
+  scenario::ExperimentResult tman;
+};
+
+inline PaperScenarioResults run_paper_scenario(const BenchOptions& opt) {
+  shape::GridTorusShape shape(80, 40);
+  scenario::ExperimentSpec spec;
+  spec.config.seed = opt.seed;
+  spec.repetitions = opt.reps;
+  spec.phases = scenario::ThreePhaseSpec{};  // 20 / 80 / 100
+
+  PaperScenarioResults out;
+  auto run_k = [&](std::size_t k) {
+    auto s = spec;
+    s.config.polystyrene = true;
+    s.config.poly.replication = k;
+    return scenario::run_experiment(shape, s);
+  };
+  out.poly_k8 = run_k(8);
+  out.poly_k4 = run_k(4);
+  out.poly_k2 = run_k(2);
+  auto s = spec;
+  s.config.polystyrene = false;
+  out.tman = scenario::run_experiment(shape, s);
+  return out;
+}
+
+/// Builds the per-round series table the paper's figures plot: one row per
+/// round, one "mean ± ci" column per configuration.
+inline util::Table series_table(
+    const std::vector<std::pair<std::string,
+                                const util::SeriesAggregator*>>& columns) {
+  std::vector<std::string> headers{"round"};
+  for (const auto& [name, series] : columns) headers.push_back(name);
+  util::Table table(std::move(headers));
+  std::size_t rounds = 0;
+  for (const auto& [name, series] : columns)
+    rounds = std::max(rounds, series->rounds());
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<std::string> row{std::to_string(round)};
+    for (const auto& [name, series] : columns)
+      row.push_back(series->row(round).str(3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace poly::bench

@@ -1,0 +1,62 @@
+// Figure 7b — "Communication cost (1 ID = 1 coordinate = 1 unit)".
+//
+// Per-node per-round message cost in the paper's units (§IV-A: id = 1,
+// coordinate = 1, descriptor = 3, 2-D data point = 2; RPS excluded).
+// Expected shape (paper §IV-B): Polystyrene costs barely more than T-Man —
+// T-Man's position-update traffic dominates (93.6% of the total for K = 8);
+// Polystyrene adds only migration exchanges and delta-optimized backups.
+// This bench prints the paper's curve (total per-node cost per config) plus
+// the per-channel breakdown for the K = 8 run that the 93.6% claim is about.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace poly;
+  const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/5);
+  std::printf("Fig. 7b: message cost per node vs rounds (80x40 torus, %zu "
+              "reps, seed %llu)\n\n",
+              opt.reps, static_cast<unsigned long long>(opt.seed));
+
+  const auto r = bench::run_paper_scenario(opt);
+  auto table = bench::series_table({
+      {"Polystyrene_K8", &r.poly_k8.msg_paper},
+      {"Polystyrene_K4", &r.poly_k4.msg_paper},
+      {"Polystyrene_K2", &r.poly_k2.msg_paper},
+      {"TMan", &r.tman.msg_paper},
+  });
+  bench::emit(table, opt, "fig07b");
+
+  // Breakdown for the 93.6% claim: T-Man share of the K = 8 total over the
+  // post-failure steady state (rounds 40..99).
+  double tman_units = 0.0;
+  double total_units = 0.0;
+  for (std::size_t round = 40; round < 100 && round < r.poly_k8.msg_paper.rounds();
+       ++round) {
+    tman_units += r.poly_k8.msg_tman.row(round).mean;
+    total_units += r.poly_k8.msg_paper.row(round).mean;
+  }
+  if (total_units > 0.0)
+    std::printf("\nT-Man share of Polystyrene_K8 traffic (rounds 40-99): "
+                "%.1f%%  (paper: 93.6%%)\n",
+                100.0 * tman_units / total_units);
+
+  util::Table breakdown({"channel", "K8 units/node/round (rounds 40-99)"});
+  auto mean_over = [&](const util::SeriesAggregator& s) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t round = 40; round < 100 && round < s.rounds(); ++round) {
+      sum += s.row(round).mean;
+      ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+  breakdown.add_row({"tman", util::fmt(mean_over(r.poly_k8.msg_tman), 2)});
+  breakdown.add_row({"backup", util::fmt(mean_over(r.poly_k8.msg_backup), 2)});
+  breakdown.add_row(
+      {"migration", util::fmt(mean_over(r.poly_k8.msg_migration), 2)});
+  breakdown.add_row(
+      {"rps (not in paper's figure)", util::fmt(mean_over(r.poly_k8.msg_rps), 2)});
+  bench::emit(breakdown, opt, "fig07b_breakdown");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// DHT-style storage on the overlay: why the *shape* matters.
+//
+// The paper argues that losing the overlay's shape hurts applications that
+// map a virtual data space onto nodes — routing, indexing, storage (§I).
+// This example makes that concrete: objects live at points of an 80×40
+// torus key space; a GET greedily routes through T-Man neighbourhoods
+// toward the key, then asks the reached node for the object.
+//
+// After the right half of the key space crashes:
+//   * with bare T-Man, the surviving nodes still sit in the left half —
+//     every GET for a right-half key dead-ends far from the key;
+//   * with Polystyrene, survivors re-spread over the full key space,
+//     recovered objects migrate to their new homes, and GETs succeed again.
+//
+//   $ ./dht_storage
+//
+#include <cstdio>
+
+#include "scenario/simulation.hpp"
+#include "shape/grid_torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace poly;
+
+struct LookupStats {
+  double success_rate = 0.0;
+  double mean_hops = 0.0;
+};
+
+/// Greedy overlay routing: hop to the neighbour closest to the key until no
+/// neighbour improves; success if the reached node hosts the object.
+LookupStats run_lookups(scenario::Simulation& sim, util::Rng& rng,
+                        int lookups = 400) {
+  const auto& space = sim.metric_space();
+  const auto& points = sim.initial_points();
+  const auto alive = sim.network().alive_ids();
+  if (alive.empty()) return {};
+
+  int successes = 0;
+  long total_hops = 0;
+  for (int i = 0; i < lookups; ++i) {
+    const auto& target = points[rng.index(points.size())];
+    sim::NodeId at = alive[rng.index(alive.size())];
+    int hops = 0;
+    for (; hops < 128; ++hops) {
+      double here = space.distance(sim.position(at), target.pos);
+      sim::NodeId next = at;
+      for (sim::NodeId nb : sim.tman().closest_alive(at, 8)) {
+        const double d = space.distance(sim.position(nb), target.pos);
+        if (d < here) {
+          here = d;
+          next = nb;
+        }
+      }
+      if (next == at) break;  // local minimum: routing done
+      at = next;
+    }
+    total_hops += hops;
+    // Does the key's overlay home — the reached node or its immediate
+    // neighbourhood (the standard last-hop local lookup of DHTs) — hold
+    // the object?
+    auto holds = [&](sim::NodeId n) {
+      if (const auto* poly = sim.polystyrene())
+        return core::contains_id(poly->guests(n), target.id);
+      return sim.network().alive(static_cast<sim::NodeId>(target.id)) &&
+             n == static_cast<sim::NodeId>(target.id);
+    };
+    bool hosted = holds(at);
+    for (sim::NodeId nb : sim.tman().closest_alive(at, 8))
+      hosted = hosted || holds(nb);
+    successes += hosted ? 1 : 0;
+  }
+  return LookupStats{static_cast<double>(successes) / lookups,
+                     static_cast<double>(total_hops) / lookups};
+}
+
+void run_store(bool polystyrene) {
+  std::printf("\n===== %s =====\n",
+              polystyrene ? "Polystyrene store (K=4)" : "Bare T-Man store");
+  shape::GridTorusShape shape(80, 40);
+  scenario::SimulationConfig config;
+  config.seed = 99;
+  config.polystyrene = polystyrene;
+  config.poly.replication = 4;
+  scenario::Simulation sim(shape, config);
+  util::Rng rng(4242);
+
+  sim.run_rounds(20);
+  auto before = run_lookups(sim, rng);
+  std::printf("before failure:  GET success %5.1f%%  (%.1f hops avg)\n",
+              before.success_rate * 100.0, before.mean_hops);
+
+  sim.crash_failure_half();
+  sim.run_rounds(2);
+  auto during = run_lookups(sim, rng);
+  std::printf("2 rounds after:  GET success %5.1f%%  (%.1f hops avg)\n",
+              during.success_rate * 100.0, during.mean_hops);
+
+  sim.run_rounds(28);
+  auto after = run_lookups(sim, rng);
+  std::printf("30 rounds after: GET success %5.1f%%  (%.1f hops avg)  "
+              "[%.1f%% of objects physically survive]\n",
+              after.success_rate * 100.0, after.mean_hops,
+              sim.reliability() * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  run_store(false);
+  run_store(true);
+  std::puts("\nExpected: T-Man keeps only the objects whose home node "
+            "survived (~50%) and loses routability to the dead half; "
+            "Polystyrene recovers ~97% of objects (K=4) and serves them "
+            "from the reshaped overlay.");
+  return 0;
+}

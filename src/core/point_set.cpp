@@ -1,0 +1,94 @@
+#include "core/point_set.hpp"
+
+#include <algorithm>
+
+namespace poly::core {
+
+bool is_valid_point_set(std::span<const space::DataPoint> s) noexcept {
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (!(s[i - 1].id < s[i].id)) return false;
+  return true;
+}
+
+void normalize(PointSet& s) {
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end(),
+                      [](const space::DataPoint& a, const space::DataPoint& b) {
+                        return a.id == b.id;
+                      }),
+          s.end());
+}
+
+PointSet union_by_id(std::span<const space::DataPoint> a,
+                     std::span<const space::DataPoint> b) {
+  PointSet out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].id < b[j].id) {
+      out.push_back(a[i++]);
+    } else if (b[j].id < a[i].id) {
+      out.push_back(b[j++]);
+    } else {  // duplicate id: keep one copy (points are immutable)
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+  return out;
+}
+
+bool contains_id(std::span<const space::DataPoint> s,
+                 space::PointId id) noexcept {
+  auto it = std::lower_bound(
+      s.begin(), s.end(), id,
+      [](const space::DataPoint& p, space::PointId v) { return p.id < v; });
+  return it != s.end() && it->id == id;
+}
+
+bool insert_point(PointSet& s, const space::DataPoint& p) {
+  auto it = std::lower_bound(s.begin(), s.end(), p);
+  if (it != s.end() && it->id == p.id) return false;
+  s.insert(it, p);
+  return true;
+}
+
+DeltaSizes delta_sizes(std::span<const space::DataPoint> prev,
+                       std::span<const space::DataPoint> next) noexcept {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  DeltaSizes d;
+  while (i < prev.size() && j < next.size()) {
+    if (prev[i].id < next[j].id) {
+      ++d.removed;
+      ++i;
+    } else if (next[j].id < prev[i].id) {
+      ++d.added;
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  d.removed += prev.size() - i;
+  d.added += next.size() - j;
+  return d;
+}
+
+std::size_t delta_size(std::span<const space::DataPoint> prev,
+                       std::span<const space::DataPoint> next) noexcept {
+  const DeltaSizes d = delta_sizes(prev, next);
+  return d.added + d.removed;
+}
+
+std::vector<space::PointId> ids_of(std::span<const space::DataPoint> s) {
+  std::vector<space::PointId> out;
+  out.reserve(s.size());
+  for (const auto& p : s) out.push_back(p.id);
+  return out;
+}
+
+}  // namespace poly::core

@@ -1,0 +1,59 @@
+// Sorted data point sets.
+//
+// Guest and ghost collections are kept sorted by point id.  That makes the
+// two operations Polystyrene performs constantly — pooling two guest sets
+// during migration (a union that *deduplicates* redundant copies, §IV-B)
+// and computing incremental backup deltas (§III-D) — simple linear merges,
+// and keeps every run bit-deterministic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "space/point.hpp"
+
+namespace poly::core {
+
+/// A set of data points ordered by ascending id, without duplicates.
+using PointSet = std::vector<space::DataPoint>;
+
+/// True iff `s` is sorted by id with no duplicate ids (debug invariant).
+bool is_valid_point_set(std::span<const space::DataPoint> s) noexcept;
+
+/// Sorts by id and removes duplicate ids (keeps the first occurrence; data
+/// points are immutable so duplicates are identical anyway).
+void normalize(PointSet& s);
+
+/// Union by id: the pooling step of migration (Algorithm 3, line 4).
+/// Duplicate ids collapse to a single copy — this is how "the migration
+/// process detects and removes" redundant copies after recovery.
+PointSet union_by_id(std::span<const space::DataPoint> a,
+                     std::span<const space::DataPoint> b);
+
+/// True iff the set contains a point with this id (binary search).
+bool contains_id(std::span<const space::DataPoint> s,
+                 space::PointId id) noexcept;
+
+/// Inserts a point, keeping order; returns false if the id already exists.
+bool insert_point(PointSet& s, const space::DataPoint& p);
+
+/// Number of elements of `next` not present in `prev` plus elements of
+/// `prev` not in `next` — the size of an incremental backup delta
+/// (additions must be shipped, removals must be named).
+std::size_t delta_size(std::span<const space::DataPoint> prev,
+                       std::span<const space::DataPoint> next) noexcept;
+
+/// Breakdown of an incremental delta: `added` points must ship their
+/// coordinates, `removed` points only their ids (cost accounting, §III-D's
+/// "sending only incremental deltas to backup nodes").
+struct DeltaSizes {
+  std::size_t added = 0;
+  std::size_t removed = 0;
+};
+DeltaSizes delta_sizes(std::span<const space::DataPoint> prev,
+                       std::span<const space::DataPoint> next) noexcept;
+
+/// The ids of a point set, in order.
+std::vector<space::PointId> ids_of(std::span<const space::DataPoint> s);
+
+}  // namespace poly::core

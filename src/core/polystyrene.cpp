@@ -1,0 +1,224 @@
+#include "core/polystyrene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "space/medoid.hpp"
+
+namespace poly::core {
+
+PolystyreneLayer::PolystyreneLayer(sim::Network& net,
+                                   const space::MetricSpace& space,
+                                   rps::RpsProtocol& rps,
+                                   topo::TopologyConstruction& topology,
+                                   const sim::FailureDetector& fd,
+                                   PolyConfig cfg)
+    : net_(net), space_(space), rps_(rps), topo_(topology), fd_(fd), cfg_(cfg) {
+  if (cfg_.replication == 0)
+    throw std::invalid_argument("PolyConfig: replication (K) must be > 0");
+  if (cfg_.psi == 0)
+    throw std::invalid_argument("PolyConfig: psi must be > 0");
+}
+
+void PolystyreneLayer::on_node_added(sim::NodeId id,
+                                     std::optional<space::DataPoint> initial) {
+  if (id != guests_.size())
+    throw std::invalid_argument("PolystyreneLayer: nodes must register in order");
+  guests_.emplace_back();
+  ghosts_.emplace_back();
+  backups_.emplace_back();
+  if (initial) guests_.back().push_back(*initial);
+}
+
+NodeStorage PolystyreneLayer::storage(sim::NodeId id) const {
+  NodeStorage s;
+  s.guests = guests_[id].size();
+  for (const auto& [origin, pts] : ghosts_[id]) s.ghost_points += pts.size();
+  s.backups = backups_[id].size();
+  return s;
+}
+
+double PolystyreneLayer::analytic_survival(std::size_t k,
+                                           double fail_fraction) {
+  // A data point dies only if its primary holder *and* all K backup holders
+  // crash; with random placement these are ~independent, each failing with
+  // probability pf (§III-D).
+  return 1.0 - std::pow(fail_fraction, static_cast<double>(k) + 1.0);
+}
+
+std::size_t PolystyreneLayer::required_replication(double target,
+                                                   double fail_fraction) {
+  if (!(target > 0.0 && target < 1.0))
+    throw std::invalid_argument("required_replication: target in (0,1)");
+  if (!(fail_fraction > 0.0 && fail_fraction < 1.0))
+    throw std::invalid_argument("required_replication: fail_fraction in (0,1)");
+  const double k =
+      std::log(1.0 - target) / std::log(fail_fraction) - 1.0;
+  // Strictly-greater requirement: K must exceed k.
+  const double up = std::ceil(k);
+  return static_cast<std::size_t>(up == k ? up + 1 : up);
+}
+
+void PolystyreneLayer::round() {
+  // Recovery first, then backup maintenance: freshly reactivated guests get
+  // re-replicated in the same round (the "eager backup" that causes the
+  // transient copy spike right after a catastrophe, §IV-B).
+  for (sim::NodeId p : net_.shuffled_alive_ids()) {
+    recover(p);
+    maintain_backups(p);
+  }
+  // Migration runs last, on the neighbourhoods the topology layer produced
+  // this round (Step 1' → Step 4 in Fig. 4).
+  for (sim::NodeId p : net_.shuffled_alive_ids()) migrate(p);
+}
+
+void PolystyreneLayer::recover(sim::NodeId p) {
+  auto& ghost_map = ghosts_[p];
+  bool changed = false;
+  for (auto it = ghost_map.begin(); it != ghost_map.end();) {
+    const sim::NodeId origin = it->first;
+    if (fd_.suspects(p, origin)) {
+      // Algorithm 2: reactivate the dead origin's points into our guests.
+      guests_[p] = union_by_id(guests_[p], it->second);
+      it = ghost_map.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) reproject(p);
+}
+
+sim::NodeId PolystyreneLayer::pick_backup_candidate(
+    sim::NodeId p, const std::vector<sim::NodeId>& current) {
+  util::Rng& rng = net_.node_rng(p);
+  auto acceptable = [&](sim::NodeId c) {
+    return c != sim::kInvalidNode && c != p && !fd_.suspects(p, c) &&
+           std::find(current.begin(), current.end(), c) == current.end();
+  };
+  if (cfg_.backup_placement == BackupPlacement::kNeighbor) {
+    // Ablation: prefer topologically-close holders.
+    for (sim::NodeId c : topo_.closest_alive(p, cfg_.replication + 4))
+      if (acceptable(c)) return c;
+    // Fall through to random when the neighbourhood is exhausted.
+  }
+  // Paper default: random targets from the peer-sampling layer, maximizing
+  // failure independence (§III-D).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const sim::NodeId c = rps_.random_peer(p, rng);
+    if (acceptable(c)) return c;
+  }
+  return sim::kInvalidNode;
+}
+
+void PolystyreneLayer::maintain_backups(sim::NodeId p) {
+  auto& backups = backups_[p];
+
+  // Algorithm 1, line 1: backups ← backups \ failed.
+  backups.erase(std::remove_if(backups.begin(), backups.end(),
+                               [&](sim::NodeId b) {
+                                 return fd_.suspects(p, b);
+                               }),
+                backups.end());
+
+  // Line 2: top up with fresh random nodes.
+  std::vector<sim::NodeId> fresh;
+  while (backups.size() < cfg_.replication) {
+    const sim::NodeId c = pick_backup_candidate(p, backups);
+    if (c == sim::kInvalidNode) break;  // no candidate this round; retry later
+    backups.push_back(c);
+    fresh.push_back(c);
+  }
+
+  // Lines 3-4: push guests to every backup.  New backups get a full copy;
+  // established ones an incremental delta (§III-D's optimization).
+  const unsigned dim = space_.dimension();
+  for (sim::NodeId b : backups) {
+    auto& slot = ghosts_[b][p];  // creates empty slot for new backups
+    const bool is_fresh =
+        std::find(fresh.begin(), fresh.end(), b) != fresh.end();
+    double units = 0.0;
+    if (is_fresh || !cfg_.incremental_backup) {
+      units = sim::TrafficMeter::kIdUnits +  // provenance (origin id)
+              static_cast<double>(guests_[p].size()) *
+                  sim::TrafficMeter::datapoint_units(dim);
+    } else {
+      const DeltaSizes d = delta_sizes(slot, guests_[p]);
+      if (d.added + d.removed > 0) {
+        units = sim::TrafficMeter::kIdUnits +
+                static_cast<double>(d.added) *
+                    sim::TrafficMeter::datapoint_units(dim) +
+                static_cast<double>(d.removed) * sim::TrafficMeter::kIdUnits;
+      }
+    }
+    if (units > 0.0) net_.traffic().add(sim::Channel::kBackup, units);
+    slot = guests_[p];  // b.ghosts[p] ← guests (replace semantics)
+  }
+}
+
+void PolystyreneLayer::migrate(sim::NodeId p) {
+  util::Rng& rng = net_.node_rng(p);
+
+  // Algorithm 3, lines 1-2: ψ closest topology neighbours + 1 random peer.
+  std::vector<sim::NodeId> candidates = topo_.closest_alive(p, cfg_.psi);
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](sim::NodeId c) {
+                                    return c == p || fd_.suspects(p, c);
+                                  }),
+                   candidates.end());
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const sim::NodeId r = rps_.random_peer(p, rng);
+    if (r == sim::kInvalidNode || r == p || fd_.suspects(p, r) ||
+        !net_.alive(r))
+      continue;
+    if (std::find(candidates.begin(), candidates.end(), r) ==
+        candidates.end())
+      candidates.push_back(r);
+    break;
+  }
+  if (candidates.empty()) return;
+
+  // Line 3: q ← random node from C.
+  const sim::NodeId q = candidates[rng.index(candidates.size())];
+  if (!net_.alive(q)) return;
+
+  // Lines 4-7: pair-wise pull-push exchange.  Pooling is a union by id, so
+  // redundant copies created by recovery collapse here (§IV-B).
+  const std::size_t q_before = guests_[q].size();
+  PointSet pool = union_by_id(guests_[p], guests_[q]);
+  if (pool.empty()) return;
+
+  SplitResult res = split(cfg_.split_kind, pool, topo_.position(p),
+                          topo_.position(q), space_, rng, cfg_.split_cfg);
+
+  const unsigned dim = space_.dimension();
+  // Pull: q ships its guests to p; push: p ships q's new set back.
+  const double units =
+      2.0 * sim::TrafficMeter::kIdUnits +
+      static_cast<double>(q_before + res.for_q.size()) *
+          sim::TrafficMeter::datapoint_units(dim);
+  net_.traffic().add(sim::Channel::kMigration, units);
+
+  guests_[p] = std::move(res.for_p);
+  guests_[q] = std::move(res.for_q);
+  reproject(p);
+  reproject(q);
+}
+
+void PolystyreneLayer::reproject(sim::NodeId p) {
+  if (guests_[p].empty()) return;  // keep current (seeded) position
+  topo_.set_position(p, space::medoid(guests_[p], space_));
+}
+
+void PolystyreneLayer::transform_points(
+    const std::function<space::Point(const space::Point&)>& transform) {
+  for (sim::NodeId p = 0; p < guests_.size(); ++p) {
+    for (auto& g : guests_[p]) g.pos = space_.normalize(transform(g.pos));
+    for (auto& [origin, pts] : ghosts_[p])
+      for (auto& g : pts) g.pos = space_.normalize(transform(g.pos));
+    if (net_.alive(p)) reproject(p);
+  }
+}
+
+}  // namespace poly::core

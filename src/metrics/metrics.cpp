@@ -1,0 +1,122 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "metrics/position_index.hpp"
+
+namespace poly::metrics {
+
+double homogeneity(const sim::Network& net, const space::MetricSpace& space,
+                   std::span<const space::DataPoint> initial_points,
+                   const HostingView& view) {
+  if (initial_points.empty()) return 0.0;
+
+  // Pass 1: for every hosted initial point, the distance to its closest
+  // primary holder.  Initial point ids are dense (0..P-1 in scenario runs);
+  // a direct-indexed array keeps this linear.
+  space::PointId max_id = 0;
+  for (const auto& p : initial_points) max_id = std::max(max_id, p.id);
+  std::vector<double> best(max_id + 1,
+                           std::numeric_limits<double>::infinity());
+
+  const auto alive = net.alive_ids();
+  for (sim::NodeId n : alive) {
+    const space::Point& npos = view.position(n);
+    for (const auto& g : view.guests(n)) {
+      if (g.id > max_id) continue;  // non-initial point (not measured)
+      const double d = space.distance(g.pos, npos);
+      best[g.id] = std::min(best[g.id], d);
+    }
+  }
+
+  // Pass 2: lost points fall back to the nearest node in the whole network
+  // (the ĝuests⁻¹(x) = nodes case of §IV-A).  The index is built lazily —
+  // converged runs have no lost points and skip it entirely.
+  std::optional<PositionIndex> index;
+  double sum = 0.0;
+  for (const auto& p : initial_points) {
+    double d = best[p.id];
+    if (!std::isfinite(d)) {
+      if (!index) {
+        std::vector<space::Point> positions;
+        positions.reserve(alive.size());
+        for (sim::NodeId n : alive) positions.push_back(view.position(n));
+        index.emplace(space, std::move(positions));
+      }
+      d = index->empty() ? 0.0 : index->nearest_distance(p.pos);
+    }
+    sum += d;
+  }
+  return sum / static_cast<double>(initial_points.size());
+}
+
+double reliability(const sim::Network& net,
+                   std::span<const space::DataPoint> initial_points,
+                   const HostingView& view) {
+  if (initial_points.empty()) return 1.0;
+  space::PointId max_id = 0;
+  for (const auto& p : initial_points) max_id = std::max(max_id, p.id);
+  std::vector<bool> hosted(max_id + 1, false);
+  for (sim::NodeId n : net.alive_ids())
+    for (const auto& g : view.guests(n))
+      if (g.id <= max_id) hosted[g.id] = true;
+  std::size_t surviving = 0;
+  for (const auto& p : initial_points)
+    if (hosted[p.id]) ++surviving;
+  return static_cast<double>(surviving) /
+         static_cast<double>(initial_points.size());
+}
+
+double proximity(const sim::Network& net, const space::MetricSpace& space,
+                 const topo::TopologyConstruction& topology, std::size_t k) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (sim::NodeId n : net.alive_ids()) {
+    const auto neighbours = topology.closest_alive(n, k);
+    if (neighbours.empty()) continue;
+    double s = 0.0;
+    for (sim::NodeId nb : neighbours)
+      s += space.distance(topology.position(n), topology.position(nb));
+    sum += s / static_cast<double>(neighbours.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double avg_points_per_node(
+    const sim::Network& net,
+    const std::function<std::size_t(sim::NodeId)>& stored_points) {
+  const auto alive = net.alive_ids();
+  if (alive.empty()) return 0.0;
+  std::size_t total = 0;
+  for (sim::NodeId n : alive) total += stored_points(n);
+  return static_cast<double>(total) / static_cast<double>(alive.size());
+}
+
+LoadStats load_balance(const sim::Network& net,
+                       const std::function<double(sim::NodeId)>& load_of) {
+  LoadStats stats;
+  const auto alive = net.alive_ids();
+  if (alive.empty()) return stats;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  double max = 0.0;
+  for (sim::NodeId n : alive) {
+    const double v = load_of(n);
+    sum += v;
+    sum2 += v * v;
+    max = std::max(max, v);
+  }
+  const double n = static_cast<double>(alive.size());
+  stats.mean = sum / n;
+  const double var = std::max(0.0, sum2 / n - stats.mean * stats.mean);
+  stats.cv = stats.mean > 0.0 ? std::sqrt(var) / stats.mean : 0.0;
+  stats.max_over_mean = stats.mean > 0.0 ? max / stats.mean : 0.0;
+  return stats;
+}
+
+}  // namespace poly::metrics

@@ -1,0 +1,78 @@
+// The paper's five evaluation metrics (§IV-A).
+//
+//  * proximity      — mean distance between a node and its k closest T-Man
+//                     neighbours (k = 4); quality of local neighbourhoods.
+//  * homogeneity    — mean, over all *initial* data points, of the distance
+//                     between the point and the nearest node that hosts it
+//                     as a guest (ĝuests⁻¹); if a point was lost, the
+//                     nearest node in the whole network.  Shape quality.
+//  * reshaping time — rounds until homogeneity < H = ½√(A/N) after a
+//                     failure (computed by the scenario runner from the
+//                     homogeneity series).
+//  * data points per node — guests + ghosts (memory overhead).
+//  * message cost   — per node per round, from sim::TrafficMeter.
+//
+// The functions take callbacks for guest sets and positions so that the
+// same code measures Polystyrene runs (real guest sets) and bare T-Man runs
+// (each initial node implicitly hosts its own original point, §IV-A).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "sim/network.hpp"
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+#include "topo/topology.hpp"
+
+namespace poly::metrics {
+
+/// Access to who hosts what and where nodes sit, independent of the stack
+/// being measured.
+struct HostingView {
+  /// Guest data points of an alive node (may be empty).
+  std::function<std::span<const space::DataPoint>(sim::NodeId)> guests;
+  /// Current virtual position of an alive node.
+  std::function<const space::Point&(sim::NodeId)> position;
+};
+
+/// Homogeneity (lower is better).  `initial_points` are the original data
+/// points defining the shape; identity is matched by PointId.
+double homogeneity(const sim::Network& net, const space::MetricSpace& space,
+                   std::span<const space::DataPoint> initial_points,
+                   const HostingView& view);
+
+/// Fraction of initial data points hosted by at least one alive node
+/// (measured after recovery; Table II's "Reliability").
+double reliability(const sim::Network& net,
+                   std::span<const space::DataPoint> initial_points,
+                   const HostingView& view);
+
+/// Proximity (lower is better): mean over alive nodes of the mean distance
+/// to their k closest alive topology neighbours (nodes with empty
+/// neighbourhoods are skipped).
+double proximity(const sim::Network& net, const space::MetricSpace& space,
+                 const topo::TopologyConstruction& topology,
+                 std::size_t k = 4);
+
+/// Mean number of data points stored per alive node (guests + ghosts),
+/// supplied by a per-node storage callback.
+double avg_points_per_node(
+    const sim::Network& net,
+    const std::function<std::size_t(sim::NodeId)>& stored_points);
+
+/// Load-balance statistics over a per-node load callback (e.g. guest
+/// counts).  The paper's §I argues a lost shape "create[s] load unbalance";
+/// these are the numbers behind that claim:
+///   cv            coefficient of variation (stddev / mean; 0 = perfect),
+///   max_over_mean hot-spot factor (1 = perfect).
+struct LoadStats {
+  double mean = 0.0;
+  double cv = 0.0;
+  double max_over_mean = 0.0;
+};
+LoadStats load_balance(
+    const sim::Network& net,
+    const std::function<double(sim::NodeId)>& load_of);
+
+}  // namespace poly::metrics

@@ -1,0 +1,92 @@
+#include "metrics/position_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace poly::metrics {
+
+PositionIndex::PositionIndex(const space::MetricSpace& space,
+                             std::vector<space::Point> positions)
+    : space_(space),
+      torus_(dynamic_cast<const space::TorusSpace*>(&space)),
+      positions_(std::move(positions)) {
+  if (torus_ == nullptr || positions_.empty()) return;
+
+  // Aim for ~1 position per cell: cell edge ≈ sqrt(area / n).
+  const double target =
+      std::sqrt(torus_->area() / static_cast<double>(positions_.size()));
+  gx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(torus_->width() / target)));
+  gy_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(torus_->height() / target)));
+  cell_w_ = torus_->width() / static_cast<double>(gx_);
+  cell_h_ = torus_->height() / static_cast<double>(gy_);
+  cells_.assign(gx_ * gy_, {});
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    const space::Point p = torus_->normalize(positions_[i]);
+    auto cx = static_cast<std::size_t>(p.x() / cell_w_);
+    auto cy = static_cast<std::size_t>(p.y() / cell_h_);
+    if (cx >= gx_) cx = gx_ - 1;  // guard against FP edge rounding
+    if (cy >= gy_) cy = gy_ - 1;
+    cells_[cy * gx_ + cx].push_back(i);
+  }
+}
+
+double PositionIndex::nearest_distance(const space::Point& query) const {
+  if (positions_.empty())
+    throw std::logic_error("PositionIndex: query on empty index");
+  if (torus_ == nullptr) return nearest_linear(query);
+  return nearest_grid(query);
+}
+
+double PositionIndex::nearest_linear(const space::Point& query) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : positions_)
+    best = std::min(best, space_.distance(query, p));
+  return best;
+}
+
+double PositionIndex::nearest_grid(const space::Point& query) const {
+  const space::Point q = torus_->normalize(query);
+  auto qcx = static_cast<std::ptrdiff_t>(q.x() / cell_w_);
+  auto qcy = static_cast<std::ptrdiff_t>(q.y() / cell_h_);
+  if (qcx >= static_cast<std::ptrdiff_t>(gx_)) qcx = gx_ - 1;
+  if (qcy >= static_cast<std::ptrdiff_t>(gy_)) qcy = gy_ - 1;
+
+  const auto sgx = static_cast<std::ptrdiff_t>(gx_);
+  const auto sgy = static_cast<std::ptrdiff_t>(gy_);
+  double best = std::numeric_limits<double>::infinity();
+
+  // Expanding rings of cells around the query cell (torus wrap).  Once a
+  // candidate is found, we still need to scan far enough that no cell in an
+  // unvisited ring could hold a closer point: ring r's cells are at least
+  // (r-1)·min(cell_w, cell_h) away.
+  const double min_edge = std::min(cell_w_, cell_h_);
+  const std::ptrdiff_t max_ring =
+      static_cast<std::ptrdiff_t>(std::max(gx_, gy_)) / 2 + 1;
+  for (std::ptrdiff_t ring = 0; ring <= max_ring; ++ring) {
+    if (best < static_cast<double>(ring - 1) * min_edge) break;
+    bool any_cell = false;
+    for (std::ptrdiff_t dy = -ring; dy <= ring; ++dy) {
+      for (std::ptrdiff_t dx = -ring; dx <= ring; ++dx) {
+        // Only the ring boundary (interior was scanned in earlier rings).
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        // Torus wrap of cell coordinates; skip wrapped duplicates when the
+        // ring spans the whole grid on an axis.
+        if (ring * 2 >= sgx && (dx < -sgx / 2 || dx > sgx / 2)) continue;
+        if (ring * 2 >= sgy && (dy < -sgy / 2 || dy > sgy / 2)) continue;
+        const std::size_t cx = static_cast<std::size_t>(((qcx + dx) % sgx + sgx) % sgx);
+        const std::size_t cy = static_cast<std::size_t>(((qcy + dy) % sgy + sgy) % sgy);
+        any_cell = true;
+        for (std::uint32_t i : cells_[cy * gx_ + cx])
+          best = std::min(best, space_.distance(q, positions_[i]));
+      }
+    }
+    if (!any_cell && ring > 0) break;  // wrapped past the whole grid
+  }
+  return best;
+}
+
+}  // namespace poly::metrics

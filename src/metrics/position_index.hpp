@@ -1,0 +1,52 @@
+// Nearest-node queries over the current node positions.
+//
+// The homogeneity metric needs, for every *lost* data point, the nearest
+// alive node in the whole network (the ĝuests⁻¹ fallback of §IV-A).  After
+// a catastrophe thousands of points are lost, so a linear scan per point
+// would dominate measurement time.  For 2-D toruses this index buckets
+// positions into grid cells and answers queries with an expanding-ring
+// search; other spaces fall back to a linear scan (they only appear in
+// small examples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+#include "space/torus.hpp"
+
+namespace poly::metrics {
+
+/// Immutable snapshot index over a set of positions.
+class PositionIndex {
+ public:
+  /// Builds an index over `positions` in `space`.  Grid acceleration kicks
+  /// in when `space` is a TorusSpace; otherwise queries scan linearly.
+  PositionIndex(const space::MetricSpace& space,
+                std::vector<space::Point> positions);
+
+  /// Distance from `query` to the nearest indexed position.
+  /// Precondition: the index is non-empty.
+  double nearest_distance(const space::Point& query) const;
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  bool empty() const noexcept { return positions_.empty(); }
+
+ private:
+  double nearest_linear(const space::Point& query) const;
+  double nearest_grid(const space::Point& query) const;
+
+  const space::MetricSpace& space_;
+  const space::TorusSpace* torus_;  // non-null iff grid acceleration active
+  std::vector<space::Point> positions_;
+
+  // Grid buckets (torus only): cells_[cy * gx_ + cx] lists position indices.
+  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t gx_ = 0;
+  std::size_t gy_ = 0;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+};
+
+}  // namespace poly::metrics

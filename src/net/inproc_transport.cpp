@@ -1,0 +1,111 @@
+#include "net/inproc_transport.hpp"
+
+#include <stdexcept>
+
+namespace poly::net {
+
+// ---- InProcHub -------------------------------------------------------------
+
+std::shared_ptr<InProcHub> InProcHub::create() {
+  return std::shared_ptr<InProcHub>(new InProcHub());
+}
+
+std::unique_ptr<InProcTransport> InProcHub::make_endpoint(
+    const Address& address) {
+  std::unique_ptr<InProcTransport> ep(
+      new InProcTransport(shared_from_this(), address));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!endpoints_.emplace(address, ep.get()).second)
+      throw std::invalid_argument("InProcHub: duplicate address " + address);
+  }
+  return ep;
+}
+
+bool InProcHub::reachable(const Address& address) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return endpoints_.contains(address);
+}
+
+bool InProcHub::route(const Address& to, Message msg) {
+  InProcTransport* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return false;
+    target = it->second;
+  }
+  // Delivery outside the hub lock: the mailbox has its own mutex, and a
+  // shutdown between lookup and deliver is handled by deliver() itself.
+  return target->deliver(std::move(msg));
+}
+
+void InProcHub::unregister(const Address& address) {
+  std::lock_guard<std::mutex> lk(mu_);
+  endpoints_.erase(address);
+}
+
+// ---- InProcTransport -------------------------------------------------------
+
+InProcTransport::InProcTransport(std::shared_ptr<InProcHub> hub,
+                                 Address address)
+    : hub_(std::move(hub)), address_(std::move(address)) {
+  pump_thread_ = std::thread([this] { pump(); });
+}
+
+InProcTransport::~InProcTransport() { shutdown(); }
+
+void InProcTransport::set_handler(MessageHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  handler_ = std::move(handler);
+  cv_.notify_all();
+}
+
+bool InProcTransport::send(const Address& to,
+                           std::vector<std::uint8_t> payload) {
+  if (to == address_) {
+    // Loopback without going through the hub.
+    return deliver(Message{address_, std::move(payload)});
+  }
+  return hub_->route(to, Message{address_, std::move(payload)});
+}
+
+bool InProcTransport::deliver(Message msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopped_) return false;
+  inbox_.push_back(std::move(msg));
+  cv_.notify_all();
+  return true;
+}
+
+void InProcTransport::pump() {
+  for (;;) {
+    Message msg;
+    MessageHandler handler;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        return stopped_ || (!inbox_.empty() && handler_ != nullptr);
+      });
+      if (stopped_) return;
+      msg = std::move(inbox_.front());
+      inbox_.pop_front();
+      handler = handler_;  // copy under lock; invoke outside it
+    }
+    handler(std::move(msg));
+  }
+}
+
+void InProcTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    inbox_.clear();  // crash semantics: undelivered messages are lost
+    cv_.notify_all();
+  }
+  hub_->unregister(address_);
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+}  // namespace poly::net

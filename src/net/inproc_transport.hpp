@@ -1,0 +1,71 @@
+// In-process transport: a registry of named endpoints with per-endpoint
+// mailbox threads.  Reliable, in-order per sender-receiver pair, and
+// supports abrupt endpoint "crashes" (for failure-injection tests) by
+// closing the mailbox without draining it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace poly::net {
+
+class InProcHub;
+
+/// One endpoint of an InProcHub.
+class InProcTransport final : public Transport {
+ public:
+  ~InProcTransport() override;
+
+  Address address() const override { return address_; }
+  void set_handler(MessageHandler handler) override;
+  bool send(const Address& to, std::vector<std::uint8_t> payload) override;
+  void shutdown() override;
+
+ private:
+  friend class InProcHub;
+  InProcTransport(std::shared_ptr<InProcHub> hub, Address address);
+
+  /// Enqueues an incoming message; returns false if shut down.
+  bool deliver(Message msg);
+  void pump();  // mailbox thread body
+
+  std::shared_ptr<InProcHub> hub_;
+  Address address_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> inbox_;
+  MessageHandler handler_;
+  bool stopped_ = false;
+  std::thread pump_thread_;
+};
+
+/// The endpoint registry.  Create one hub per emulated network.
+class InProcHub : public std::enable_shared_from_this<InProcHub> {
+ public:
+  static std::shared_ptr<InProcHub> create();
+
+  /// Creates and registers an endpoint with a unique address.
+  std::unique_ptr<InProcTransport> make_endpoint(const Address& address);
+
+  /// True if the address is currently registered (alive).
+  bool reachable(const Address& address);
+
+ private:
+  friend class InProcTransport;
+  InProcHub() = default;
+
+  bool route(const Address& to, Message msg);
+  void unregister(const Address& address);
+
+  std::mutex mu_;
+  std::unordered_map<Address, InProcTransport*> endpoints_;
+};
+
+}  // namespace poly::net

@@ -1,0 +1,171 @@
+#include "net/messages.hpp"
+
+namespace poly::net {
+
+namespace {
+/// Sanity bound on decoded list lengths: a frame cannot plausibly carry
+/// more elements than bytes, so anything larger is a corrupt length prefix.
+constexpr std::uint32_t kMaxListLength = 1u << 20;
+
+std::uint32_t checked_length(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxListLength || n > r.remaining())
+    throw util::CodecError("messages: implausible list length");
+  return n;
+}
+}  // namespace
+
+void encode_point(util::ByteWriter& w, const space::Point& p) {
+  w.u8(p.dim);
+  for (double c : p.c) w.f64(c);
+}
+
+space::Point decode_point(util::ByteReader& r) {
+  space::Point p;
+  p.dim = r.u8();
+  if (p.dim < 1 || p.dim > 3) throw util::CodecError("point: bad dimension");
+  for (double& c : p.c) c = r.f64();
+  return p;
+}
+
+void encode_header(util::ByteWriter& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u64(h.sender);
+  w.str(h.sender_addr);
+}
+
+Header decode_header(util::ByteReader& r) {
+  Header h;
+  const auto t = r.u8();
+  if (t < static_cast<std::uint8_t>(MsgType::kRpsShuffleReq) ||
+      t > static_cast<std::uint8_t>(MsgType::kMigrateResp))
+    throw util::CodecError("header: unknown message type");
+  h.type = static_cast<MsgType>(t);
+  h.sender = r.u64();
+  h.sender_addr = r.str();
+  return h;
+}
+
+void encode_peers(util::ByteWriter& w, const std::vector<WirePeer>& peers) {
+  w.u32(static_cast<std::uint32_t>(peers.size()));
+  for (const auto& p : peers) {
+    w.u64(p.id);
+    w.str(p.addr);
+    w.u32(p.age);
+  }
+}
+
+std::vector<WirePeer> decode_peers(util::ByteReader& r) {
+  const std::uint32_t n = checked_length(r);
+  std::vector<WirePeer> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WirePeer p;
+    p.id = r.u64();
+    p.addr = r.str();
+    p.age = r.u32();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void encode_descriptors(util::ByteWriter& w,
+                        const std::vector<WireDescriptor>& descriptors) {
+  w.u32(static_cast<std::uint32_t>(descriptors.size()));
+  for (const auto& d : descriptors) {
+    w.u64(d.id);
+    w.str(d.addr);
+    encode_point(w, d.pos);
+    w.u64(d.version);
+  }
+}
+
+std::vector<WireDescriptor> decode_descriptors(util::ByteReader& r) {
+  const std::uint32_t n = checked_length(r);
+  std::vector<WireDescriptor> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireDescriptor d;
+    d.id = r.u64();
+    d.addr = r.str();
+    d.pos = decode_point(r);
+    d.version = r.u64();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void encode_points(util::ByteWriter& w, const std::vector<WirePoint>& points) {
+  w.u32(static_cast<std::uint32_t>(points.size()));
+  for (const auto& p : points) {
+    w.u64(p.id);
+    encode_point(w, p.pos);
+  }
+}
+
+std::vector<WirePoint> decode_points(util::ByteReader& r) {
+  const std::uint32_t n = checked_length(r);
+  std::vector<WirePoint> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WirePoint p;
+    p.id = r.u64();
+    p.pos = decode_point(r);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_rps(const Header& h,
+                                     const std::vector<WirePeer>& peers) {
+  util::ByteWriter w;
+  encode_header(w, h);
+  encode_peers(w, peers);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_tman(
+    const Header& h, const std::vector<WireDescriptor>& descriptors) {
+  util::ByteWriter w;
+  encode_header(w, h);
+  encode_descriptors(w, descriptors);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_backup_push(
+    const Header& h, const std::vector<WirePoint>& guests) {
+  util::ByteWriter w;
+  encode_header(w, h);
+  encode_points(w, guests);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_migrate_req(
+    const Header& h, const space::Point& pos,
+    const std::vector<WirePoint>& guests) {
+  util::ByteWriter w;
+  encode_header(w, h);
+  encode_point(w, pos);
+  encode_points(w, guests);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_migrate_resp(
+    const Header& h, bool accepted, const std::vector<WirePoint>& guests) {
+  util::ByteWriter w;
+  encode_header(w, h);
+  w.u8(accepted ? 1 : 0);
+  encode_points(w, guests);
+  return w.take();
+}
+
+MsgType peek_type(const std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) throw util::CodecError("peek_type: empty frame");
+  const auto t = frame[0];
+  if (t < static_cast<std::uint8_t>(MsgType::kRpsShuffleReq) ||
+      t > static_cast<std::uint8_t>(MsgType::kMigrateResp))
+    throw util::CodecError("peek_type: unknown message type");
+  return static_cast<MsgType>(t);
+}
+
+}  // namespace poly::net

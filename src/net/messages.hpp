@@ -1,0 +1,114 @@
+// Wire format of the live (asynchronous) Polystyrene runtime.
+//
+// The simulator exchanges state through direct calls; the async runtime
+// (net/runtime.hpp) sends real framed messages.  This module defines the
+// message types and their binary encoding (util/codec).  All encodings are
+// little-endian, length-prefixed where variable, and validated on decode
+// (truncated or oversized frames raise util::CodecError).
+//
+// Protocol summary (one message kind per protocol step):
+//   kRpsShuffleReq/Resp — Cyclon shuffle buffers (id, address, age)
+//   kTmanReq/Resp       — T-Man descriptor buffers (id, address, pos, ver)
+//   kBackupPush         — origin's full guest set (doubles as a liveness
+//                         heartbeat from origin to backup holder)
+//   kMigrateReq         — initiator's guests + position (pull phase)
+//   kMigrateResp        — accepted? + the initiator's new guest set (push
+//                         phase), or a busy rejection
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "space/point.hpp"
+#include "util/codec.hpp"
+
+namespace poly::net {
+
+/// Logical node identity in the live runtime (decoupled from transport
+/// addresses; a node is identified by id, reached via its address).
+using LiveNodeId = std::uint64_t;
+
+enum class MsgType : std::uint8_t {
+  kRpsShuffleReq = 1,
+  kRpsShuffleResp = 2,
+  kTmanReq = 3,
+  kTmanResp = 4,
+  kBackupPush = 5,
+  kMigrateReq = 6,
+  kMigrateResp = 7,
+};
+
+/// A peer reference gossiped by the RPS layer.
+struct WirePeer {
+  LiveNodeId id = 0;
+  Address addr;
+  std::uint32_t age = 0;
+};
+
+/// A topology descriptor gossiped by the T-Man layer.
+struct WireDescriptor {
+  LiveNodeId id = 0;
+  Address addr;
+  space::Point pos;
+  std::uint64_t version = 0;
+};
+
+/// A data point on the wire.
+struct WirePoint {
+  space::PointId id = 0;
+  space::Point pos;
+};
+
+/// Common frame header: type + sender identity.
+struct Header {
+  MsgType type{};
+  LiveNodeId sender = 0;
+  Address sender_addr;
+};
+
+// ---- encode -----------------------------------------------------------------
+
+void encode_point(util::ByteWriter& w, const space::Point& p);
+void encode_header(util::ByteWriter& w, const Header& h);
+void encode_peers(util::ByteWriter& w, const std::vector<WirePeer>& peers);
+void encode_descriptors(util::ByteWriter& w,
+                        const std::vector<WireDescriptor>& descriptors);
+void encode_points(util::ByteWriter& w, const std::vector<WirePoint>& points);
+
+/// RPS shuffle request/response: header + peer list.
+std::vector<std::uint8_t> encode_rps(const Header& h,
+                                     const std::vector<WirePeer>& peers);
+
+/// T-Man request/response: header + descriptor list (sender's own
+/// descriptor travels in the header's addr + the first list entry).
+std::vector<std::uint8_t> encode_tman(
+    const Header& h, const std::vector<WireDescriptor>& descriptors);
+
+/// Backup push: header + the origin's full guest set.
+std::vector<std::uint8_t> encode_backup_push(
+    const Header& h, const std::vector<WirePoint>& guests);
+
+/// Migration request: header + initiator position + guests.
+std::vector<std::uint8_t> encode_migrate_req(
+    const Header& h, const space::Point& pos,
+    const std::vector<WirePoint>& guests);
+
+/// Migration response: header + accepted + the initiator's new guests.
+std::vector<std::uint8_t> encode_migrate_resp(
+    const Header& h, bool accepted, const std::vector<WirePoint>& guests);
+
+// ---- decode -----------------------------------------------------------------
+
+space::Point decode_point(util::ByteReader& r);
+Header decode_header(util::ByteReader& r);
+std::vector<WirePeer> decode_peers(util::ByteReader& r);
+std::vector<WireDescriptor> decode_descriptors(util::ByteReader& r);
+std::vector<WirePoint> decode_points(util::ByteReader& r);
+
+/// Peeks the message type of a raw frame (throws CodecError when empty).
+MsgType peek_type(const std::vector<std::uint8_t>& frame);
+
+}  // namespace poly::net

@@ -1,0 +1,615 @@
+#include "net/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "space/medoid.hpp"
+#include "util/log.hpp"
+
+namespace poly::net {
+
+namespace {
+
+core::PointSet to_point_set(const std::vector<WirePoint>& wire) {
+  core::PointSet out;
+  out.reserve(wire.size());
+  for (const auto& p : wire) out.push_back({p.id, p.pos});
+  core::normalize(out);
+  return out;
+}
+
+std::vector<WirePoint> to_wire(const core::PointSet& set) {
+  std::vector<WirePoint> out;
+  out.reserve(set.size());
+  for (const auto& p : set) out.push_back({p.id, p.pos});
+  return out;
+}
+
+}  // namespace
+
+// ---- AsyncNode --------------------------------------------------------------
+
+AsyncNode::AsyncNode(LiveNodeId id,
+                     std::shared_ptr<const space::MetricSpace> space,
+                     std::unique_ptr<Transport> transport,
+                     std::optional<space::DataPoint> initial,
+                     AsyncConfig config, std::uint64_t seed)
+    : id_(id),
+      space_(std::move(space)),
+      transport_(std::move(transport)),
+      cfg_(config),
+      rng_(seed) {
+  if (initial) {
+    guests_.push_back(*initial);
+    pos_ = initial->pos;
+  }
+  transport_->set_handler([this](Message msg) { on_message(std::move(msg)); });
+}
+
+AsyncNode::~AsyncNode() {
+  stop();
+  transport_->shutdown();
+}
+
+void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  for (const auto& s : seeds) {
+    if (s.id == id_) continue;
+    addresses_[s.id] = s.addr;
+    if (rps_view_.size() < cfg_.rps_view)
+      rps_view_.push_back(RpsEntry{s.id, s.addr, 0});
+  }
+}
+
+void AsyncNode::start() {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  if (started_ || crashed_) return;
+  started_ = true;
+  stop_requested_ = false;
+  ticker_ = std::thread([this] { tick_loop(); });
+}
+
+void AsyncNode::stop() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  started_ = false;
+}
+
+void AsyncNode::crash() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    crashed_ = true;
+  }
+  // Kill the transport first: peers immediately see contact failures, and
+  // no further handler invocations can touch our state.
+  transport_->shutdown();
+  stop();
+}
+
+bool AsyncNode::running() const {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  return started_ && !crashed_;
+}
+
+void AsyncNode::tick_loop() {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lk, cfg_.tick, [this] { return stop_requested_; }))
+      return;
+    lk.unlock();
+    on_tick();
+    lk.lock();
+  }
+}
+
+void AsyncNode::on_tick() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  step_rps();
+  step_tman();
+  step_recovery();
+  step_backup();
+  step_migration();
+}
+
+Header AsyncNode::header(MsgType type) const {
+  return Header{type, id_, transport_->address()};
+}
+
+std::vector<WirePoint> AsyncNode::wire_guests() const {
+  return to_wire(guests_);
+}
+
+bool AsyncNode::send_to(LiveNodeId peer, const Address& addr,
+                        std::vector<std::uint8_t> frame) {
+  if (!transport_->send(addr, std::move(frame))) {
+    peer_unreachable(peer);
+    return false;
+  }
+  return true;
+}
+
+void AsyncNode::peer_unreachable(LiveNodeId peer) {
+  std::erase_if(rps_view_, [peer](const RpsEntry& e) { return e.id == peer; });
+  std::erase_if(tman_view_,
+                [peer](const TmanEntry& e) { return e.id == peer; });
+  std::erase_if(backups_,
+                [peer](const BackupTarget& b) { return b.id == peer; });
+  if (migrating_ && migrate_partner_ == peer) {
+    migrating_ = false;  // exchange aborted; our guests were never released
+  }
+}
+
+// ---- message dispatch --------------------------------------------------------
+
+void AsyncNode::on_message(Message msg) {
+  try {
+    util::ByteReader r(msg.payload);
+    const Header h = decode_header(r);
+    switch (h.type) {
+      case MsgType::kRpsShuffleReq:
+        handle_rps(h, decode_peers(r), /*is_req=*/true);
+        break;
+      case MsgType::kRpsShuffleResp:
+        handle_rps(h, decode_peers(r), /*is_req=*/false);
+        break;
+      case MsgType::kTmanReq:
+        handle_tman(h, decode_descriptors(r), /*is_req=*/true);
+        break;
+      case MsgType::kTmanResp:
+        handle_tman(h, decode_descriptors(r), /*is_req=*/false);
+        break;
+      case MsgType::kBackupPush:
+        handle_backup_push(h, decode_points(r));
+        break;
+      case MsgType::kMigrateReq: {
+        const space::Point pos = decode_point(r);
+        handle_migrate_req(h, pos, decode_points(r));
+        break;
+      }
+      case MsgType::kMigrateResp: {
+        const bool accepted = r.u8() != 0;
+        handle_migrate_resp(h, accepted, decode_points(r));
+        break;
+      }
+    }
+  } catch (const util::CodecError& e) {
+    util::log_warn(std::string("AsyncNode: dropping malformed frame: ") +
+                   e.what());
+  }
+}
+
+// ---- RPS --------------------------------------------------------------------
+
+void AsyncNode::step_rps() {
+  if (rps_view_.empty()) return;
+  for (auto& e : rps_view_) ++e.age;
+  auto oldest = std::max_element(
+      rps_view_.begin(), rps_view_.end(),
+      [](const RpsEntry& a, const RpsEntry& b) { return a.age < b.age; });
+  const RpsEntry target = *oldest;
+  rps_view_.erase(oldest);  // swap semantics, as in Cyclon
+
+  std::vector<WirePeer> buf{{id_, transport_->address(), 0}};
+  for (std::size_t i :
+       rng_.sample_indices(rps_view_.size(),
+                           std::min(cfg_.rps_shuffle - 1, rps_view_.size())))
+    buf.push_back({rps_view_[i].id, rps_view_[i].addr, rps_view_[i].age});
+
+  send_to(target.id, target.addr,
+          encode_rps(header(MsgType::kRpsShuffleReq), buf));
+}
+
+void AsyncNode::handle_rps(const Header& h, std::vector<WirePeer> peers,
+                           bool is_req) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  addresses_[h.sender] = h.sender_addr;
+  if (is_req) {
+    // Reply with a random sample of our view before merging.
+    std::vector<WirePeer> reply;
+    for (std::size_t i :
+         rng_.sample_indices(rps_view_.size(),
+                             std::min(cfg_.rps_shuffle, rps_view_.size())))
+      reply.push_back({rps_view_[i].id, rps_view_[i].addr,
+                       rps_view_[i].age});
+    send_to(h.sender, h.sender_addr,
+            encode_rps(header(MsgType::kRpsShuffleResp), reply));
+  }
+  // Merge: drop self/duplicates, cap by replacing the oldest entries.
+  for (const auto& p : peers) {
+    if (p.id == id_) continue;
+    addresses_[p.id] = p.addr;
+    auto it = std::find_if(rps_view_.begin(), rps_view_.end(),
+                           [&](const RpsEntry& e) { return e.id == p.id; });
+    if (it != rps_view_.end()) {
+      if (p.age < it->age) it->age = p.age;  // keep the fresher view
+      continue;
+    }
+    if (rps_view_.size() < cfg_.rps_view) {
+      rps_view_.push_back(RpsEntry{p.id, p.addr, p.age});
+    } else {
+      auto oldest = std::max_element(
+          rps_view_.begin(), rps_view_.end(),
+          [](const RpsEntry& a, const RpsEntry& b) { return a.age < b.age; });
+      if (oldest->age > p.age) *oldest = RpsEntry{p.id, p.addr, p.age};
+    }
+  }
+}
+
+// ---- T-Man -------------------------------------------------------------------
+
+void AsyncNode::step_tman() {
+  if (tman_view_.empty()) {
+    // Seed the topology view from the peer-sampling view.
+    for (const auto& e : rps_view_)
+      tman_view_.push_back(TmanEntry{e.id, e.addr, pos_, 0});
+    if (tman_view_.empty()) return;
+  }
+  // Rank by distance to our position, pick among the ψ closest.
+  std::sort(tman_view_.begin(), tman_view_.end(),
+            [&](const TmanEntry& a, const TmanEntry& b) {
+              return space_->distance2(pos_, a.pos) <
+                     space_->distance2(pos_, b.pos);
+            });
+  const std::size_t horizon = std::min(cfg_.psi, tman_view_.size());
+  const TmanEntry target = tman_view_[rng_.index(horizon)];
+
+  std::vector<WireDescriptor> buf{
+      {id_, transport_->address(), pos_, pos_version_}};
+  // Entries closest to the target, capped at tman_msg.
+  std::vector<TmanEntry> cand = tman_view_;
+  std::sort(cand.begin(), cand.end(),
+            [&](const TmanEntry& a, const TmanEntry& b) {
+              return space_->distance2(target.pos, a.pos) <
+                     space_->distance2(target.pos, b.pos);
+            });
+  for (const auto& e : cand) {
+    if (buf.size() >= cfg_.tman_msg) break;
+    if (e.id == target.id) continue;
+    buf.push_back({e.id, e.addr, e.pos, e.version});
+  }
+  send_to(target.id, target.addr,
+          encode_tman(header(MsgType::kTmanReq), buf));
+}
+
+void AsyncNode::handle_tman(const Header& h,
+                            std::vector<WireDescriptor> descriptors,
+                            bool is_req) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  addresses_[h.sender] = h.sender_addr;
+  if (is_req) {
+    // Symmetric reply: our descriptor + entries closest to the sender.
+    const space::Point sender_pos =
+        descriptors.empty() ? pos_ : descriptors.front().pos;
+    std::vector<WireDescriptor> reply{
+        {id_, transport_->address(), pos_, pos_version_}};
+    std::vector<TmanEntry> cand = tman_view_;
+    std::sort(cand.begin(), cand.end(),
+              [&](const TmanEntry& a, const TmanEntry& b) {
+                return space_->distance2(sender_pos, a.pos) <
+                       space_->distance2(sender_pos, b.pos);
+              });
+    for (const auto& e : cand) {
+      if (reply.size() >= cfg_.tman_msg) break;
+      if (e.id == h.sender) continue;
+      reply.push_back({e.id, e.addr, e.pos, e.version});
+    }
+    send_to(h.sender, h.sender_addr,
+            encode_tman(header(MsgType::kTmanResp), reply));
+  }
+  // Merge: dedup by id keeping the freshest version, rank, truncate.
+  for (const auto& d : descriptors) {
+    if (d.id == id_) continue;
+    addresses_[d.id] = d.addr;
+    auto it = std::find_if(tman_view_.begin(), tman_view_.end(),
+                           [&](const TmanEntry& e) { return e.id == d.id; });
+    if (it != tman_view_.end()) {
+      if (d.version > it->version)
+        *it = TmanEntry{d.id, d.addr, d.pos, d.version};
+    } else {
+      tman_view_.push_back(TmanEntry{d.id, d.addr, d.pos, d.version});
+    }
+  }
+  std::sort(tman_view_.begin(), tman_view_.end(),
+            [&](const TmanEntry& a, const TmanEntry& b) {
+              return space_->distance2(pos_, a.pos) <
+                     space_->distance2(pos_, b.pos);
+            });
+  if (tman_view_.size() > cfg_.tman_view) tman_view_.resize(cfg_.tman_view);
+}
+
+// ---- Backup & recovery ----------------------------------------------------------
+
+void AsyncNode::step_backup() {
+  // Top up to K targets from the peer-sampling view.
+  std::size_t attempts = 0;
+  while (backups_.size() < cfg_.replication &&
+         attempts++ < 4 * cfg_.replication && !rps_view_.empty()) {
+    const auto& cand = rps_view_[rng_.index(rps_view_.size())];
+    if (cand.id == id_) continue;
+    if (std::any_of(backups_.begin(), backups_.end(),
+                    [&](const BackupTarget& b) { return b.id == cand.id; }))
+      continue;
+    backups_.push_back(BackupTarget{cand.id, cand.addr});
+  }
+  // Push guests (full copy; doubles as the origin's heartbeat).  Iterate
+  // over a copy: send failures mutate backups_ via peer_unreachable.
+  const auto targets = backups_;
+  const auto frame_guests = wire_guests();
+  for (const auto& b : targets)
+    send_to(b.id, b.addr,
+            encode_backup_push(header(MsgType::kBackupPush), frame_guests));
+}
+
+void AsyncNode::handle_backup_push(const Header& h,
+                                   std::vector<WirePoint> guests) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  addresses_[h.sender] = h.sender_addr;
+  auto& slot = ghosts_[h.sender];
+  slot.points = to_point_set(guests);
+  slot.addr = h.sender_addr;
+  slot.last_push = std::chrono::steady_clock::now();
+}
+
+void AsyncNode::step_recovery() {
+  if (migrating_) return;  // guests frozen during an exchange
+  const auto now = std::chrono::steady_clock::now();
+  bool changed = false;
+  for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+    if (now - it->second.last_push > cfg_.origin_timeout) {
+      guests_ = core::union_by_id(guests_, it->second.points);
+      it = ghosts_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) reproject();
+}
+
+// ---- Migration -------------------------------------------------------------------
+
+void AsyncNode::step_migration() {
+  if (migrating_) {
+    if (--migrate_ticks_left_ <= 0) migrating_ = false;  // timed out
+    return;
+  }
+  // Candidates: ψ closest topology neighbours (view is kept ranked) plus
+  // one random peer from the sampling view (Algorithm 3).
+  std::vector<std::pair<LiveNodeId, Address>> candidates;
+  for (const auto& e : tman_view_) {
+    if (candidates.size() >= cfg_.psi) break;
+    candidates.emplace_back(e.id, e.addr);
+  }
+  if (!rps_view_.empty()) {
+    const auto& r = rps_view_[rng_.index(rps_view_.size())];
+    if (r.id != id_ &&
+        std::none_of(candidates.begin(), candidates.end(),
+                     [&](const auto& c) { return c.first == r.id; }))
+      candidates.emplace_back(r.id, r.addr);
+  }
+  if (candidates.empty() || guests_.empty()) return;
+
+  const auto& [qid, qaddr] = candidates[rng_.index(candidates.size())];
+  migrating_ = true;
+  migrate_partner_ = qid;
+  migrate_ticks_left_ = 4;
+  if (!send_to(qid, qaddr,
+               encode_migrate_req(header(MsgType::kMigrateReq), pos_,
+                                  wire_guests()))) {
+    migrating_ = false;
+  }
+}
+
+void AsyncNode::handle_migrate_req(const Header& h,
+                                   const space::Point& initiator_pos,
+                                   std::vector<WirePoint> guests) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  addresses_[h.sender] = h.sender_addr;
+  if (migrating_) {
+    // Busy: our guests are frozen by our own outstanding exchange.
+    send_to(h.sender, h.sender_addr,
+            encode_migrate_resp(header(MsgType::kMigrateResp),
+                                /*accepted=*/false, {}));
+    return;
+  }
+  // Pool and split: we keep for_q, the initiator gets for_p back.
+  const core::PointSet pool =
+      core::union_by_id(to_point_set(guests), guests_);
+  auto result = core::split(cfg_.split_kind, pool, initiator_pos, pos_,
+                            *space_, rng_);
+  guests_ = std::move(result.for_q);
+  reproject();
+  send_to(h.sender, h.sender_addr,
+          encode_migrate_resp(header(MsgType::kMigrateResp),
+                              /*accepted=*/true, to_wire(result.for_p)));
+}
+
+void AsyncNode::handle_migrate_resp(const Header& h, bool accepted,
+                                    std::vector<WirePoint> guests) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (!migrating_ || h.sender != migrate_partner_) return;  // stale reply
+  migrating_ = false;
+  if (!accepted) return;  // partner was busy; keep our guests
+  guests_ = to_point_set(guests);
+  reproject();
+}
+
+void AsyncNode::reproject() {
+  if (guests_.empty()) return;
+  const space::Point m = space::medoid(guests_, *space_);
+  if (m == pos_) return;
+  pos_ = m;
+  ++pos_version_;
+}
+
+// ---- inspection --------------------------------------------------------------------
+
+space::Point AsyncNode::position() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return pos_;
+}
+
+core::PointSet AsyncNode::guests() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return guests_;
+}
+
+std::size_t AsyncNode::ghost_point_count() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  std::size_t n = 0;
+  for (const auto& [origin, entry] : ghosts_) n += entry.points.size();
+  return n;
+}
+
+std::size_t AsyncNode::tman_view_size() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return tman_view_.size();
+}
+
+// ---- LiveCluster ---------------------------------------------------------------------
+
+LiveCluster::LiveCluster(std::shared_ptr<const space::MetricSpace> space,
+                         const std::vector<space::DataPoint>& points,
+                         AsyncConfig config, std::uint64_t seed, bool use_tcp)
+    : space_(std::move(space)),
+      points_(points),
+      cfg_(config),
+      seed_(seed),
+      use_tcp_(use_tcp) {
+  if (!use_tcp_) hub_ = InProcHub::create();
+  util::Rng rng(seed);
+
+  auto make_transport = [&](std::size_t i) -> std::unique_ptr<Transport> {
+    if (use_tcp_) return std::make_unique<TcpTransport>();
+    return hub_->make_endpoint("node-" + std::to_string(i));
+  };
+
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    nodes_.push_back(std::make_unique<AsyncNode>(
+        static_cast<LiveNodeId>(i), space_, make_transport(i), points_[i],
+        cfg_, rng.split().next_u64()));
+    crashed_.push_back(false);
+  }
+  // Bootstrap: every node learns a random sample of contacts.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::vector<Seed> seeds;
+    for (std::size_t j :
+         rng.sample_indices(nodes_.size(),
+                            std::min(cfg_.rps_view, nodes_.size())))
+      if (j != i)
+        seeds.push_back(Seed{static_cast<LiveNodeId>(j),
+                             nodes_[j]->address()});
+    nodes_[i]->bootstrap(seeds);
+  }
+}
+
+LiveCluster::~LiveCluster() { stop(); }
+
+void LiveCluster::start() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) nodes_[i]->start();
+}
+
+void LiveCluster::stop() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) nodes_[i]->stop();
+}
+
+std::size_t LiveCluster::crash_region(
+    const std::function<bool(const space::Point&)>& pred) {
+  std::size_t crashed = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!crashed_[i] && pred(points_[i].pos)) {
+      nodes_[i]->crash();
+      crashed_[i] = true;
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+std::size_t LiveCluster::inject(const space::Point& pos) {
+  util::Rng rng(seed_ ^ (0x9e37u + nodes_.size()));
+  const auto idx = nodes_.size();
+  std::unique_ptr<Transport> transport =
+      use_tcp_ ? std::unique_ptr<Transport>(std::make_unique<TcpTransport>())
+               : std::unique_ptr<Transport>(
+                     hub_->make_endpoint("node-" + std::to_string(idx)));
+  auto node = std::make_unique<AsyncNode>(
+      static_cast<LiveNodeId>(idx), space_, std::move(transport),
+      std::nullopt, cfg_, rng.next_u64());
+  // A fresh node starts at its assigned position until migration hands it
+  // guests; seed it from the alive population.
+  std::vector<Seed> seeds;
+  for (std::size_t j = 0; j < nodes_.size() && seeds.size() < cfg_.rps_view;
+       ++j)
+    if (!crashed_[j])
+      seeds.push_back(Seed{static_cast<LiveNodeId>(j), nodes_[j]->address()});
+  node->bootstrap(seeds);
+  node->start();
+  nodes_.push_back(std::move(node));
+  crashed_.push_back(false);
+  points_.push_back({space::kInvalidPointId, pos});
+  return idx;
+}
+
+double LiveCluster::homogeneity() const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  // Snapshot alive nodes' state once.
+  std::vector<std::pair<space::Point, core::PointSet>> alive;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) alive.emplace_back(nodes_[i]->position(),
+                                         nodes_[i]->guests());
+  if (alive.empty()) return 0.0;
+  for (const auto& dp : points_) {
+    if (dp.id == space::kInvalidPointId) continue;  // injected, no point
+    double best_hosted = std::numeric_limits<double>::infinity();
+    double best_any = std::numeric_limits<double>::infinity();
+    for (const auto& [pos, guests] : alive) {
+      const double d = space_->distance(dp.pos, pos);
+      best_any = std::min(best_any, d);
+      if (core::contains_id(guests, dp.id))
+        best_hosted = std::min(best_hosted, d);
+    }
+    sum += std::isfinite(best_hosted) ? best_hosted : best_any;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+double LiveCluster::reliability() const {
+  std::size_t hosted = 0;
+  std::size_t total = 0;
+  std::vector<core::PointSet> alive;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) alive.push_back(nodes_[i]->guests());
+  for (const auto& dp : points_) {
+    if (dp.id == space::kInvalidPointId) continue;
+    ++total;
+    for (const auto& guests : alive) {
+      if (core::contains_id(guests, dp.id)) {
+        ++hosted;
+        break;
+      }
+    }
+  }
+  return total ? static_cast<double>(hosted) / static_cast<double>(total)
+               : 1.0;
+}
+
+std::size_t LiveCluster::alive_count() const {
+  std::size_t n = 0;
+  for (bool c : crashed_) n += c ? 0 : 1;
+  return n;
+}
+
+}  // namespace poly::net

@@ -1,0 +1,240 @@
+// The live Polystyrene runtime: the full protocol stack (RPS + T-Man +
+// Polystyrene) running on real threads and real transports, without the
+// round-based simulator.
+//
+// The paper's system model (§III-A) assumes message-passing nodes over
+// reliable channels with a possibly-imperfect failure detector.  AsyncNode
+// realizes that model: each node owns a Transport endpoint and a ticker
+// thread; every tick it performs one asynchronous "round" — an RPS shuffle,
+// a T-Man exchange, backup pushes, a recovery check, and one migration
+// attempt.  Failure detection combines two signals: send failures (contact
+// refused ⇒ peer gone) and backup-push staleness (an origin that has not
+// pushed within the timeout is considered dead and its ghosts reactivate).
+//
+// Pairwise migration atomicity (the Algorithm 3 requirement) is enforced
+// with a busy flag: a node engaged in an exchange rejects incoming
+// migration requests, and an initiator freezes its guest set until the
+// response (or a tick timeout) arrives.  With reliable channels and
+// crash-stop nodes the only anomaly a lost exchange can produce is a
+// duplicated data point — exactly what migration's union-by-id dedup
+// removes anyway.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/point_set.hpp"
+#include "core/split.hpp"
+#include "net/messages.hpp"
+#include "net/transport.hpp"
+#include "space/metric_space.hpp"
+#include "util/rng.hpp"
+
+namespace poly::net {
+
+/// Tunables of the live runtime (scaled-down defaults suit tests and the
+/// live_async example; semantics mirror the simulator's configs).
+struct AsyncConfig {
+  std::chrono::milliseconds tick{25};          ///< one "round" per tick
+  std::size_t rps_view = 8;
+  std::size_t rps_shuffle = 4;
+  std::size_t tman_view = 16;
+  std::size_t tman_msg = 8;
+  std::size_t psi = 3;
+  std::size_t replication = 2;                 ///< K
+  core::SplitKind split_kind = core::SplitKind::kAdvanced;
+  /// An origin that has not pushed a backup within this window is presumed
+  /// dead (heartbeat timeout of the §III-A failure detector).
+  std::chrono::milliseconds origin_timeout{400};
+};
+
+/// A contactable peer: identity + transport address.
+struct Seed {
+  LiveNodeId id;
+  Address addr;
+};
+
+/// One live node.
+class AsyncNode {
+ public:
+  /// `initial` is the node's original data point (nullopt for fresh nodes
+  /// joining after a catastrophe, as in the paper's Phase 3).
+  AsyncNode(LiveNodeId id, std::shared_ptr<const space::MetricSpace> space,
+            std::unique_ptr<Transport> transport,
+            std::optional<space::DataPoint> initial, AsyncConfig config,
+            std::uint64_t seed);
+  ~AsyncNode();
+
+  AsyncNode(const AsyncNode&) = delete;
+  AsyncNode& operator=(const AsyncNode&) = delete;
+
+  /// Introduces bootstrap contacts (call before start()).
+  void bootstrap(const std::vector<Seed>& seeds);
+
+  /// Starts the ticker thread.  Idempotent.
+  void start();
+
+  /// Graceful stop: finishes the current tick, keeps state inspectable.
+  void stop();
+
+  /// Crash-stop: kills the transport and the ticker immediately; peers see
+  /// contact failures and stale backups, exactly like a process kill.
+  void crash();
+
+  // ---- thread-safe inspection ------------------------------------------
+
+  LiveNodeId id() const noexcept { return id_; }
+  Address address() const { return transport_->address(); }
+  space::Point position() const;
+  core::PointSet guests() const;
+  std::size_t ghost_point_count() const;
+  std::size_t tman_view_size() const;
+  bool running() const;
+
+ private:
+  // Ticker.
+  void tick_loop();
+  void on_tick();
+
+  // Message handling (transport pump thread).
+  void on_message(Message msg);
+  void handle_rps(const Header& h, std::vector<WirePeer> peers, bool is_req);
+  void handle_tman(const Header& h, std::vector<WireDescriptor> descriptors,
+                   bool is_req);
+  void handle_backup_push(const Header& h, std::vector<WirePoint> guests);
+  void handle_migrate_req(const Header& h, const space::Point& initiator_pos,
+                          std::vector<WirePoint> guests);
+  void handle_migrate_resp(const Header& h, bool accepted,
+                           std::vector<WirePoint> guests);
+
+  // Protocol steps (called with state_mu_ held unless noted).
+  void step_rps();
+  void step_tman();
+  void step_backup();
+  void step_recovery();
+  void step_migration();
+  void reproject();
+
+  /// Marks a peer dead after a contact failure: purges it from views,
+  /// backups, and (if it was a ghost origin) triggers recovery.
+  void peer_unreachable(LiveNodeId peer);
+
+  /// Sends a frame; on failure marks the peer unreachable.  Caller must
+  /// hold state_mu_ (it is released around the transport call).
+  bool send_to(LiveNodeId peer, const Address& addr,
+               std::vector<std::uint8_t> frame);
+
+  Header header(MsgType type) const;
+  std::vector<WirePoint> wire_guests() const;
+
+  const LiveNodeId id_;
+  std::shared_ptr<const space::MetricSpace> space_;
+  std::unique_ptr<Transport> transport_;
+  AsyncConfig cfg_;
+
+  mutable std::mutex state_mu_;
+  util::Rng rng_;
+
+  // RPS state.
+  struct RpsEntry {
+    LiveNodeId id;
+    Address addr;
+    std::uint32_t age;
+  };
+  std::vector<RpsEntry> rps_view_;
+
+  // T-Man state.
+  struct TmanEntry {
+    LiveNodeId id;
+    Address addr;
+    space::Point pos;
+    std::uint64_t version;
+  };
+  std::vector<TmanEntry> tman_view_;
+  space::Point pos_;
+  std::uint64_t pos_version_ = 1;
+
+  // Polystyrene state.
+  core::PointSet guests_;
+  struct GhostEntry {
+    core::PointSet points;
+    Address addr;
+    std::chrono::steady_clock::time_point last_push;
+  };
+  std::map<LiveNodeId, GhostEntry> ghosts_;  // keyed by origin
+  struct BackupTarget {
+    LiveNodeId id;
+    Address addr;
+  };
+  std::vector<BackupTarget> backups_;
+
+  // Migration handshake.
+  bool migrating_ = false;
+  LiveNodeId migrate_partner_ = 0;
+  int migrate_ticks_left_ = 0;  // timeout countdown
+
+  // Address book: last known address per peer id.
+  std::map<LiveNodeId, Address> addresses_;
+
+  // Lifecycle.
+  std::thread ticker_;
+  std::condition_variable stop_cv_;
+  mutable std::mutex stop_mu_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  bool crashed_ = false;
+};
+
+/// Convenience: builds, bootstraps (full mesh of seeds) and starts a fleet
+/// of in-process nodes over a shared hub.  Used by tests and the
+/// live_async example.
+class LiveCluster {
+ public:
+  /// One node per data point; all nodes know `fanout` random seeds.
+  LiveCluster(std::shared_ptr<const space::MetricSpace> space,
+              const std::vector<space::DataPoint>& points,
+              AsyncConfig config, std::uint64_t seed, bool use_tcp = false);
+  ~LiveCluster();
+
+  void start();
+  void stop();
+
+  std::size_t size() const { return nodes_.size(); }
+  AsyncNode& node(std::size_t i) { return *nodes_[i]; }
+
+  /// Crash-stops every node whose *original* data point satisfies pred.
+  std::size_t crash_region(
+      const std::function<bool(const space::Point&)>& pred);
+
+  /// Injects a fresh node (no data point) at `pos`, bootstrapped from the
+  /// alive nodes; returns its index.
+  std::size_t inject(const space::Point& pos);
+
+  /// Mean distance from every original data point to the closest alive
+  /// node hosting it (homogeneity over the live fleet; lost points fall
+  /// back to the nearest alive node).
+  double homogeneity() const;
+
+  /// Fraction of original points hosted by at least one alive node.
+  double reliability() const;
+
+  std::size_t alive_count() const;
+
+ private:
+  std::shared_ptr<const space::MetricSpace> space_;
+  std::vector<space::DataPoint> points_;
+  AsyncConfig cfg_;
+  std::uint64_t seed_;
+  bool use_tcp_;
+  std::shared_ptr<class InProcHub> hub_;
+  std::vector<std::unique_ptr<AsyncNode>> nodes_;
+  std::vector<bool> crashed_;
+};
+
+}  // namespace poly::net

@@ -1,0 +1,65 @@
+// TCP transport: length-prefixed frames over POSIX sockets.
+//
+// The paper's system model is "message-passing nodes that communicate over
+// reliable channels (e.g. TCP)" (§III-A).  This transport provides exactly
+// that: each endpoint listens on 127.0.0.1:<ephemeral-port>; outgoing
+// connections are cached per destination; frames are
+//
+//     u32 payload_length | u32 from_length | from_addr | payload
+//
+// Send failures (connection refused / peer closed) return false, which the
+// async runtime uses as its contact-failure signal — the same signal the
+// simulator's failure detector abstracts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace poly::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds to 127.0.0.1 on an ephemeral port and starts the accept loop.
+  /// Throws std::runtime_error if the socket cannot be created/bound.
+  TcpTransport();
+  ~TcpTransport() override;
+
+  Address address() const override { return address_; }
+  void set_handler(MessageHandler handler) override;
+  bool send(const Address& to, std::vector<std::uint8_t> payload) override;
+  void shutdown() override;
+
+ private:
+  void accept_loop();
+  void read_loop(int fd);
+  /// Returns a connected socket to `to` (cached), or -1.
+  int connection_to(const Address& to);
+  void drop_connection(const Address& to);
+
+  Address address_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex handler_mu_;
+  MessageHandler handler_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<Address, int> outgoing_;
+
+  struct Reader {
+    int fd;
+    std::thread thread;
+  };
+  std::mutex readers_mu_;
+  std::vector<Reader> readers_;
+
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace poly::net

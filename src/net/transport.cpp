@@ -1,0 +1,5 @@
+#include "net/transport.hpp"
+
+namespace poly::net {
+// Transport is an interface; implementations live in their own TUs.
+}  // namespace poly::net

@@ -1,0 +1,57 @@
+// Message transport abstraction for the live (non-simulated) runtime.
+//
+// The paper assumes "message-passing nodes that communicate over reliable
+// channels (e.g. TCP)" (§III-A) but evaluates in a round-based simulator.
+// This module supplies the real substrate: an address-based transport with
+// reliable in-order delivery per sender-receiver pair.  Two implementations:
+//
+//   * InProcTransport — thread-safe mailboxes inside one process; used by
+//     the async runtime tests and the live_async example.
+//   * TcpTransport    — length-prefixed frames over localhost TCP sockets.
+//
+// Delivery is callback-based: the transport invokes the registered handler
+// on its own thread(s); handlers must be thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace poly::net {
+
+/// Opaque endpoint address.  For InProcTransport this is a registry key;
+/// for TcpTransport a "host:port" string.
+using Address = std::string;
+
+/// A received datagram-style message (framing is the transport's job).
+struct Message {
+  Address from;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Handler invoked on message arrival (on a transport thread).
+using MessageHandler = std::function<void(Message)>;
+
+/// Abstract reliable point-to-point transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The address peers can send to.
+  virtual Address address() const = 0;
+
+  /// Registers the receive callback.  Must be called before messages are
+  /// expected; replacing the handler is allowed between quiescent points.
+  virtual void set_handler(MessageHandler handler) = 0;
+
+  /// Sends `payload` to `to`.  Returns false if the destination is
+  /// unreachable (unknown address, connection refused, peer closed).
+  /// Reliable transports never silently drop an accepted message.
+  virtual bool send(const Address& to, std::vector<std::uint8_t> payload) = 0;
+
+  /// Stops delivering messages and releases resources.  Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace poly::net

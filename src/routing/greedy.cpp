@@ -1,0 +1,68 @@
+#include "routing/greedy.hpp"
+
+#include <stdexcept>
+
+namespace poly::routing {
+
+Route route(const sim::Network& net, const space::MetricSpace& space,
+            const topo::TopologyConstruction& topology, sim::NodeId start,
+            const space::Point& target, const GreedyConfig& config) {
+  if (!net.alive(start))
+    throw std::invalid_argument("routing: start node is not alive");
+  Route r;
+  r.path.push_back(start);
+  sim::NodeId at = start;
+  double here = space.distance(topology.position(at), target);
+  while (r.path.size() <= config.max_hops) {
+    sim::NodeId next = at;
+    double best = here;
+    for (sim::NodeId nb : topology.closest_alive(at, config.fanout)) {
+      const double d = space.distance(topology.position(nb), target);
+      if (d < best) {
+        best = d;
+        next = nb;
+      }
+    }
+    if (next == at) {
+      r.final_distance = here;
+      return r;  // local minimum: greedy routing is done
+    }
+    at = next;
+    here = best;
+    r.path.push_back(at);
+  }
+  r.final_distance = here;
+  r.terminated = false;  // hop budget exhausted
+  return r;
+}
+
+RoutingStats evaluate(
+    const sim::Network& net, const space::MetricSpace& space,
+    const topo::TopologyConstruction& topology,
+    const std::function<space::Point(util::Rng&)>& sample_target,
+    util::Rng& rng, std::size_t lookups, double success_radius,
+    const GreedyConfig& config) {
+  RoutingStats stats;
+  const auto alive = net.alive_ids();
+  if (alive.empty() || lookups == 0) return stats;
+
+  std::size_t successes = 0;
+  double hops = 0.0;
+  double final_distance = 0.0;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    const sim::NodeId start = alive[rng.index(alive.size())];
+    const space::Point target = sample_target(rng);
+    const Route r = route(net, space, topology, start, target, config);
+    hops += static_cast<double>(r.hops());
+    final_distance += r.final_distance;
+    if (r.final_distance <= success_radius) ++successes;
+  }
+  stats.lookups = lookups;
+  stats.success_rate = static_cast<double>(successes) /
+                       static_cast<double>(lookups);
+  stats.mean_hops = hops / static_cast<double>(lookups);
+  stats.mean_final_distance = final_distance / static_cast<double>(lookups);
+  return stats;
+}
+
+}  // namespace poly::routing

@@ -1,0 +1,78 @@
+// Greedy overlay routing over the constructed topology.
+//
+// The paper motivates shape preservation with the applications that *route*
+// on the overlay: "Losing the shape of the topology might affect system
+// performance, e.g. routing or load balancing, which often relies on a
+// uniform distribution of nodes along the topology" (§I).  This module
+// measures exactly that: classic greedy geographic routing (as in CAN,
+// reference [3]) over the neighbourhoods the topology layer exports.
+//
+//   * route(): hop from the start node to the neighbour closest to the
+//     target point until no neighbour improves (local minimum);
+//   * stretch and success statistics over sampled lookups — the
+//     routing-efficiency numbers the paper's §I argument predicts;
+//   * last-hop neighbourhood check (standard DHT local lookup).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "space/metric_space.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace poly::routing {
+
+/// Result of one greedy route.
+struct Route {
+  /// Nodes visited, in order (front() = start, back() = local minimum).
+  std::vector<sim::NodeId> path;
+  /// Distance from the reached node's position to the target point.
+  double final_distance = 0.0;
+  /// True iff the walk terminated at a local minimum (always, unless the
+  /// hop limit was hit).
+  bool terminated = true;
+
+  std::size_t hops() const noexcept { return path.empty() ? 0 : path.size() - 1; }
+  sim::NodeId reached() const noexcept {
+    return path.empty() ? sim::kInvalidNode : path.back();
+  }
+};
+
+/// Routing parameters.
+struct GreedyConfig {
+  /// Neighbours inspected per hop (the exported neighbourhood size).
+  std::size_t fanout = 8;
+  /// Safety bound on path length.
+  std::size_t max_hops = 256;
+};
+
+/// Greedily routes from `start` toward the point `target`.
+/// Requires start to be alive.
+Route route(const sim::Network& net, const space::MetricSpace& space,
+            const topo::TopologyConstruction& topology, sim::NodeId start,
+            const space::Point& target, const GreedyConfig& config = {});
+
+/// Aggregate quality of `lookups` sampled routes: random alive start,
+/// target drawn by the caller-provided sampler.
+struct RoutingStats {
+  double success_rate = 0.0;   ///< reached within `success_radius`
+  double mean_hops = 0.0;      ///< hops over all lookups
+  double mean_final_distance = 0.0;
+  std::size_t lookups = 0;
+};
+
+/// Runs `lookups` greedy routes to targets drawn from `sample_target`; a
+/// lookup succeeds when the reached node's position lies within
+/// `success_radius` of the target.
+RoutingStats evaluate(const sim::Network& net,
+                      const space::MetricSpace& space,
+                      const topo::TopologyConstruction& topology,
+                      const std::function<space::Point(util::Rng&)>& sample_target,
+                      util::Rng& rng, std::size_t lookups = 256,
+                      double success_radius = 1.0,
+                      const GreedyConfig& config = {});
+
+}  // namespace poly::routing

@@ -1,0 +1,194 @@
+#include "rps/rps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace poly::rps {
+
+RpsProtocol::RpsProtocol(sim::Network& net, RpsConfig cfg)
+    : net_(net), cfg_(cfg) {
+  if (cfg_.view_size == 0)
+    throw std::invalid_argument("RpsConfig: view_size must be > 0");
+  if (cfg_.shuffle_length == 0 || cfg_.shuffle_length > cfg_.view_size)
+    throw std::invalid_argument(
+        "RpsConfig: shuffle_length must be in [1, view_size]");
+  views_.reserve(net.num_total());
+  for (sim::NodeId id = 0; id < net.num_total(); ++id) on_node_added(id);
+}
+
+void RpsProtocol::on_node_added(sim::NodeId id) {
+  if (id != views_.size())
+    throw std::invalid_argument("RpsProtocol: nodes must register in order");
+  views_.emplace_back();
+  views_.back().reserve(cfg_.view_size);
+}
+
+void RpsProtocol::bootstrap_node(sim::NodeId id) {
+  auto& view = views_[id];
+  view.clear();
+  std::unordered_set<sim::NodeId> seen{id};
+  util::Rng& rng = net_.node_rng(id);
+  // Up to view_size distinct alive peers; bounded retries keep this robust
+  // in tiny networks where fewer peers exist than view slots.
+  const std::size_t want = std::min(cfg_.view_size, net_.num_alive() - 1);
+  std::size_t attempts = 0;
+  while (view.size() < want && attempts < 50 * cfg_.view_size) {
+    ++attempts;
+    const sim::NodeId peer = net_.random_alive(rng);
+    if (peer == sim::kInvalidNode || seen.contains(peer)) continue;
+    seen.insert(peer);
+    view.push_back(RpsEntry{peer, 0});
+  }
+}
+
+void RpsProtocol::bootstrap_all() {
+  for (sim::NodeId id = 0; id < net_.num_total(); ++id)
+    if (net_.alive(id)) bootstrap_node(id);
+}
+
+void RpsProtocol::round() {
+  for (sim::NodeId p : net_.shuffled_alive_ids()) shuffle(p);
+}
+
+bool RpsProtocol::shuffle(sim::NodeId p) {
+  auto& view = views_[p];
+  for (auto& e : view) ++e.age;  // Cyclon step 1: age the view.
+
+  // Step 2: pick the oldest *alive* neighbour; stale entries found dead on
+  // contact are discarded (this is Cyclon's self-healing).
+  sim::NodeId q = sim::kInvalidNode;
+  while (!view.empty()) {
+    auto oldest = std::max_element(
+        view.begin(), view.end(),
+        [](const RpsEntry& a, const RpsEntry& b) { return a.age < b.age; });
+    if (net_.alive(oldest->id)) {
+      q = oldest->id;
+      break;
+    }
+    view.erase(oldest);  // contact failed: drop the dead entry
+  }
+  if (q == sim::kInvalidNode) {
+    // View exhausted (e.g. right after a catastrophe): re-bootstrap.
+    bootstrap_node(p);
+    return false;
+  }
+
+  util::Rng& rng = net_.node_rng(p);
+
+  // Step 3: build p's buffer = own fresh descriptor + (l-1) random others
+  // (excluding the entry for q, which is removed from p's view — swap
+  // semantics).
+  remove_entry(p, q);
+  std::vector<RpsEntry> buf_p;
+  buf_p.push_back(RpsEntry{p, 0});
+  std::vector<sim::NodeId> sent_p;  // ids p ships out (candidates to replace)
+  {
+    auto picks = rng.sample_indices(view.size(),
+                                    std::min(cfg_.shuffle_length - 1,
+                                             view.size()));
+    for (std::size_t i : picks) {
+      buf_p.push_back(view[i]);
+      sent_p.push_back(view[i].id);
+    }
+  }
+
+  // q builds its reply from its own view before merging p's buffer.
+  auto& qview = views_[q];
+  std::vector<RpsEntry> buf_q;
+  std::vector<sim::NodeId> sent_q;
+  {
+    util::Rng& qrng = net_.node_rng(q);
+    auto picks = qrng.sample_indices(
+        qview.size(), std::min(cfg_.shuffle_length, qview.size()));
+    for (std::size_t i : picks) {
+      buf_q.push_back(qview[i]);
+      sent_q.push_back(qview[i].id);
+    }
+  }
+
+  // Traffic: RPS descriptors carry an id (+age, which we do not bill —
+  // the paper excludes RPS from its cost figures anyway).
+  net_.traffic().add(sim::Channel::kRps,
+                     static_cast<double>(buf_p.size() + buf_q.size()) *
+                         sim::TrafficMeter::kIdUnits);
+
+  merge(q, buf_p, sent_q);
+  merge(p, buf_q, sent_p);
+  return true;
+}
+
+void RpsProtocol::remove_entry(sim::NodeId self, sim::NodeId target) {
+  auto& view = views_[self];
+  view.erase(std::remove_if(view.begin(), view.end(),
+                            [target](const RpsEntry& e) {
+                              return e.id == target;
+                            }),
+             view.end());
+}
+
+void RpsProtocol::merge(sim::NodeId self, const std::vector<RpsEntry>& incoming,
+                        const std::vector<sim::NodeId>& sent) {
+  auto& view = views_[self];
+  std::unordered_set<sim::NodeId> present;
+  present.reserve(view.size() + 1);
+  present.insert(self);
+  for (const auto& e : view) present.insert(e.id);
+
+  for (const auto& e : incoming) {
+    if (present.contains(e.id)) continue;  // drop self-references/duplicates
+    if (view.size() < cfg_.view_size) {
+      view.push_back(e);
+      present.insert(e.id);
+      continue;
+    }
+    // View full: replace one of the entries shipped out in this shuffle.
+    bool replaced = false;
+    for (sim::NodeId victim : sent) {
+      auto it = std::find_if(view.begin(), view.end(),
+                             [victim](const RpsEntry& x) {
+                               return x.id == victim;
+                             });
+      if (it != view.end()) {
+        present.erase(it->id);
+        *it = e;
+        present.insert(e.id);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) break;  // no replaceable slot left
+  }
+}
+
+sim::NodeId RpsProtocol::random_peer(sim::NodeId self, util::Rng& rng) const {
+  const auto& view = views_[self];
+  if (view.empty()) return sim::kInvalidNode;
+  return view[rng.index(view.size())].id;
+}
+
+std::vector<sim::NodeId> RpsProtocol::random_peers(sim::NodeId self,
+                                                   std::size_t k,
+                                                   util::Rng& rng) const {
+  const auto& view = views_[self];
+  std::vector<sim::NodeId> out;
+  for (std::size_t i : rng.sample_indices(view.size(),
+                                          std::min(k, view.size())))
+    out.push_back(view[i].id);
+  return out;
+}
+
+double RpsProtocol::dead_entry_fraction() const {
+  std::size_t total = 0;
+  std::size_t dead = 0;
+  for (sim::NodeId id = 0; id < views_.size(); ++id) {
+    if (!net_.alive(id)) continue;
+    for (const auto& e : views_[id]) {
+      ++total;
+      if (!net_.alive(e.id)) ++dead;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(dead) / total;
+}
+
+}  // namespace poly::rps

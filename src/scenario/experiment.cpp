@@ -1,0 +1,89 @@
+#include "scenario/experiment.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+namespace poly::scenario {
+
+util::MeanCi ExperimentResult::reshaping_ci() const {
+  std::vector<double> ok;
+  for (double v : reshaping_rounds)
+    if (!std::isnan(v)) ok.push_back(v);
+  return util::mean_ci(ok);
+}
+
+util::MeanCi ExperimentResult::reliability_ci() const {
+  return util::mean_ci(reliability);
+}
+
+std::size_t ExperimentResult::never_reshaped() const {
+  std::size_t n = 0;
+  for (double v : reshaping_rounds)
+    if (std::isnan(v)) ++n;
+  return n;
+}
+
+ExperimentResult run_experiment(const shape::Shape& shape,
+                                const ExperimentSpec& spec) {
+  const std::size_t reps = spec.repetitions;
+  std::vector<RunResult> runs(reps);
+
+  std::size_t workers = spec.threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers = std::min(workers, reps);
+
+  // Work-stealing over repetition indices; every repetition is seeded
+  // independently so the schedule cannot affect results.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= reps) return;
+      SimulationConfig cfg = spec.config;
+      cfg.seed = spec.config.seed + i;
+      runs[i] = run_three_phase(shape, cfg, spec.phases);
+    }
+  };
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Deterministic aggregation in repetition order.
+  ExperimentResult out;
+  for (const auto& run : runs) {
+    std::vector<double> hom, prox, pts, mp, mt, mb, mm, mr;
+    hom.reserve(run.rounds.size());
+    for (const auto& rec : run.rounds) {
+      hom.push_back(rec.homogeneity);
+      prox.push_back(rec.proximity);
+      pts.push_back(rec.points_per_node);
+      mp.push_back(rec.msg_paper);
+      mt.push_back(rec.msg_tman);
+      mb.push_back(rec.msg_backup);
+      mm.push_back(rec.msg_migration);
+      mr.push_back(rec.msg_rps);
+    }
+    out.homogeneity.add_run(hom);
+    out.proximity.add_run(prox);
+    out.points_per_node.add_run(pts);
+    out.msg_paper.add_run(mp);
+    out.msg_tman.add_run(mt);
+    out.msg_backup.add_run(mb);
+    out.msg_migration.add_run(mm);
+    out.msg_rps.add_run(mr);
+    out.reshaping_rounds.push_back(run.reshaping_rounds);
+    out.reliability.push_back(run.reliability);
+  }
+  return out;
+}
+
+}  // namespace poly::scenario

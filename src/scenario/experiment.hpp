@@ -1,0 +1,55 @@
+// Repetition framework: the paper reports every number "averaged over 25
+// experiments … intervals of confidence computed at a 95% confidence level"
+// (§IV-B).  `run_experiment` executes R independent repetitions of a
+// three-phase scenario (seeds base+0 … base+R-1), in parallel threads, and
+// aggregates per-round series and scalar outcomes with Student-t CIs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scenario/three_phase.hpp"
+#include "util/stats.hpp"
+
+namespace poly::scenario {
+
+/// What to run and how many times.
+struct ExperimentSpec {
+  SimulationConfig config;  ///< seed is the base; rep i uses seed+i
+  ThreePhaseSpec phases;
+  std::size_t repetitions = 5;
+  /// Worker threads (0 = hardware concurrency, capped by repetitions).
+  std::size_t threads = 0;
+};
+
+/// Aggregated outcome across repetitions.
+struct ExperimentResult {
+  util::SeriesAggregator homogeneity;
+  util::SeriesAggregator proximity;
+  util::SeriesAggregator points_per_node;
+  util::SeriesAggregator msg_paper;
+  util::SeriesAggregator msg_tman;
+  util::SeriesAggregator msg_backup;
+  util::SeriesAggregator msg_migration;
+  util::SeriesAggregator msg_rps;
+
+  /// Per-repetition scalars (NaN reshaping values mean "never reshaped" and
+  /// are kept so callers can report failures).
+  std::vector<double> reshaping_rounds;
+  std::vector<double> reliability;
+
+  /// Mean ± 95% CI of the reshaping time over repetitions that reshaped.
+  util::MeanCi reshaping_ci() const;
+  /// Mean ± 95% CI of reliability.
+  util::MeanCi reliability_ci() const;
+  /// Number of repetitions that never reached the reference homogeneity.
+  std::size_t never_reshaped() const;
+};
+
+/// Runs the experiment.  Each repetition is fully independent and seeded
+/// deterministically, so results are reproducible regardless of the thread
+/// count.
+ExperimentResult run_experiment(const shape::Shape& shape,
+                                const ExperimentSpec& spec);
+
+}  // namespace poly::scenario

@@ -1,0 +1,74 @@
+#include "scenario/three_phase.hpp"
+
+#include <cmath>
+
+namespace poly::scenario {
+
+namespace {
+
+RoundRecord measure(const Simulation& sim) {
+  RoundRecord rec;
+  const auto& net = sim.network();
+  rec.round = net.round() - 1;  // the round that just completed
+  rec.alive = net.num_alive();
+  rec.homogeneity = sim.homogeneity();
+  rec.proximity = sim.proximity();
+  rec.points_per_node = sim.avg_points_per_node();
+  const auto& traffic = net.traffic();
+  rec.msg_tman = traffic.per_node(rec.round, sim::Channel::kTman);
+  rec.msg_backup = traffic.per_node(rec.round, sim::Channel::kBackup);
+  rec.msg_migration = traffic.per_node(rec.round, sim::Channel::kMigration);
+  rec.msg_rps = traffic.per_node(rec.round, sim::Channel::kRps);
+  rec.msg_paper = rec.msg_tman + rec.msg_backup + rec.msg_migration;
+  return rec;
+}
+
+}  // namespace
+
+RunResult run_three_phase(const shape::Shape& shape,
+                          const SimulationConfig& config,
+                          const ThreePhaseSpec& spec,
+                          const SnapshotHook& hook) {
+  Simulation sim(shape, config);
+  RunResult result;
+
+  auto step = [&]() {
+    sim.run_round();
+    result.rounds.push_back(measure(sim));
+    if (hook) hook(sim, result.rounds.back().round);
+  };
+
+  // Phase 1: convergence.
+  for (std::size_t r = 0; r < spec.converge_rounds; ++r) step();
+
+  if (spec.failure_rounds == 0) return result;
+
+  // Phase 2: catastrophic correlated failure.
+  result.crashed = sim.crash_failure_half();
+  result.reference_h_after_failure = sim.reference_homogeneity();
+  const std::size_t fail_start = result.rounds.size();
+  for (std::size_t r = 0; r < spec.failure_rounds; ++r) {
+    step();
+    if (std::isnan(result.reshaping_rounds) &&
+        result.rounds.back().homogeneity <
+            result.reference_h_after_failure) {
+      // The failure round itself counts as round 1 of the repair.
+      result.reshaping_rounds =
+          static_cast<double>(result.rounds.size() - fail_start);
+    }
+  }
+  // Lost points never come back, so reliability is stable by now.
+  result.reliability = sim.reliability();
+
+  if (spec.reinjection_rounds == 0) return result;
+
+  // Phase 3: re-injection of fresh nodes.
+  const std::size_t to_inject =
+      spec.reinject_count == 0 ? result.crashed : spec.reinject_count;
+  result.reinjected = sim.reinject(to_inject).size();
+  for (std::size_t r = 0; r < spec.reinjection_rounds; ++r) step();
+
+  return result;
+}
+
+}  // namespace poly::scenario

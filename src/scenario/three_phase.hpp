@@ -1,0 +1,75 @@
+// The paper's three-phase evaluation scenario (§IV-A):
+//
+//   Phase 1  Convergence   r ∈ [0, 20):    topology converges, Polystyrene
+//                                          replicates and monitors
+//   Phase 2  Failure       r ∈ [20, 100):  half the torus crashes at r=20
+//   Phase 3  Re-injection  r ∈ [100, 200): as many fresh, data-point-less
+//                                          nodes rejoin at r=100
+//
+// The runner executes the phases on a Simulation, records every §IV-A
+// metric each round, and derives the two scalar outcomes of Table II:
+// reshaping time (rounds until homogeneity < H after the failure) and
+// reliability (fraction of surviving data points).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "scenario/simulation.hpp"
+
+namespace poly::scenario {
+
+/// Phase durations (rounds).  Defaults = the paper's 20/80/100 scenario.
+struct ThreePhaseSpec {
+  std::size_t converge_rounds = 20;
+  /// Rounds executed after the catastrophe; 0 disables the failure.
+  std::size_t failure_rounds = 80;
+  /// Rounds executed after re-injection; 0 disables phase 3.
+  std::size_t reinjection_rounds = 100;
+  /// Nodes to re-inject; 0 = as many as crashed.
+  std::size_t reinject_count = 0;
+};
+
+/// Metrics measured at the end of one round.
+struct RoundRecord {
+  std::size_t round = 0;
+  std::size_t alive = 0;
+  double homogeneity = 0.0;
+  double proximity = 0.0;
+  double points_per_node = 0.0;
+  double msg_paper = 0.0;      ///< T-Man + backup + migration, per node
+  double msg_tman = 0.0;
+  double msg_backup = 0.0;
+  double msg_migration = 0.0;
+  double msg_rps = 0.0;        ///< metered but excluded from msg_paper
+};
+
+/// Outcome of one scenario run.
+struct RunResult {
+  std::vector<RoundRecord> rounds;
+  /// Rounds needed after the failure for homogeneity to drop below the
+  /// post-failure reference H (the failure round counts as round 1).
+  /// NaN when the threshold was never reached.
+  double reshaping_rounds = std::numeric_limits<double>::quiet_NaN();
+  /// Fraction of initial data points still hosted at the end of phase 2.
+  double reliability = 1.0;
+  /// Post-failure reference homogeneity H (√2/2 in the 40×80 scenario).
+  double reference_h_after_failure = 0.0;
+  std::size_t crashed = 0;
+  std::size_t reinjected = 0;
+};
+
+/// Called after each recorded round; lets benches dump snapshots (Figs. 8
+/// and 9) without re-running scenarios.
+using SnapshotHook =
+    std::function<void(const Simulation& sim, std::size_t round)>;
+
+/// Runs the three-phase scenario on a fresh Simulation.
+RunResult run_three_phase(const shape::Shape& shape,
+                          const SimulationConfig& config,
+                          const ThreePhaseSpec& spec,
+                          const SnapshotHook& hook = nullptr);
+
+}  // namespace poly::scenario

@@ -1,0 +1,67 @@
+#include "shape/cube_torus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace poly::shape {
+
+CubeTorusShape::CubeTorusShape(unsigned nx, unsigned ny, unsigned nz,
+                               double step)
+    : nx_(nx), ny_(ny), nz_(nz), step_(step) {
+  if (nx < 1 || ny < 1 || nz < 1)
+    throw std::invalid_argument("CubeTorusShape: grid must be at least 1³");
+  if (!(step > 0.0))
+    throw std::invalid_argument("CubeTorusShape: step must be positive");
+  space_ = std::make_shared<space::Torus3dSpace>(nx * step, ny * step,
+                                                 nz * step);
+}
+
+std::vector<space::DataPoint> CubeTorusShape::generate(
+    space::PointId first_id) const {
+  std::vector<space::DataPoint> pts;
+  pts.reserve(size());
+  space::PointId id = first_id;
+  for (unsigned k = 0; k < nz_; ++k)
+    for (unsigned j = 0; j < ny_; ++j)
+      for (unsigned i = 0; i < nx_; ++i)
+        pts.push_back({id++, space::Point{i * step_, j * step_, k * step_}});
+  return pts;
+}
+
+std::vector<space::Point> CubeTorusShape::reinjection_positions(
+    std::size_t count) const {
+  std::vector<space::Point> pos;
+  if (count == 0) return pos;
+  pos.reserve(count);
+  const double off = step_ / 2.0;
+  const std::size_t slots = size();
+  const std::size_t n = std::min(count, slots);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t slot = s * slots / n;
+    const unsigned i = static_cast<unsigned>(slot % nx_);
+    const unsigned j = static_cast<unsigned>((slot / nx_) % ny_);
+    const unsigned k = static_cast<unsigned>(slot / (static_cast<std::size_t>(nx_) * ny_));
+    pos.push_back(space::Point{i * step_ + off, j * step_ + off,
+                               k * step_ + off});
+  }
+  return pos;
+}
+
+double CubeTorusShape::reference_homogeneity(std::size_t n_nodes) const {
+  if (n_nodes == 0) return std::numeric_limits<double>::infinity();
+  return 0.5 * std::cbrt(space_->volume() / static_cast<double>(n_nodes));
+}
+
+bool CubeTorusShape::in_failure_half(const space::Point& p) const noexcept {
+  return p.x() >= (nx_ * step_) / 2.0;
+}
+
+std::string CubeTorusShape::name() const {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "cube_torus_%ux%ux%u", nx_, ny_, nz_);
+  return buf;
+}
+
+}  // namespace poly::shape

@@ -1,0 +1,53 @@
+// Regular grid on a 3-D torus — the CAN-style d-torus shape (d = 3).
+#pragma once
+
+#include "shape/shape.hpp"
+#include "space/torus3d.hpp"
+
+namespace poly::shape {
+
+/// nx × ny × nz grid of data points with the given step, on a 3-torus of
+/// extents (nx·step, ny·step, nz·step).  Point (i, j, k) sits at
+/// (i·step, j·step, k·step); ids are x-major, then y, then z.
+class CubeTorusShape final : public Shape {
+ public:
+  /// Precondition: nx, ny, nz >= 1, step > 0.
+  CubeTorusShape(unsigned nx, unsigned ny, unsigned nz, double step = 1.0);
+
+  const space::MetricSpace& space() const noexcept override { return *space_; }
+  std::shared_ptr<const space::MetricSpace> space_ptr() const override {
+    return space_;
+  }
+  std::size_t size() const noexcept override {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  std::vector<space::DataPoint> generate(
+      space::PointId first_id = 0) const override;
+
+  /// Evenly strided slots of the half-step-offset parallel grid.
+  std::vector<space::Point> reinjection_positions(
+      std::size_t count) const override;
+
+  /// 3-D analogue of the paper's H: each node covers volume V/N, so an
+  /// ideal layout puts every point within ½·∛(V/N) of a node.
+  double reference_homogeneity(std::size_t n_nodes) const override;
+
+  /// The half with x >= nx·step/2 (one "datacenter" of the cube).
+  bool in_failure_half(const space::Point& p) const noexcept override;
+
+  std::string name() const override;
+
+  unsigned nx() const noexcept { return nx_; }
+  unsigned ny() const noexcept { return ny_; }
+  unsigned nz() const noexcept { return nz_; }
+
+ private:
+  unsigned nx_;
+  unsigned ny_;
+  unsigned nz_;
+  double step_;
+  std::shared_ptr<space::Torus3dSpace> space_;
+};
+
+}  // namespace poly::shape

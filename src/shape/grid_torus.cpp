@@ -1,0 +1,65 @@
+#include "shape/grid_torus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace poly::shape {
+
+GridTorusShape::GridTorusShape(unsigned nx, unsigned ny, double step)
+    : nx_(nx), ny_(ny), step_(step) {
+  if (nx < 1 || ny < 1)
+    throw std::invalid_argument("GridTorusShape: grid must be at least 1x1");
+  if (!(step > 0.0))
+    throw std::invalid_argument("GridTorusShape: step must be positive");
+  space_ = std::make_shared<space::TorusSpace>(nx * step, ny * step);
+}
+
+std::vector<space::DataPoint> GridTorusShape::generate(
+    space::PointId first_id) const {
+  std::vector<space::DataPoint> pts;
+  pts.reserve(size());
+  space::PointId id = first_id;
+  for (unsigned j = 0; j < ny_; ++j) {
+    for (unsigned i = 0; i < nx_; ++i) {
+      pts.push_back({id++, space::Point{i * step_, j * step_}});
+    }
+  }
+  return pts;
+}
+
+std::vector<space::Point> GridTorusShape::reinjection_positions(
+    std::size_t count) const {
+  // Evenly strided slots of the half-step-offset parallel grid, so any
+  // `count` <= size() lands uniformly over the whole torus.
+  std::vector<space::Point> pos;
+  if (count == 0) return pos;
+  pos.reserve(count);
+  const double off = step_ / 2.0;
+  const std::size_t slots = size();
+  const std::size_t n = std::min(count, slots);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t slot = k * slots / n;  // Bresenham-style stride
+    const unsigned i = static_cast<unsigned>(slot % nx_);
+    const unsigned j = static_cast<unsigned>(slot / nx_);
+    pos.push_back(space::Point{i * step_ + off, j * step_ + off});
+  }
+  return pos;
+}
+
+double GridTorusShape::reference_homogeneity(std::size_t n_nodes) const {
+  if (n_nodes == 0) return std::numeric_limits<double>::infinity();
+  return 0.5 * std::sqrt(space_->area() / static_cast<double>(n_nodes));
+}
+
+std::string GridTorusShape::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "grid_torus_%ux%u", nx_, ny_);
+  return buf;
+}
+
+bool GridTorusShape::in_right_half(const space::Point& p) const noexcept {
+  return p.x() >= (nx_ * step_) / 2.0;
+}
+
+}  // namespace poly::shape

@@ -1,0 +1,59 @@
+// Regular grid on a 2-D torus — the paper's evaluation shape (§IV-A):
+// "a logical torus made of 3200 nodes placed on a regular 80 × 40 grid…
+// The distance between two neighboring nodes on the grid is set to 1."
+#pragma once
+
+#include "shape/shape.hpp"
+#include "space/torus.hpp"
+
+namespace poly::shape {
+
+/// nx × ny grid of data points with the given step, on a torus of extents
+/// (nx·step, ny·step).  Point (i, j) sits at (i·step, j·step).
+class GridTorusShape final : public Shape {
+ public:
+  /// Precondition: nx, ny >= 1, step > 0.
+  GridTorusShape(unsigned nx, unsigned ny, double step = 1.0);
+
+  const space::MetricSpace& space() const noexcept override { return *space_; }
+  std::shared_ptr<const space::MetricSpace> space_ptr() const override {
+    return space_;
+  }
+  std::size_t size() const noexcept override {
+    return static_cast<std::size_t>(nx_) * ny_;
+  }
+
+  std::vector<space::DataPoint> generate(
+      space::PointId first_id = 0) const override;
+
+  /// Fresh-node positions on a grid parallel to the original, offset by half
+  /// a step on both axes (paper §IV-A Phase 3).  `count` positions are taken
+  /// row-major from the offset grid; count may be smaller than size().
+  std::vector<space::Point> reinjection_positions(
+      std::size_t count) const override;
+
+  /// H = ½√(A / n_nodes) with A = nx·ny·step² (paper §IV-A).
+  double reference_homogeneity(std::size_t n_nodes) const override;
+
+  std::string name() const override;
+
+  unsigned nx() const noexcept { return nx_; }
+  unsigned ny() const noexcept { return ny_; }
+  double step() const noexcept { return step_; }
+
+  /// True iff `p` lies in the "right half" of the torus (x >= nx·step/2) —
+  /// the region crashed by the paper's catastrophic-failure scenario.
+  bool in_right_half(const space::Point& p) const noexcept;
+
+  bool in_failure_half(const space::Point& p) const noexcept override {
+    return in_right_half(p);
+  }
+
+ private:
+  unsigned nx_;
+  unsigned ny_;
+  double step_;
+  std::shared_ptr<space::TorusSpace> space_;
+};
+
+}  // namespace poly::shape

@@ -1,0 +1,56 @@
+#include "shape/ring_shape.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace poly::shape {
+
+RingShape::RingShape(std::size_t n, double spacing)
+    : n_(n), spacing_(spacing) {
+  if (n < 1) throw std::invalid_argument("RingShape: need at least 1 point");
+  if (!(spacing > 0.0))
+    throw std::invalid_argument("RingShape: spacing must be positive");
+  space_ = std::make_shared<space::RingSpace>(n * spacing);
+}
+
+std::vector<space::DataPoint> RingShape::generate(
+    space::PointId first_id) const {
+  std::vector<space::DataPoint> pts;
+  pts.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    pts.push_back({first_id + i, space::Point{i * spacing_}});
+  return pts;
+}
+
+std::vector<space::Point> RingShape::reinjection_positions(
+    std::size_t count) const {
+  // Evenly strided offset slots so any count <= n lands uniformly.
+  std::vector<space::Point> pos;
+  if (count == 0) return pos;
+  pos.reserve(count);
+  const double off = spacing_ / 2.0;
+  const std::size_t n = std::min(count, n_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t slot = k * n_ / n;
+    pos.push_back(space::Point{slot * spacing_ + off});
+  }
+  return pos;
+}
+
+double RingShape::reference_homogeneity(std::size_t n_nodes) const {
+  if (n_nodes == 0) return std::numeric_limits<double>::infinity();
+  return space_->circumference() / (2.0 * static_cast<double>(n_nodes));
+}
+
+std::string RingShape::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ring_%zu", n_);
+  return buf;
+}
+
+bool RingShape::in_second_half(const space::Point& p) const noexcept {
+  return p.x() >= space_->circumference() / 2.0;
+}
+
+}  // namespace poly::shape

@@ -1,0 +1,52 @@
+// Evenly spaced points on a 1-D ring — a Chord/Pastry-like key circle.
+//
+// Not evaluated in the paper, but the protocol is space-agnostic (§III-A);
+// the ring exercises Polystyrene in the other classic overlay geometry and
+// backs the `ring_recovery` example.
+#pragma once
+
+#include "shape/shape.hpp"
+#include "space/ring.hpp"
+
+namespace poly::shape {
+
+/// n points spaced `spacing` apart on a circle of circumference n·spacing.
+class RingShape final : public Shape {
+ public:
+  /// Precondition: n >= 1, spacing > 0.
+  explicit RingShape(std::size_t n, double spacing = 1.0);
+
+  const space::MetricSpace& space() const noexcept override { return *space_; }
+  std::shared_ptr<const space::MetricSpace> space_ptr() const override {
+    return space_;
+  }
+  std::size_t size() const noexcept override { return n_; }
+
+  std::vector<space::DataPoint> generate(
+      space::PointId first_id = 0) const override;
+
+  /// Positions interleaved at half-spacing offsets.
+  std::vector<space::Point> reinjection_positions(
+      std::size_t count) const override;
+
+  /// On a 1-D ring an ideal layout puts every data point within
+  /// C / (2·n_nodes) of a node.
+  double reference_homogeneity(std::size_t n_nodes) const override;
+
+  std::string name() const override;
+
+  /// True iff `p` lies in the arc [C/2, C) — the ring analogue of the
+  /// half-shape catastrophic failure.
+  bool in_second_half(const space::Point& p) const noexcept;
+
+  bool in_failure_half(const space::Point& p) const noexcept override {
+    return in_second_half(p);
+  }
+
+ private:
+  std::size_t n_;
+  double spacing_;
+  std::shared_ptr<space::RingSpace> space_;
+};
+
+}  // namespace poly::shape

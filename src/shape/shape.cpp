@@ -1,0 +1,5 @@
+#include "shape/shape.hpp"
+
+namespace poly::shape {
+// Shape is an interface; concrete generators live in their own TUs.
+}  // namespace poly::shape

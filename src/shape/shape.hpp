@@ -1,0 +1,57 @@
+// Target shapes: the set of original data points that defines what the
+// overlay should look like (paper §III-A: "The original positions of all
+// nodes in the system define the target shape").
+//
+// A Shape owns its metric space and can generate (a) the original data
+// points — one per initial node — and (b) fresh positions for re-injected
+// nodes ("positioned uniformly on the torus, on a grid parallel to the
+// original one", §IV-A Phase 3).  It also knows the reference homogeneity
+// H = ½√(A/N) used to define the reshaping time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+
+namespace poly::shape {
+
+/// Abstract target shape.
+class Shape {
+ public:
+  virtual ~Shape() = default;
+
+  /// The metric space this shape lives in.
+  virtual const space::MetricSpace& space() const noexcept = 0;
+
+  /// Shared ownership of the space, for components that outlive the shape.
+  virtual std::shared_ptr<const space::MetricSpace> space_ptr() const = 0;
+
+  /// Number of data points (== number of initial nodes).
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Generates the original data points with ids first_id, first_id+1, …
+  virtual std::vector<space::DataPoint> generate(
+      space::PointId first_id = 0) const = 0;
+
+  /// Positions for `count` re-injected nodes, uniformly interleaved with the
+  /// original layout (e.g. a half-step-offset parallel grid).
+  virtual std::vector<space::Point> reinjection_positions(
+      std::size_t count) const = 0;
+
+  /// Reference homogeneity H for `n_nodes` alive nodes: the homogeneity an
+  /// ideal uniform distribution would achieve; reshaping is complete when
+  /// measured homogeneity drops below it (paper §IV-A).
+  virtual double reference_homogeneity(std::size_t n_nodes) const = 0;
+
+  /// True iff `p` lies in the half of the shape wiped out by the
+  /// catastrophic correlated failure scenario (e.g. the right half of the
+  /// torus, §IV-A Phase 2).
+  virtual bool in_failure_half(const space::Point& p) const noexcept = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace poly::shape

@@ -1,0 +1,65 @@
+// Failure detectors (paper §III-A: "We also assume nodes have access to a
+// (possibly imperfect) failure detector").
+//
+// The evaluation uses prompt detection; we provide that as
+// PerfectFailureDetector and an imperfect variant with detection latency and
+// (optionally) false positives, used by the abl_fd_latency ablation bench to
+// quantify how much the paper's results depend on detection quality.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+#include "sim/node_id.hpp"
+
+namespace poly::sim {
+
+/// Abstract failure detector: `suspects(observer, target)` answers whether
+/// `observer` currently believes `target` has crashed.
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// True iff `observer` suspects `target` to have failed at the network's
+  /// current round.  Implementations must be side-effect free.
+  virtual bool suspects(NodeId observer, NodeId target) const = 0;
+};
+
+/// Oracle detector: suspects exactly the crashed nodes, immediately.
+class PerfectFailureDetector final : public FailureDetector {
+ public:
+  explicit PerfectFailureDetector(const Network& net) : net_(net) {}
+  bool suspects(NodeId /*observer*/, NodeId target) const override {
+    return !net_.alive(target);
+  }
+
+ private:
+  const Network& net_;
+};
+
+/// Imperfect detector:
+///  * a crash is detected only `delay_rounds` rounds after it happened
+///    (heartbeat timeout model);
+///  * while a target is alive, each (observer, target, round) query falsely
+///    suspects it with probability `false_positive_rate` (deterministic:
+///    derived by hashing, so repeated queries in a round agree and the
+///    simulation stays reproducible).
+class DelayedFailureDetector final : public FailureDetector {
+ public:
+  DelayedFailureDetector(const Network& net, std::uint64_t delay_rounds,
+                         double false_positive_rate = 0.0,
+                         std::uint64_t salt = 0x5bd1e995u);
+
+  bool suspects(NodeId observer, NodeId target) const override;
+
+  std::uint64_t delay_rounds() const noexcept { return delay_; }
+  double false_positive_rate() const noexcept { return fp_rate_; }
+
+ private:
+  const Network& net_;
+  std::uint64_t delay_;
+  double fp_rate_;
+  std::uint64_t salt_;
+};
+
+}  // namespace poly::sim

@@ -1,0 +1,82 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace poly::sim {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+NodeId Network::add_node(space::Point original_position) {
+  const auto id = static_cast<NodeId>(status_.size());
+  status_.push_back(NodeStatus::kAlive);
+  original_pos_.push_back(original_position);
+  join_round_.push_back(round_);
+  crash_round_.push_back(0);
+  node_rng_.push_back(rng_.split());
+  ++alive_count_;
+  return id;
+}
+
+void Network::crash(NodeId id) {
+  if (!exists(id)) throw std::out_of_range("Network::crash: unknown node");
+  if (status_[id] == NodeStatus::kCrashed) return;
+  status_[id] = NodeStatus::kCrashed;
+  crash_round_[id] = round_;
+  --alive_count_;
+}
+
+std::size_t Network::crash_region(
+    const std::function<bool(const space::Point&)>& pred) {
+  std::size_t crashed = 0;
+  for (NodeId id = 0; id < status_.size(); ++id) {
+    if (status_[id] == NodeStatus::kAlive && pred(original_pos_[id])) {
+      crash(id);
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+std::size_t Network::crash_random(std::size_t count) {
+  auto ids = alive_ids();
+  rng_.shuffle(ids);
+  const std::size_t n = std::min(count, ids.size());
+  for (std::size_t i = 0; i < n; ++i) crash(ids[i]);
+  return n;
+}
+
+std::vector<NodeId> Network::alive_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (NodeId id = 0; id < status_.size(); ++id)
+    if (status_[id] == NodeStatus::kAlive) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> Network::shuffled_alive_ids() {
+  auto ids = alive_ids();
+  rng_.shuffle(ids);
+  return ids;
+}
+
+NodeId Network::random_alive(util::Rng& rng) const {
+  if (alive_count_ == 0) return kInvalidNode;
+  // Rejection sampling over the dense id range: cheap while the alive
+  // fraction is non-trivial (always the case in our scenarios, where at
+  // most half the network crashes).
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    const auto id = static_cast<NodeId>(rng.index(status_.size()));
+    if (status_[id] == NodeStatus::kAlive) return id;
+  }
+  // Degenerate fallback: scan.
+  for (NodeId id = 0; id < status_.size(); ++id)
+    if (status_[id] == NodeStatus::kAlive) return id;
+  return kInvalidNode;
+}
+
+void Network::advance_round() {
+  traffic_.end_round(alive_count_);
+  ++round_;
+}
+
+}  // namespace poly::sim

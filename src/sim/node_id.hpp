@@ -1,0 +1,16 @@
+// Node identity for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace poly::sim {
+
+/// Dense node identifier: nodes are numbered 0, 1, 2, … in join order and
+/// ids are never reused, so protocol layers can use parallel arrays indexed
+/// by NodeId.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace poly::sim

@@ -1,0 +1,33 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+
+namespace poly::sim {
+
+void TrafficMeter::end_round(std::size_t alive_nodes) {
+  per_round_.push_back(current_);
+  alive_at_round_.push_back(alive_nodes);
+  current_.fill(0.0);
+}
+
+double TrafficMeter::total(std::size_t r, Channel channel) const {
+  if (r >= per_round_.size())
+    throw std::out_of_range("TrafficMeter::total: round not closed");
+  return per_round_[r][static_cast<std::size_t>(channel)];
+}
+
+double TrafficMeter::per_node(std::size_t r, Channel channel) const {
+  if (r >= per_round_.size())
+    throw std::out_of_range("TrafficMeter::per_node: round not closed");
+  const std::size_t alive = alive_at_round_[r];
+  if (alive == 0) return 0.0;
+  return per_round_[r][static_cast<std::size_t>(channel)] /
+         static_cast<double>(alive);
+}
+
+double TrafficMeter::per_node_paper_total(std::size_t r) const {
+  return per_node(r, Channel::kTman) + per_node(r, Channel::kBackup) +
+         per_node(r, Channel::kMigration);
+}
+
+}  // namespace poly::sim

@@ -1,0 +1,83 @@
+// Message-cost accounting in the paper's units (§IV-A):
+//
+//   "We assume a single coordinate uses the same size as a node ID, and take
+//    this as our arbitrary communication unit.  Under these assumptions,
+//    sending a node descriptor (its ID, plus its coordinates) counts as 3
+//    units, while a set of 2D coordinates counts as 2."
+//
+// So: node id = 1 unit, scalar coordinate = 1 unit, 2-D descriptor = 3
+// units, 2-D data point = 2 units.  Network-level overheads (headers,
+// checksums) are ignored, and the peer-sampling protocol is *excluded* from
+// the paper's figures — we still meter it, under its own channel, so the
+// fig07b bench can both reproduce the paper's curve (T-Man + Polystyrene)
+// and report the full breakdown.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace poly::sim {
+
+/// Traffic channels, one per protocol component.
+enum class Channel : std::uint8_t {
+  kRps = 0,        // peer sampling (excluded from the paper's cost figures)
+  kTman = 1,       // topology construction exchanges
+  kBackup = 2,     // Polystyrene backup pushes (Step 2)
+  kMigration = 3,  // Polystyrene data point migration (Step 4)
+  kOther = 4,
+};
+
+inline constexpr std::size_t kNumChannels = 5;
+
+/// Accumulates per-round, per-channel message costs.
+class TrafficMeter {
+ public:
+  /// Cost units (paper §IV-A).
+  static constexpr double kIdUnits = 1.0;
+  static constexpr double kCoordinateUnits = 1.0;
+  /// A node descriptor: id + one coordinate per dimension.
+  static double descriptor_units(unsigned dim) noexcept {
+    return kIdUnits + dim * kCoordinateUnits;
+  }
+  /// A data point: one coordinate per dimension (ids of data points ride
+  /// along as one id unit when identity must cross the wire).
+  static double datapoint_units(unsigned dim) noexcept {
+    return dim * kCoordinateUnits;
+  }
+
+  /// Adds `units` to `channel` for the current round.
+  void add(Channel channel, double units) noexcept {
+    current_[static_cast<std::size_t>(channel)] += units;
+  }
+
+  /// Closes the round: records the per-round totals and the alive-node count
+  /// (for per-node averages), then resets the running counters.
+  void end_round(std::size_t alive_nodes);
+
+  /// Number of completed rounds.
+  std::size_t rounds() const noexcept { return per_round_.size(); }
+
+  /// Total units on `channel` during completed round `r`.
+  double total(std::size_t r, Channel channel) const;
+
+  /// Units per alive node on `channel` during round `r`.
+  double per_node(std::size_t r, Channel channel) const;
+
+  /// Per-node cost in the paper's accounting: T-Man + backup + migration
+  /// (peer sampling excluded, as in §IV-A).
+  double per_node_paper_total(std::size_t r) const;
+
+  /// Running (not yet closed) total for the current round.
+  double current(Channel channel) const noexcept {
+    return current_[static_cast<std::size_t>(channel)];
+  }
+
+ private:
+  std::array<double, kNumChannels> current_{};
+  std::vector<std::array<double, kNumChannels>> per_round_;
+  std::vector<std::size_t> alive_at_round_;
+};
+
+}  // namespace poly::sim

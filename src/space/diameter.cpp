@@ -1,0 +1,77 @@
+#include "space/diameter.hpp"
+
+#include <stdexcept>
+
+namespace poly::space {
+
+DiameterResult exact_diameter(std::span<const DataPoint> points,
+                              const MetricSpace& space) {
+  if (points.empty())
+    throw std::invalid_argument("exact_diameter of empty set");
+  DiameterResult best;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = space.distance(points[i].pos, points[j].pos);
+      if (d > best.distance) best = DiameterResult{i, j, d};
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Index of the point farthest from `from`.
+std::size_t farthest_from(std::span<const DataPoint> points,
+                          const MetricSpace& space, std::size_t from) {
+  std::size_t best = from;
+  double best_d = -1.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = space.distance(points[from].pos, points[i].pos);
+    if (d > best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DiameterResult sampled_diameter(std::span<const DataPoint> points,
+                                const MetricSpace& space, util::Rng& rng,
+                                std::size_t sweeps,
+                                std::size_t sample_pairs) {
+  if (points.empty())
+    throw std::invalid_argument("sampled_diameter of empty set");
+  DiameterResult best;
+
+  // Double-sweep: start anywhere, walk to the farthest point u, then to the
+  // farthest point v from u.  On path-like and convex sets this is a strong
+  // approximation; repeated from independent random starts.
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    const std::size_t start = rng.index(points.size());
+    const std::size_t u = farthest_from(points, space, start);
+    const std::size_t v = farthest_from(points, space, u);
+    const double d = space.distance(points[u].pos, points[v].pos);
+    if (d > best.distance) best = DiameterResult{u, v, d};
+  }
+
+  // Random pair sampling adds robustness on adversarial shapes.
+  for (std::size_t s = 0; s < sample_pairs; ++s) {
+    const std::size_t i = rng.index(points.size());
+    const std::size_t j = rng.index(points.size());
+    if (i == j) continue;
+    const double d = space.distance(points[i].pos, points[j].pos);
+    if (d > best.distance) best = DiameterResult{i, j, d};
+  }
+  return best;
+}
+
+DiameterResult diameter(std::span<const DataPoint> points,
+                        const MetricSpace& space, util::Rng& rng,
+                        std::size_t exact_threshold) {
+  if (points.size() <= exact_threshold) return exact_diameter(points, space);
+  return sampled_diameter(points, space, rng);
+}
+
+}  // namespace poly::space

@@ -1,0 +1,50 @@
+// Diameter of a point set — the PD heuristic primitive (paper §III-F).
+//
+// SPLIT_ADVANCED partitions the pooled guest sets along a *diameter*: a pair
+// (u, v) maximizing d(u, v).  The paper notes that for pools beyond ~30
+// points the diameter can be approximated "by taking a sample of pairs".
+// This module provides the exact quadratic search below that threshold and a
+// deterministic sampled approximation above it (double-sweep far-point walks
+// plus a fixed budget of random pairs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+#include "util/rng.hpp"
+
+namespace poly::space {
+
+/// Result of a diameter search: indices of the two endpoints and their
+/// distance.  For a single-point set, u == v and distance == 0.
+struct DiameterResult {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double distance = 0.0;
+};
+
+/// Exact diameter by exhaustive pair search, O(n²).
+/// Precondition: !points.empty().
+DiameterResult exact_diameter(std::span<const DataPoint> points,
+                              const MetricSpace& space);
+
+/// Approximate diameter for large sets: `sweeps` far-point double-traversals
+/// from random starts, plus `sample_pairs` random pairs; returns the best
+/// pair found.  Deterministic given the Rng state.  Never worse than the
+/// best sampled pair; for metric spaces the double-sweep lower-bounds the
+/// true diameter within a factor the tests characterize.
+DiameterResult sampled_diameter(std::span<const DataPoint> points,
+                                const MetricSpace& space, util::Rng& rng,
+                                std::size_t sweeps = 2,
+                                std::size_t sample_pairs = 64);
+
+/// Dispatcher used by SPLIT_ADVANCED: exact search up to `exact_threshold`
+/// points (default 30, the paper's suggestion), sampled beyond.
+DiameterResult diameter(std::span<const DataPoint> points,
+                        const MetricSpace& space, util::Rng& rng,
+                        std::size_t exact_threshold = 30);
+
+}  // namespace poly::space

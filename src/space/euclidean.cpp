@@ -1,0 +1,31 @@
+#include "space/euclidean.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace poly::space {
+
+EuclideanSpace::EuclideanSpace(unsigned dim) : dim_(dim) {
+  if (dim < 1 || dim > 3)
+    throw std::invalid_argument("EuclideanSpace: dim must be in 1..3");
+}
+
+double EuclideanSpace::distance2(const Point& a,
+                                 const Point& b) const noexcept {
+  double s = 0.0;
+  for (unsigned i = 0; i < dim_; ++i) {
+    const double d = a.c[i] - b.c[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanSpace::distance(const Point& a, const Point& b) const noexcept {
+  return std::sqrt(distance2(a, b));
+}
+
+std::string EuclideanSpace::name() const {
+  return "euclidean" + std::to_string(dim_) + "d";
+}
+
+}  // namespace poly::space

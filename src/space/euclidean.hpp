@@ -1,0 +1,24 @@
+// Euclidean metric space R^d (d in 1..3).
+#pragma once
+
+#include "space/metric_space.hpp"
+
+namespace poly::space {
+
+/// Standard Euclidean space.  Points keep their coordinates as-is
+/// (normalize is the identity).
+class EuclideanSpace final : public MetricSpace {
+ public:
+  /// Constructs R^dim.  Precondition: 1 <= dim <= 3.
+  explicit EuclideanSpace(unsigned dim = 2);
+
+  double distance(const Point& a, const Point& b) const noexcept override;
+  double distance2(const Point& a, const Point& b) const noexcept override;
+  unsigned dimension() const noexcept override { return dim_; }
+  std::string name() const override;
+
+ private:
+  unsigned dim_;
+};
+
+}  // namespace poly::space

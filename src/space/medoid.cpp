@@ -1,0 +1,67 @@
+#include "space/medoid.hpp"
+
+#include <stdexcept>
+
+namespace poly::space {
+
+namespace {
+
+/// Generic medoid over any indexable range with a position accessor.
+template <typename GetPos>
+std::size_t medoid_impl(std::size_t n, GetPos pos, const MetricSpace& space) {
+  if (n == 0) throw std::invalid_argument("medoid of empty set");
+  std::size_t best = 0;
+  double best_cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double cost = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      cost += space.distance2(pos(i), pos(j));
+    }
+    if (i == 0 || cost < best_cost) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t medoid_index(std::span<const Point> points,
+                         const MetricSpace& space) {
+  return medoid_impl(points.size(), [&](std::size_t i) { return points[i]; },
+                     space);
+}
+
+Point medoid(std::span<const Point> points, const MetricSpace& space) {
+  return points[medoid_index(points, space)];
+}
+
+std::size_t medoid_index(std::span<const DataPoint> points,
+                         const MetricSpace& space) {
+  return medoid_impl(points.size(),
+                     [&](std::size_t i) { return points[i].pos; }, space);
+}
+
+Point medoid(std::span<const DataPoint> points, const MetricSpace& space) {
+  return points[medoid_index(points, space)].pos;
+}
+
+double sum_squared_to(const Point& center, std::span<const DataPoint> points,
+                      const MetricSpace& space) noexcept {
+  double s = 0.0;
+  for (const auto& p : points) s += space.distance2(center, p.pos);
+  return s;
+}
+
+double pairwise_squared_cost(std::span<const DataPoint> points,
+                             const MetricSpace& space) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      s += 2.0 * space.distance2(points[i].pos, points[j].pos);
+  return s;
+}
+
+}  // namespace poly::space

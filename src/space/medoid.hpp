@@ -1,0 +1,48 @@
+// Medoid computation — the projection primitive (paper §III-C).
+//
+// A node's position, as seen by the topology construction layer, is the
+// *medoid* of its guest data points: the guest minimizing the sum of squared
+// distances to the other guests.  Medoids (unlike centroids) are well-defined
+// in any metric space, including modular ones.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+
+namespace poly::space {
+
+/// Index of the medoid of `points` under `space`:
+///   argmin_{i} Σ_j d(points[i], points[j])²
+/// Ties are broken toward the lowest index (deterministic).
+/// Precondition: !points.empty().  Complexity O(n²) distance evaluations —
+/// guest sets are small (≈ K+1 to a few dozen points), so exact search is
+/// the right tool.
+std::size_t medoid_index(std::span<const Point> points,
+                         const MetricSpace& space);
+
+/// Medoid of a set of raw points.  Precondition: !points.empty().
+Point medoid(std::span<const Point> points, const MetricSpace& space);
+
+/// Medoid of a set of data points; ties broken toward the lowest index.
+/// Precondition: !points.empty().
+std::size_t medoid_index(std::span<const DataPoint> points,
+                         const MetricSpace& space);
+
+/// Medoid position of a set of data points.  Precondition: !points.empty().
+Point medoid(std::span<const DataPoint> points, const MetricSpace& space);
+
+/// Sum of squared distances from `center` to every point — the clustering
+/// objective the paper uses to compare partitions (§III-F).
+double sum_squared_to(const Point& center, std::span<const DataPoint> points,
+                      const MetricSpace& space) noexcept;
+
+/// Within-cluster objective: Σ_{i,j} d(i,j)² over all ordered pairs of the
+/// set.  SPLIT quality in the tests is assessed with this (paper's criterion
+/// in §III-F).
+double pairwise_squared_cost(std::span<const DataPoint> points,
+                             const MetricSpace& space) noexcept;
+
+}  // namespace poly::space

@@ -1,0 +1,23 @@
+#include "space/metric_space.hpp"
+
+#include <cstdio>
+
+namespace poly::space {
+
+std::string Point::str() const {
+  char buf[96];
+  switch (dim) {
+    case 1:
+      std::snprintf(buf, sizeof buf, "(%.3f)", c[0]);
+      break;
+    case 2:
+      std::snprintf(buf, sizeof buf, "(%.3f, %.3f)", c[0], c[1]);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "(%.3f, %.3f, %.3f)", c[0], c[1], c[2]);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace poly::space

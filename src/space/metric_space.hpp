@@ -1,0 +1,47 @@
+// Metric space abstraction.
+//
+// The only constraint the paper places on the data space is that it is a
+// metric space (§III-A): a distance is defined between any two data points.
+// Crucially, *division is not assumed* — in modular spaces such as a torus,
+// centroids are ill-defined (paper footnote 2) — so every algorithm in this
+// library aggregates through medoids and pairwise distances only.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "space/point.hpp"
+
+namespace poly::space {
+
+/// Abstract metric space over `Point`.
+///
+/// Implementations must satisfy the metric axioms: non-negativity, identity
+/// of indiscernibles, symmetry, and the triangle inequality (the test suite
+/// property-checks all four on every concrete space).
+class MetricSpace {
+ public:
+  virtual ~MetricSpace() = default;
+
+  /// Distance between two points.  Must be symmetric and non-negative.
+  virtual double distance(const Point& a, const Point& b) const noexcept = 0;
+
+  /// Squared distance.  Default squares `distance`; implementations
+  /// override when the squared form is cheaper (Euclidean, torus).
+  virtual double distance2(const Point& a, const Point& b) const noexcept {
+    const double d = distance(a, b);
+    return d * d;
+  }
+
+  /// Canonicalizes a point into the space's fundamental domain (e.g. wraps
+  /// modular coordinates into [0, extent)).  Default: identity.
+  virtual Point normalize(const Point& p) const noexcept { return p; }
+
+  /// Dimension of points this space operates on.
+  virtual unsigned dimension() const noexcept = 0;
+
+  /// Human-readable name, used in logs and experiment output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace poly::space

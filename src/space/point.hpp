@@ -1,0 +1,89 @@
+// Points and data points of the metric data space.
+//
+// Polystyrene's central idea is the decoupling of *nodes* from the *data
+// points* that define the target shape (paper §II-C).  A data point is an
+// immutable position plus a stable 64-bit identity.  Identity — not
+// coordinates — is what the homogeneity metric tracks (ĝuests⁻¹ in §IV-A)
+// and what migration uses to deduplicate redundant copies after recovery.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace poly::space {
+
+/// A position in a data space of dimension 1..3.
+///
+/// Small fixed-capacity value type: the paper evaluates 1-D (ring) and 2-D
+/// (torus) shapes; three dimensions cover e.g. CAN-style 3-torus examples.
+/// Unused coordinates are zero, so equality and hashing are well-defined.
+struct Point {
+  std::array<double, 3> c{0.0, 0.0, 0.0};
+  std::uint8_t dim = 2;
+
+  constexpr Point() = default;
+  explicit constexpr Point(double x) : c{x, 0.0, 0.0}, dim(1) {}
+  constexpr Point(double x, double y) : c{x, y, 0.0}, dim(2) {}
+  constexpr Point(double x, double y, double z) : c{x, y, z}, dim(3) {}
+
+  constexpr double x() const noexcept { return c[0]; }
+  constexpr double y() const noexcept { return c[1]; }
+  constexpr double z() const noexcept { return c[2]; }
+
+  constexpr double operator[](std::size_t i) const noexcept { return c[i]; }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) noexcept {
+    return a.dim == b.dim && a.c == b.c;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) noexcept {
+    return !(a == b);
+  }
+
+  std::string str() const;
+};
+
+/// Stable identity of a data point.  Ids are assigned once by the shape
+/// generator (or the application) and never reused.
+using PointId = std::uint64_t;
+
+/// Sentinel for "no data point".
+inline constexpr PointId kInvalidPointId = ~0ull;
+
+/// An immutable data point: the unit of state Polystyrene replicates,
+/// recovers, and migrates.  Data points are passive — they execute no
+/// protocol (paper §II-C) — so this is a plain value type.
+struct DataPoint {
+  PointId id = kInvalidPointId;
+  Point pos;
+
+  friend constexpr bool operator==(const DataPoint& a,
+                                   const DataPoint& b) noexcept {
+    return a.id == b.id && a.pos == b.pos;
+  }
+
+  /// Ordering by id: guest/ghost sets are kept sorted by id so that set
+  /// unions (migration pooling) and delta computation (incremental backups)
+  /// are linear merges and fully deterministic.
+  friend constexpr bool operator<(const DataPoint& a,
+                                  const DataPoint& b) noexcept {
+    return a.id < b.id;
+  }
+};
+
+}  // namespace poly::space
+
+template <>
+struct std::hash<poly::space::Point> {
+  std::size_t operator()(const poly::space::Point& p) const noexcept {
+    std::size_t h = std::hash<unsigned>{}(p.dim);
+    for (double v : p.c) {
+      // Standard hash-combine; doubles hashed via their bit patterns.
+      h ^= std::hash<double>{}(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,32 @@
+#include "space/ring.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace poly::space {
+
+RingSpace::RingSpace(double circumference) : circ_(circumference) {
+  if (!(circumference > 0.0))
+    throw std::invalid_argument("RingSpace: circumference must be positive");
+}
+
+double RingSpace::distance(const Point& a, const Point& b) const noexcept {
+  double d = std::fabs(a.c[0] - b.c[0]);
+  d = std::fmod(d, circ_);
+  return std::min(d, circ_ - d);
+}
+
+Point RingSpace::normalize(const Point& p) const noexcept {
+  double r = std::fmod(p.c[0], circ_);
+  if (r < 0.0) r += circ_;
+  return Point{r};
+}
+
+std::string RingSpace::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ring%g", circ_);
+  return buf;
+}
+
+}  // namespace poly::space

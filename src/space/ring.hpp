@@ -1,0 +1,29 @@
+// 1-D ring (circle) metric space.
+//
+// The classic overlay key space (Chord/Pastry-style rings): positions live on
+// a circle of a given circumference, distance is the shorter arc.  Used by
+// the ring-shaped examples and to exercise Polystyrene in a space different
+// from the paper's torus.
+#pragma once
+
+#include "space/metric_space.hpp"
+
+namespace poly::space {
+
+/// Circle of the given circumference; points use coordinate 0 only.
+class RingSpace final : public MetricSpace {
+ public:
+  explicit RingSpace(double circumference);
+
+  double distance(const Point& a, const Point& b) const noexcept override;
+  Point normalize(const Point& p) const noexcept override;
+  unsigned dimension() const noexcept override { return 1; }
+  std::string name() const override;
+
+  double circumference() const noexcept { return circ_; }
+
+ private:
+  double circ_;
+};
+
+}  // namespace poly::space

@@ -1,0 +1,45 @@
+#include "space/torus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace poly::space {
+
+TorusSpace::TorusSpace(double width, double height) : w_(width), h_(height) {
+  if (!(width > 0.0) || !(height > 0.0))
+    throw std::invalid_argument("TorusSpace: extents must be positive");
+}
+
+double TorusSpace::axis_delta(double a, double b, double extent) noexcept {
+  double d = std::fabs(a - b);
+  d = std::fmod(d, extent);
+  return std::min(d, extent - d);
+}
+
+double TorusSpace::distance2(const Point& a, const Point& b) const noexcept {
+  const double dx = axis_delta(a.c[0], b.c[0], w_);
+  const double dy = axis_delta(a.c[1], b.c[1], h_);
+  return dx * dx + dy * dy;
+}
+
+double TorusSpace::distance(const Point& a, const Point& b) const noexcept {
+  return std::sqrt(distance2(a, b));
+}
+
+Point TorusSpace::normalize(const Point& p) const noexcept {
+  auto wrap = [](double v, double extent) noexcept {
+    double r = std::fmod(v, extent);
+    if (r < 0.0) r += extent;
+    return r;
+  };
+  return Point{wrap(p.c[0], w_), wrap(p.c[1], h_)};
+}
+
+std::string TorusSpace::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "torus%gx%g", w_, h_);
+  return buf;
+}
+
+}  // namespace poly::space

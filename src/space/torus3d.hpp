@@ -1,0 +1,37 @@
+// 3-D flat torus — the d-torus of CAN-style systems.
+//
+// The paper's related work discusses CAN (reference [3]), "a storage
+// service using a d-torus".  Polystyrene is space-agnostic (§III-A), so a
+// 3-torus exercises the protocol in the geometry of CAN deployments with
+// d = 3; the cube_recovery path of the CLI and the space test suite use it.
+#pragma once
+
+#include "space/metric_space.hpp"
+
+namespace poly::space {
+
+/// Flat 3-D torus of extents (width, height, depth).
+class Torus3dSpace final : public MetricSpace {
+ public:
+  /// Precondition: all extents positive.
+  Torus3dSpace(double width, double height, double depth);
+
+  double distance(const Point& a, const Point& b) const noexcept override;
+  double distance2(const Point& a, const Point& b) const noexcept override;
+  Point normalize(const Point& p) const noexcept override;
+  unsigned dimension() const noexcept override { return 3; }
+  std::string name() const override;
+
+  double width() const noexcept { return w_; }
+  double height() const noexcept { return h_; }
+  double depth() const noexcept { return d_; }
+  /// Volume (reference homogeneity uses the 3-D analogue ½·∛(V/N)).
+  double volume() const noexcept { return w_ * h_ * d_; }
+
+ private:
+  double w_;
+  double h_;
+  double d_;
+};
+
+}  // namespace poly::space

@@ -1,0 +1,213 @@
+#include "tman/tman.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace poly::tman {
+
+TmanProtocol::TmanProtocol(sim::Network& net, const space::MetricSpace& space,
+                           rps::RpsProtocol& rps,
+                           const sim::FailureDetector& fd, TmanConfig cfg)
+    : net_(net), space_(space), rps_(rps), fd_(fd), cfg_(cfg) {
+  if (cfg_.view_cap == 0 || cfg_.msg_size == 0 || cfg_.psi == 0)
+    throw std::invalid_argument("TmanConfig: view_cap/msg_size/psi must be > 0");
+}
+
+void TmanProtocol::on_node_added(sim::NodeId id, const space::Point& pos) {
+  if (id != views_.size())
+    throw std::invalid_argument("TmanProtocol: nodes must register in order");
+  views_.emplace_back();
+  pos_.push_back(pos);
+  version_.push_back(1);
+}
+
+void TmanProtocol::bootstrap_node(sim::NodeId id) {
+  auto& view = views_[id];
+  view.clear();
+  util::Rng& rng = net_.node_rng(id);
+  for (sim::NodeId peer :
+       rps_.random_peers(id, cfg_.init_view, rng)) {
+    if (peer == id || !net_.alive(peer)) continue;
+    view.push_back(Descriptor{peer, pos_[peer], version_[peer]});
+  }
+  rank(id, view);
+}
+
+void TmanProtocol::bootstrap_all() {
+  for (sim::NodeId id = 0; id < views_.size(); ++id)
+    if (net_.alive(id)) bootstrap_node(id);
+}
+
+void TmanProtocol::set_position(sim::NodeId id, const space::Point& pos) {
+  if (pos_[id] == pos) return;
+  pos_[id] = pos;
+  ++version_[id];
+  // The node's own ranking criterion changed; re-rank its view.
+  rank(id, views_[id]);
+}
+
+void TmanProtocol::round() {
+  if (cfg_.refresh_positions) refresh_all_views();
+  for (sim::NodeId p : net_.shuffled_alive_ids()) exchange(p);
+}
+
+void TmanProtocol::refresh_all_views() {
+  const double unit = sim::TrafficMeter::descriptor_units(space_.dimension());
+  for (sim::NodeId p = 0; p < views_.size(); ++p) {
+    if (!net_.alive(p)) continue;
+    auto& view = views_[p];
+    std::size_t updated = 0;
+    for (auto& d : view) {
+      if (version_[d.id] > d.version) {
+        d.pos = pos_[d.id];
+        d.version = version_[d.id];
+        ++updated;
+      }
+    }
+    if (updated > 0) {
+      // Each refreshed entry costs one descriptor on the wire — the
+      // position-update traffic that dominates the paper's Fig. 7b.
+      net_.traffic().add(sim::Channel::kTman,
+                         static_cast<double>(updated) * unit);
+      rank(p, view);
+    }
+  }
+}
+
+void TmanProtocol::prune_suspected(sim::NodeId id) {
+  auto& view = views_[id];
+  view.erase(std::remove_if(view.begin(), view.end(),
+                            [&](const Descriptor& d) {
+                              return fd_.suspects(id, d.id);
+                            }),
+             view.end());
+}
+
+namespace {
+
+/// Sorts descriptors by a precomputed distance key (ties broken by id so
+/// every run is deterministic).  Caching the keys avoids re-evaluating the
+/// metric inside the comparator — the dominant cost at 50k-node scale.
+void sort_by_distance_to(std::vector<Descriptor>& view,
+                         const space::Point& target,
+                         const space::MetricSpace& space) {
+  struct Keyed {
+    double key;
+    std::uint32_t idx;
+  };
+  std::vector<Keyed> keys;
+  keys.reserve(view.size());
+  for (std::uint32_t i = 0; i < view.size(); ++i)
+    keys.push_back({space.distance2(target, view[i].pos), i});
+  std::sort(keys.begin(), keys.end(), [&](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return view[a.idx].id < view[b.idx].id;
+  });
+  std::vector<Descriptor> sorted;
+  sorted.reserve(view.size());
+  for (const auto& k : keys) sorted.push_back(view[k.idx]);
+  view.swap(sorted);
+}
+
+}  // namespace
+
+void TmanProtocol::rank(sim::NodeId self, std::vector<Descriptor>& view) const {
+  sort_by_distance_to(view, pos_[self], space_);
+}
+
+std::vector<Descriptor> TmanProtocol::build_buffer(sim::NodeId p,
+                                                   sim::NodeId q) {
+  util::Rng& rng = net_.node_rng(p);
+  // Candidates: own view plus a fresh random sample from the RPS layer
+  // ("augmented in some protocols by additional random neighbors returned
+  //  by the peer-sampling overlay", §II-B — this is what guarantees
+  //  convergence from arbitrary states).
+  std::vector<Descriptor> cand = views_[p];
+  for (sim::NodeId r : rps_.random_peers(p, cfg_.rps_fresh, rng)) {
+    if (r == p || r == q || !net_.alive(r)) continue;
+    cand.push_back(Descriptor{r, pos_[r], version_[r]});
+  }
+  // Rank candidates by distance to *q* and keep the best m-1.
+  sort_by_distance_to(cand, pos_[q], space_);
+  std::vector<Descriptor> buf;
+  buf.reserve(cfg_.msg_size);
+  buf.push_back(Descriptor{p, pos_[p], version_[p]});  // own, always first
+  std::unordered_map<sim::NodeId, bool> seen{{p, true}, {q, true}};
+  for (const auto& d : cand) {
+    if (buf.size() >= cfg_.msg_size) break;
+    if (seen.contains(d.id)) continue;
+    seen.emplace(d.id, true);
+    buf.push_back(d);
+  }
+  return buf;
+}
+
+void TmanProtocol::merge(sim::NodeId self,
+                         const std::vector<Descriptor>& incoming) {
+  auto& view = views_[self];
+  std::unordered_map<sim::NodeId, std::size_t> index;
+  index.reserve(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) index.emplace(view[i].id, i);
+
+  for (const auto& d : incoming) {
+    if (d.id == self) continue;
+    auto it = index.find(d.id);
+    if (it != index.end()) {
+      // Known node: keep the freshest advertised position.
+      if (d.version > view[it->second].version) view[it->second] = d;
+    } else {
+      index.emplace(d.id, view.size());
+      view.push_back(d);
+    }
+  }
+  rank(self, view);
+  if (view.size() > cfg_.view_cap) view.resize(cfg_.view_cap);
+}
+
+bool TmanProtocol::exchange(sim::NodeId p) {
+  prune_suspected(p);
+  auto& view = views_[p];
+  if (view.empty()) {
+    bootstrap_node(p);
+    if (view.empty()) return false;
+  }
+
+  // selectPeer(): uniformly among the ψ closest entries (view is ranked).
+  util::Rng& rng = net_.node_rng(p);
+  const std::size_t horizon = std::min(cfg_.psi, view.size());
+  const sim::NodeId q = view[rng.index(horizon)].id;
+  if (!net_.alive(q)) {
+    // Contact failure: heal the link and retry next round.
+    view.erase(std::remove_if(view.begin(), view.end(),
+                              [q](const Descriptor& d) { return d.id == q; }),
+               view.end());
+    return false;
+  }
+
+  // Symmetric push-pull of m-descriptor buffers.
+  const auto buf_pq = build_buffer(p, q);
+  prune_suspected(q);
+  const auto buf_qp = build_buffer(q, p);
+
+  const double unit = sim::TrafficMeter::descriptor_units(space_.dimension());
+  net_.traffic().add(sim::Channel::kTman,
+                     static_cast<double>(buf_pq.size() + buf_qp.size()) * unit);
+
+  merge(q, buf_pq);
+  merge(p, buf_qp);
+  return true;
+}
+
+std::vector<sim::NodeId> TmanProtocol::closest_alive(sim::NodeId id,
+                                                     std::size_t k) const {
+  std::vector<sim::NodeId> out;
+  out.reserve(k);
+  for (const auto& d : views_[id]) {
+    if (out.size() >= k) break;
+    if (net_.alive(d.id)) out.push_back(d.id);
+  }
+  return out;
+}
+
+}  // namespace poly::tman

@@ -1,0 +1,53 @@
+// The topology-construction abstraction Polystyrene plugs into.
+//
+// The paper presents Polystyrene as "an add-on layer that can be plugged
+// into any decentralized topology construction algorithm" (§II-C, Fig. 3).
+// This interface is that plug: everything the Polystyrene layer needs from
+// the layer below is
+//
+//   * the node's advertised position (read and — after projection — write),
+//   * the neighbourhood the topology layer has constructed (Step 1' of
+//     Fig. 4), from which migration draws its partners.
+//
+// Two implementations ship: tman::TmanProtocol (the paper's evaluation
+// substrate) and vicinity::VicinityProtocol (Voulgaris & van Steen's
+// protocol, the paper's reference [2]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/node_id.hpp"
+#include "space/point.hpp"
+
+namespace poly::topo {
+
+/// Abstract decentralized topology construction protocol.
+class TopologyConstruction {
+ public:
+  virtual ~TopologyConstruction() = default;
+
+  /// Current advertised position of a node.
+  virtual const space::Point& position(sim::NodeId id) const = 0;
+
+  /// Updates a node's advertised position (Polystyrene's projection step).
+  /// Implementations must propagate the change through future gossip.
+  virtual void set_position(sim::NodeId id, const space::Point& pos) = 0;
+
+  /// The k closest *alive* neighbours the protocol currently knows for
+  /// `id` — the exported neighbourhood (paper Fig. 4, Step 1').
+  virtual std::vector<sim::NodeId> closest_alive(sim::NodeId id,
+                                                 std::size_t k) const = 0;
+
+  /// Runs one gossip round over all alive nodes.
+  virtual void round() = 0;
+
+  /// Registers a node (in id order) / seeds a node's view.
+  virtual void on_node_added(sim::NodeId id, const space::Point& pos) = 0;
+  virtual void bootstrap_node(sim::NodeId id) = 0;
+
+  /// Human-readable protocol name (experiment output).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace poly::topo

@@ -1,0 +1,8 @@
+// codec.hpp is header-only; this translation unit exists so the static
+// library always has at least this object and to host future non-inline
+// helpers.
+#include "util/codec.hpp"
+
+namespace poly::util {
+// Intentionally empty.
+}  // namespace poly::util

@@ -1,0 +1,57 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace poly::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+std::once_flag g_env_once;
+
+void init_from_env() {
+  if (const char* env = std::getenv("POLY_LOG")) {
+    set_log_level_from_string(env);
+  }
+}
+
+void emit(const char* tag, const std::string& msg) {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  std::fprintf(stderr, "[poly:%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+bool set_log_level_from_string(const std::string& name) noexcept {
+  if (name == "error") { set_log_level(LogLevel::kError); return true; }
+  if (name == "warn")  { set_log_level(LogLevel::kWarn);  return true; }
+  if (name == "info")  { set_log_level(LogLevel::kInfo);  return true; }
+  if (name == "debug") { set_log_level(LogLevel::kDebug); return true; }
+  return false;
+}
+
+void log_error(const std::string& msg) {
+  if (log_level() >= LogLevel::kError) emit("error", msg);
+}
+void log_warn(const std::string& msg) {
+  if (log_level() >= LogLevel::kWarn) emit("warn", msg);
+}
+void log_info(const std::string& msg) {
+  if (log_level() >= LogLevel::kInfo) emit("info", msg);
+}
+void log_debug(const std::string& msg) {
+  if (log_level() >= LogLevel::kDebug) emit("debug", msg);
+}
+
+}  // namespace poly::util

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is silent at default level; the harness raises
+// verbosity via POLY_LOG (error|warn|info|debug) or set_log_level().
+#pragma once
+
+#include <string>
+
+namespace poly::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold (messages above it are dropped).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parses "error"/"warn"/"info"/"debug"; unknown strings leave the level
+/// unchanged and return false.
+bool set_log_level_from_string(const std::string& name) noexcept;
+
+void log_error(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_info(const std::string& msg);
+void log_debug(const std::string& msg);
+
+}  // namespace poly::util

@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace poly::util {
+
+namespace {
+
+/// SplitMix64 step: used for seeding and for deriving child streams.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_u64: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ull) return next_u64();
+  const std::uint64_t bound = span + 1;
+  // Rejection sampling: reject values in the biased tail.
+  const std::uint64_t limit = ~0ull - (~0ull % bound) - 1;
+  std::uint64_t r = next_u64();
+  while (r > limit) r = next_u64();
+  return lo + (r % bound);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_i64: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  return lo + static_cast<std::int64_t>(uniform_u64(0, span));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform_real: lo > hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::split() noexcept {
+  // Derive the child's seed from fresh output so parent and child diverge.
+  const std::uint64_t child_seed = next_u64() ^ 0xd1b54a32d192ed03ull;
+  return Rng{child_seed};
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return out;
+  }
+  if (k > n / 3) {
+    // Partial Fisher–Yates over an index vector.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  // Floyd's algorithm: k draws, each guaranteed to add one new element.
+  std::unordered_set<std::size_t> seen;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace poly::util

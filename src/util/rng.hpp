@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The simulator must be bit-reproducible given a seed, across platforms and
+// standard-library implementations.  std::mt19937_64 is portable but the
+// standard *distributions* are not, so this module implements its own engine
+// (xoshiro256**, seeded through SplitMix64) and its own uniform / sampling
+// helpers with fully specified semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace poly::util {
+
+/// Deterministic, splittable random number generator.
+///
+/// Engine: xoshiro256** (Blackman & Vigna).  State is seeded by expanding a
+/// 64-bit seed through SplitMix64, so every seed yields a well-mixed state.
+///
+/// The generator is cheap to copy; `split()` derives an independent child
+/// stream, which the simulator uses to give every node its own stream (so the
+/// activation order of nodes does not perturb their private randomness).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].  Precondition: lo <= hi.
+  /// Uses rejection sampling (unbiased).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), signed convenience overload.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t index in [0, n).  Precondition: n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator.  The child's stream does not
+  /// overlap the parent's continued stream for any practical horizon.
+  Rng split() noexcept;
+
+  /// Fisher–Yates shuffle with this generator (deterministic given state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Picks one element uniformly at random.  Precondition: !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::pick on empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (Floyd's algorithm
+  /// for k << n, otherwise partial shuffle).  If k >= n, returns all of
+  /// [0, n) in shuffled order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Samples `k` distinct elements from `v` without replacement.
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& v, std::size_t k) {
+    std::vector<T> out;
+    for (std::size_t i : sample_indices(v.size(), k)) out.push_back(v[i]);
+    return out;
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace poly::util

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace poly::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size())
+    throw std::invalid_argument("Table: row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c];
+      os << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << "|" << std::string(widths[c] + 2, '-');
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    log_warn("Table: cannot open '" + path + "' for writing");
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace poly::util

@@ -1,0 +1,44 @@
+// Table / CSV output used by the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper reports, both as
+// an aligned ASCII table (human-readable console output) and optionally as a
+// CSV file (gnuplot-ready, one column per series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poly::util {
+
+/// Column-aligned text table with CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace poly::util

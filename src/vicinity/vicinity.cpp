@@ -1,0 +1,204 @@
+#include "vicinity/vicinity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace poly::vicinity {
+
+VicinityProtocol::VicinityProtocol(sim::Network& net,
+                                   const space::MetricSpace& space,
+                                   rps::RpsProtocol& rps,
+                                   const sim::FailureDetector& fd,
+                                   VicinityConfig cfg)
+    : net_(net), space_(space), rps_(rps), fd_(fd), cfg_(cfg) {
+  if (cfg_.view_size == 0 || cfg_.gossip_size == 0)
+    throw std::invalid_argument(
+        "VicinityConfig: view_size/gossip_size must be > 0");
+}
+
+void VicinityProtocol::on_node_added(sim::NodeId id, const space::Point& pos) {
+  if (id != views_.size())
+    throw std::invalid_argument("VicinityProtocol: nodes must register in order");
+  views_.emplace_back();
+  pos_.push_back(pos);
+  version_.push_back(1);
+}
+
+void VicinityProtocol::bootstrap_node(sim::NodeId id) {
+  auto& view = views_[id];
+  view.clear();
+  util::Rng& rng = net_.node_rng(id);
+  for (sim::NodeId peer : rps_.random_peers(id, cfg_.init_view, rng)) {
+    if (peer == id || !net_.alive(peer)) continue;
+    view.push_back(VicinityEntry{peer, pos_[peer], version_[peer], 0});
+  }
+  select_closest(id, view);
+}
+
+void VicinityProtocol::bootstrap_all() {
+  for (sim::NodeId id = 0; id < views_.size(); ++id)
+    if (net_.alive(id)) bootstrap_node(id);
+}
+
+void VicinityProtocol::set_position(sim::NodeId id, const space::Point& pos) {
+  if (pos_[id] == pos) return;
+  pos_[id] = pos;
+  ++version_[id];
+}
+
+void VicinityProtocol::round() {
+  for (sim::NodeId p : net_.shuffled_alive_ids()) {
+    refresh_positions(p);
+    exchange(p);
+  }
+}
+
+void VicinityProtocol::refresh_positions(sim::NodeId p) {
+  // As with our T-Man: moving nodes must refresh the positions advertised
+  // in views each round (billed per changed descriptor).
+  auto& view = views_[p];
+  std::size_t updated = 0;
+  for (auto& e : view) {
+    if (version_[e.id] > e.version) {
+      e.pos = pos_[e.id];
+      e.version = version_[e.id];
+      ++updated;
+    }
+  }
+  if (updated > 0) {
+    net_.traffic().add(
+        sim::Channel::kTman,
+        static_cast<double>(updated) *
+            sim::TrafficMeter::descriptor_units(space_.dimension()));
+    select_closest(p, view);
+  }
+}
+
+void VicinityProtocol::select_closest(sim::NodeId self,
+                                      std::vector<VicinityEntry>& view) const {
+  const space::Point& me = pos_[self];
+  struct Keyed {
+    double key;
+    std::uint32_t idx;
+  };
+  std::vector<Keyed> keys;
+  keys.reserve(view.size());
+  for (std::uint32_t i = 0; i < view.size(); ++i)
+    keys.push_back({space_.distance2(me, view[i].pos), i});
+  std::sort(keys.begin(), keys.end(), [&](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return view[a.idx].id < view[b.idx].id;
+  });
+  std::vector<VicinityEntry> selected;
+  selected.reserve(std::min(view.size(), cfg_.view_size));
+  for (const auto& k : keys) {
+    if (selected.size() >= cfg_.view_size) break;
+    selected.push_back(view[k.idx]);
+  }
+  view.swap(selected);
+}
+
+std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
+                                                          sim::NodeId q) {
+  util::Rng& rng = net_.node_rng(p);
+  // Own descriptor + Vicinity view + a slice of the peer-sampling view —
+  // the two-layer candidate pool of the original protocol.
+  std::vector<VicinityEntry> cand = views_[p];
+  for (sim::NodeId r : rps_.random_peers(p, cfg_.rps_mix, rng)) {
+    if (r == p || r == q || !net_.alive(r)) continue;
+    cand.push_back(VicinityEntry{r, pos_[r], version_[r], 0});
+  }
+  const space::Point& qpos = pos_[q];
+  std::sort(cand.begin(), cand.end(),
+            [&](const VicinityEntry& a, const VicinityEntry& b) {
+              const double da = space_.distance2(qpos, a.pos);
+              const double db = space_.distance2(qpos, b.pos);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  std::vector<VicinityEntry> buf;
+  buf.reserve(cfg_.gossip_size);
+  buf.push_back(VicinityEntry{p, pos_[p], version_[p], 0});
+  std::unordered_map<sim::NodeId, bool> seen{{p, true}, {q, true}};
+  for (const auto& e : cand) {
+    if (buf.size() >= cfg_.gossip_size) break;
+    if (seen.contains(e.id)) continue;
+    seen.emplace(e.id, true);
+    buf.push_back(e);
+  }
+  return buf;
+}
+
+void VicinityProtocol::merge(sim::NodeId self,
+                             const std::vector<VicinityEntry>& incoming) {
+  auto& view = views_[self];
+  std::unordered_map<sim::NodeId, std::size_t> index;
+  index.reserve(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) index.emplace(view[i].id, i);
+  for (const auto& e : incoming) {
+    if (e.id == self) continue;
+    auto it = index.find(e.id);
+    if (it != index.end()) {
+      auto& mine = view[it->second];
+      if (e.version > mine.version) {
+        mine.pos = e.pos;
+        mine.version = e.version;
+      }
+      mine.age = std::min(mine.age, e.age);
+    } else {
+      index.emplace(e.id, view.size());
+      view.push_back(e);
+    }
+  }
+  select_closest(self, view);
+}
+
+bool VicinityProtocol::exchange(sim::NodeId p) {
+  auto& view = views_[p];
+  for (auto& e : view) ++e.age;
+
+  // Partner selection: the *oldest* alive entry (Cyclon-style).  Entries
+  // found dead on contact are dropped — Vicinity's healing.
+  sim::NodeId q = sim::kInvalidNode;
+  while (!view.empty()) {
+    auto oldest = std::max_element(view.begin(), view.end(),
+                                   [](const VicinityEntry& a,
+                                      const VicinityEntry& b) {
+                                     return a.age < b.age;
+                                   });
+    if (!fd_.suspects(p, oldest->id) && net_.alive(oldest->id)) {
+      q = oldest->id;
+      oldest->age = 0;
+      break;
+    }
+    view.erase(oldest);
+  }
+  if (q == sim::kInvalidNode) {
+    bootstrap_node(p);
+    return false;
+  }
+
+  const auto buf_pq = build_buffer(p, q);
+  const auto buf_qp = build_buffer(q, p);
+  net_.traffic().add(
+      sim::Channel::kTman,
+      static_cast<double>(buf_pq.size() + buf_qp.size()) *
+          sim::TrafficMeter::descriptor_units(space_.dimension()));
+  merge(q, buf_pq);
+  merge(p, buf_qp);
+  return true;
+}
+
+std::vector<sim::NodeId> VicinityProtocol::closest_alive(sim::NodeId id,
+                                                         std::size_t k) const {
+  std::vector<sim::NodeId> out;
+  out.reserve(k);
+  for (const auto& e : views_[id]) {
+    if (out.size() >= k) break;
+    if (net_.alive(e.id)) out.push_back(e.id);
+  }
+  return out;
+}
+
+}  // namespace poly::vicinity

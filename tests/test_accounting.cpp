@@ -1,0 +1,212 @@
+// Tests for the traffic-accounting semantics behind Fig. 7b — the
+// delta-optimized backup pushes (§III-D: "sending only incremental deltas
+// to backup nodes, rather than full copies") and the version-based position
+// gossip that dominates T-Man's cost.
+#include <gtest/gtest.h>
+
+#include "core/polystyrene.hpp"
+#include "rps/rps.hpp"
+#include "shape/grid_torus.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/network.hpp"
+#include "tman/tman.hpp"
+
+namespace {
+
+using poly::core::PolyConfig;
+using poly::core::PolystyreneLayer;
+using poly::rps::RpsProtocol;
+using poly::shape::GridTorusShape;
+using poly::sim::Channel;
+using poly::sim::Network;
+using poly::sim::NodeId;
+using poly::sim::PerfectFailureDetector;
+using poly::space::DataPoint;
+using poly::space::Point;
+using poly::tman::TmanConfig;
+using poly::tman::TmanProtocol;
+
+/// Two-node stack: deterministic backup topology (each node's only
+/// possible backup target is the other node).
+struct Pair {
+  explicit Pair(PolyConfig cfg)
+      : net(1),
+        rps(net, {2, 1}),
+        fd(net),
+        tman(net, shape.space(), rps, fd, TmanConfig{}),
+        poly(net, shape.space(), rps, tman, fd, cfg) {
+    const DataPoint a{0, Point(0.0, 0.0)};
+    const DataPoint b{1, Point(3.0, 0.0)};
+    for (const auto& dp : {a, b}) {
+      const NodeId id = net.add_node(dp.pos);
+      rps.on_node_added(id);
+      tman.on_node_added(id, dp.pos);
+      poly.on_node_added(id, dp);
+    }
+    rps.bootstrap_all();
+    tman.bootstrap_all();
+  }
+
+  void run_round() {
+    rps.round();
+    tman.round();
+    poly.round();
+    net.advance_round();
+  }
+
+  GridTorusShape shape{8, 8};
+  Network net;
+  RpsProtocol rps;
+  PerfectFailureDetector fd;
+  TmanProtocol tman;
+  PolystyreneLayer poly;
+};
+
+TEST(BackupAccounting, FirstPushesAreFullCopies) {
+  PolyConfig cfg;
+  cfg.replication = 1;
+  Pair pair(cfg);
+  // In a 2-node network the Cyclon swap leaves one view empty per round,
+  // so the two initial backups form over the first rounds rather than
+  // simultaneously.  Each initial push costs 1 id unit (provenance) +
+  // 1 point × 2 units = 3; exactly two must ever happen.
+  double total = 0.0;
+  for (int r = 0; r < 4; ++r) {
+    pair.run_round();
+    total += pair.net.traffic().total(r, Channel::kBackup);
+  }
+  EXPECT_DOUBLE_EQ(total, 6.0);
+  EXPECT_EQ(pair.poly.backups(0).size(), 1u);
+  EXPECT_EQ(pair.poly.backups(1).size(), 1u);
+}
+
+TEST(BackupAccounting, StableStateCostsNothingIncremental) {
+  PolyConfig cfg;
+  cfg.replication = 1;
+  cfg.incremental_backup = true;
+  Pair pair(cfg);
+  for (int r = 0; r < 4; ++r) pair.run_round();  // both backups in place
+  // With 2 nodes at distance 3, the pairwise split is a fixed point: each
+  // keeps its own point, so guests never change and deltas are empty.
+  for (int r = 4; r <= 8; ++r) {
+    pair.run_round();
+    EXPECT_DOUBLE_EQ(pair.net.traffic().total(r, Channel::kBackup), 0.0)
+        << "round " << r;
+  }
+}
+
+TEST(BackupAccounting, NonIncrementalPushesFullCopiesEveryRound) {
+  PolyConfig cfg;
+  cfg.replication = 1;
+  cfg.incremental_backup = false;
+  Pair pair(cfg);
+  for (int r = 0; r < 4; ++r) pair.run_round();  // both backups in place
+  for (int r = 4; r <= 7; ++r) {
+    pair.run_round();
+    EXPECT_DOUBLE_EQ(pair.net.traffic().total(r, Channel::kBackup), 6.0)
+        << "round " << r;
+  }
+}
+
+TEST(BackupAccounting, GhostStateStillReplacedWhenDeltaIsEmpty) {
+  // Zero-cost pushes must still keep b.ghosts[p] semantically current.
+  PolyConfig cfg;
+  cfg.replication = 1;
+  Pair pair(cfg);
+  for (int r = 0; r < 3; ++r) pair.run_round();
+  EXPECT_EQ(pair.poly.ghosts(0).at(1).size(), 1u);
+  EXPECT_EQ(pair.poly.ghosts(1).at(0).size(), 1u);
+}
+
+TEST(MigrationAccounting, ExchangeBillsBothDirections) {
+  PolyConfig cfg;
+  cfg.replication = 1;
+  Pair pair(cfg);
+  pair.run_round();
+  // Each node initiates one exchange with the other: pull (1 guest × 2
+  // units + id) + push (1 guest × 2 units + id) = 6 units per exchange,
+  // two exchanges per round.
+  EXPECT_DOUBLE_EQ(pair.net.traffic().total(0, Channel::kMigration), 12.0);
+}
+
+// ---- T-Man version gossip -----------------------------------------------------
+
+TEST(TmanVersioning, StalePositionsPropagateThroughGossipWithoutRefresh) {
+  // With the per-round refresh disabled, a moved node's new position must
+  // still reach other views eventually — via version-dedup'd gossip buffers
+  // (the slower path the paper's T-Man avoids by refreshing).
+  GridTorusShape shape(8, 8);
+  Network net(5);
+  RpsProtocol rps(net, {20, 10});
+  PerfectFailureDetector fd(net);
+  TmanConfig cfg;
+  cfg.refresh_positions = false;
+  TmanProtocol tman(net, shape.space(), rps, fd, cfg);
+  for (const auto& dp : shape.generate()) {
+    const NodeId id = net.add_node(dp.pos);
+    rps.on_node_added(id);
+    tman.on_node_added(id, dp.pos);
+  }
+  rps.bootstrap_all();
+  tman.bootstrap_all();
+  for (int r = 0; r < 10; ++r) {
+    rps.round();
+    tman.round();
+    net.advance_round();
+  }
+
+  tman.set_position(0, Point(4.0, 4.0));
+  for (int r = 0; r < 15; ++r) {
+    rps.round();
+    tman.round();
+    net.advance_round();
+  }
+  // Count views that know the new position among those referencing node 0.
+  std::size_t knows = 0;
+  std::size_t references = 0;
+  for (NodeId id = 1; id < net.num_total(); ++id) {
+    for (const auto& d : tman.view(id)) {
+      if (d.id != 0) continue;
+      ++references;
+      if (d.pos == Point(4.0, 4.0)) ++knows;
+    }
+  }
+  ASSERT_GT(references, 0u);
+  EXPECT_GT(knows, references / 2);  // gossip spread the fresh descriptor
+}
+
+TEST(TmanVersioning, RefreshBillsOnlyChangedEntries) {
+  // In a static network the refresh step must bill nothing.
+  GridTorusShape shape(8, 8);
+  Network net(7);
+  RpsProtocol rps(net, {20, 10});
+  PerfectFailureDetector fd(net);
+  TmanProtocol tman(net, shape.space(), rps, fd, {});
+  for (const auto& dp : shape.generate()) {
+    const NodeId id = net.add_node(dp.pos);
+    rps.on_node_added(id);
+    tman.on_node_added(id, dp.pos);
+  }
+  rps.bootstrap_all();
+  tman.bootstrap_all();
+  for (int r = 0; r < 6; ++r) {
+    rps.round();
+    tman.round();
+    net.advance_round();
+  }
+  const double before = net.traffic().total(5, Channel::kTman);
+  // Exchange buffers only: 64 exchanges × ≤ 2×20 descriptors × 3 units.
+  EXPECT_LE(before, 64.0 * 2 * 20 * 3);
+
+  // Now move every node: the next round pays a refresh for every view
+  // entry referencing a moved node.
+  for (NodeId id = 0; id < net.num_total(); ++id)
+    tman.set_position(id, Point(id % 8 + 0.25, id / 8 + 0.25));
+  rps.round();
+  tman.round();
+  net.advance_round();
+  const double after = net.traffic().total(6, Channel::kTman);
+  EXPECT_GT(after, before);  // refresh traffic appears once nodes move
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+// Unit tests for poly::metrics — homogeneity (both the hosted and the
+// lost-point fallback branches, checked against the paper's closed-form
+// values), reliability, proximity, the position index, and storage
+// averaging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "metrics/position_index.hpp"
+#include "shape/grid_torus.hpp"
+#include "space/euclidean.hpp"
+#include "space/ring.hpp"
+#include "space/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::metrics::HostingView;
+using poly::metrics::PositionIndex;
+using poly::sim::Network;
+using poly::sim::NodeId;
+using poly::space::DataPoint;
+using poly::space::EuclideanSpace;
+using poly::space::Point;
+using poly::space::RingSpace;
+using poly::space::TorusSpace;
+using poly::util::Rng;
+
+// ---- PositionIndex -----------------------------------------------------------
+
+TEST(PositionIndex, GridMatchesLinearScanOnTorus) {
+  TorusSpace t(80.0, 40.0);
+  Rng rng(1);
+  std::vector<Point> positions;
+  for (int i = 0; i < 500; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 80),
+                              rng.uniform_real(0, 40)));
+  PositionIndex index(t, positions);
+  for (int q = 0; q < 200; ++q) {
+    const Point query(rng.uniform_real(0, 80), rng.uniform_real(0, 40));
+    double expected = std::numeric_limits<double>::infinity();
+    for (const auto& p : positions)
+      expected = std::min(expected, t.distance(query, p));
+    EXPECT_NEAR(index.nearest_distance(query), expected, 1e-9);
+  }
+}
+
+TEST(PositionIndex, WrapAroundQueries) {
+  TorusSpace t(80.0, 40.0);
+  // Single node at the origin; query from the far corner wraps.
+  PositionIndex index(t, {Point(0.0, 0.0)});
+  EXPECT_NEAR(index.nearest_distance(Point(79.0, 39.0)), std::sqrt(2.0),
+              1e-9);
+}
+
+TEST(PositionIndex, HalfEmptyTorus) {
+  // The exact geometry of the paper's post-failure fallback: nodes only in
+  // the left half, queries from the right half.
+  TorusSpace t(80.0, 40.0);
+  std::vector<Point> positions;
+  for (int x = 0; x < 40; ++x)
+    for (int y = 0; y < 40; ++y)
+      positions.push_back(Point(x, y));
+  PositionIndex index(t, positions);
+  // x = 60 is 21 from x=39 and 20 from x=80≡0.
+  EXPECT_NEAR(index.nearest_distance(Point(60.0, 10.0)), 20.0, 1e-9);
+  EXPECT_NEAR(index.nearest_distance(Point(41.0, 10.0)), 2.0, 1e-9);
+}
+
+TEST(PositionIndex, NonTorusFallsBackToLinear) {
+  EuclideanSpace e(2);
+  PositionIndex index(e, {Point(0, 0), Point(10, 0)});
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(4, 0)), 4.0);
+}
+
+TEST(PositionIndex, RingSpaceLinear) {
+  RingSpace r(100.0);
+  PositionIndex index(r, {Point(10.0), Point(90.0)});
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(95.0)), 5.0);
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(0.0)), 10.0);
+}
+
+TEST(PositionIndex, EmptyIndexThrowsOnQuery) {
+  EuclideanSpace e(2);
+  PositionIndex index(e, {});
+  EXPECT_TRUE(index.empty());
+  EXPECT_THROW(index.nearest_distance(Point(0, 0)), std::logic_error);
+}
+
+// ---- Homogeneity --------------------------------------------------------------
+
+/// Test fixture: a hand-built hosting view over a small network.
+struct Hosting {
+  Network net{1};
+  std::vector<std::vector<DataPoint>> guests;
+  std::vector<Point> positions;
+
+  NodeId add(Point pos, std::vector<DataPoint> g) {
+    const NodeId id = net.add_node(pos);
+    guests.push_back(std::move(g));
+    positions.push_back(pos);
+    return id;
+  }
+
+  HostingView view() {
+    HostingView v;
+    v.guests = [this](NodeId n) {
+      return std::span<const DataPoint>(guests[n]);
+    };
+    v.position = [this](NodeId n) -> const Point& { return positions[n]; };
+    return v;
+  }
+};
+
+TEST(Homogeneity, ZeroWhenEveryPointHostedAtItsPosition) {
+  TorusSpace t(8.0, 8.0);
+  Hosting h;
+  std::vector<DataPoint> pts;
+  for (int i = 0; i < 4; ++i) {
+    DataPoint dp{static_cast<poly::space::PointId>(i),
+                 Point(i * 2.0, 0.0)};
+    pts.push_back(dp);
+    h.add(dp.pos, {dp});
+  }
+  EXPECT_DOUBLE_EQ(poly::metrics::homogeneity(h.net, t, pts, h.view()), 0.0);
+}
+
+TEST(Homogeneity, HostedPointUsesClosestPrimaryHolder) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  DataPoint dp{0, Point(0.0, 0.0)};
+  h.add(Point(3.0, 0.0), {dp});  // holder A at distance 3
+  h.add(Point(1.0, 0.0), {dp});  // holder B at distance 1 (duplicate copy)
+  std::vector<DataPoint> pts{dp};
+  EXPECT_DOUBLE_EQ(poly::metrics::homogeneity(h.net, t, pts, h.view()), 1.0);
+}
+
+TEST(Homogeneity, LostPointFallsBackToNearestNode) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  h.add(Point(0.0, 0.0), {});  // nobody hosts anything
+  h.add(Point(5.0, 0.0), {});
+  std::vector<DataPoint> pts{{0, Point(4.0, 0.0)}};
+  // Nearest node to (4,0) is (5,0): distance 1.
+  EXPECT_DOUBLE_EQ(poly::metrics::homogeneity(h.net, t, pts, h.view()), 1.0);
+}
+
+TEST(Homogeneity, PaperClosedFormAfterHalfTorusFailure) {
+  // T-Man after the 80×40 half-crash: surviving points at distance 0, lost
+  // points at mean 10.5 → homogeneity 5.25 (§IV-B reports 5.25 ± 0.0).
+  poly::shape::GridTorusShape shape(80, 40);
+  const auto pts = shape.generate();
+  Hosting h;
+  for (const auto& dp : pts) {
+    if (!shape.in_failure_half(dp.pos)) {
+      h.add(dp.pos, {dp});
+    }
+  }
+  EXPECT_NEAR(
+      poly::metrics::homogeneity(h.net, shape.space(), pts, h.view()), 5.25,
+      1e-9);
+}
+
+TEST(Homogeneity, PaperClosedFormAfterReinjection) {
+  // T-Man after re-injection on the offset grid: lost points sit √2/2 from
+  // the nearest fresh node → homogeneity ≈ 0.35 (§IV-B).
+  poly::shape::GridTorusShape shape(80, 40);
+  const auto pts = shape.generate();
+  Hosting h;
+  for (const auto& dp : pts)
+    if (!shape.in_failure_half(dp.pos)) h.add(dp.pos, {dp});
+  for (const auto& pos : shape.reinjection_positions(1600))
+    h.add(pos, {});
+  const double hom =
+      poly::metrics::homogeneity(h.net, shape.space(), pts, h.view());
+  EXPECT_NEAR(hom, 0.5 * std::sqrt(2.0) / 2.0, 0.01);
+}
+
+TEST(Homogeneity, IgnoresNonInitialPointIds) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  DataPoint initial{0, Point(0.0, 0.0)};
+  DataPoint foreign{999, Point(9.0, 9.0)};
+  h.add(Point(0.0, 0.0), {initial, foreign});
+  std::vector<DataPoint> pts{initial};
+  EXPECT_DOUBLE_EQ(poly::metrics::homogeneity(h.net, t, pts, h.view()), 0.0);
+}
+
+TEST(Homogeneity, EmptyPointListIsZero) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  h.add(Point(0, 0), {});
+  std::vector<DataPoint> pts;
+  EXPECT_DOUBLE_EQ(poly::metrics::homogeneity(h.net, t, pts, h.view()), 0.0);
+}
+
+// ---- Reliability ----------------------------------------------------------------
+
+TEST(Reliability, CountsHostedFraction) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  DataPoint a{0, Point(0, 0)};
+  DataPoint b{1, Point(1, 0)};
+  DataPoint c{2, Point(2, 0)};
+  h.add(Point(0, 0), {a, b});
+  h.add(Point(5, 0), {});
+  std::vector<DataPoint> pts{a, b, c};
+  EXPECT_NEAR(poly::metrics::reliability(h.net, pts, h.view()), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(Reliability, CrashedHoldersDoNotCount) {
+  TorusSpace t(10.0, 10.0);
+  Hosting h;
+  DataPoint a{0, Point(0, 0)};
+  const NodeId holder = h.add(Point(0, 0), {a});
+  std::vector<DataPoint> pts{a};
+  EXPECT_DOUBLE_EQ(poly::metrics::reliability(h.net, pts, h.view()), 1.0);
+  h.net.crash(holder);
+  EXPECT_DOUBLE_EQ(poly::metrics::reliability(h.net, pts, h.view()), 0.0);
+}
+
+TEST(Reliability, EmptyPointListIsOne) {
+  Hosting h;
+  h.add(Point(0, 0), {});
+  std::vector<DataPoint> pts;
+  EXPECT_DOUBLE_EQ(poly::metrics::reliability(h.net, pts, h.view()), 1.0);
+}
+
+// ---- avg_points_per_node ----------------------------------------------------------
+
+TEST(AvgPoints, AveragesOverAliveOnly) {
+  Network net(1);
+  const NodeId a = net.add_node(Point(0, 0));
+  net.add_node(Point(1, 0));
+  const NodeId c = net.add_node(Point(2, 0));
+  net.crash(c);
+  (void)a;
+  const double avg = poly::metrics::avg_points_per_node(
+      net, [](NodeId n) { return n == 0 ? std::size_t{4} : std::size_t{2}; });
+  EXPECT_DOUBLE_EQ(avg, 3.0);
+}
+
+TEST(AvgPoints, EmptyNetworkIsZero) {
+  Network net(1);
+  EXPECT_DOUBLE_EQ(
+      poly::metrics::avg_points_per_node(net, [](NodeId) { return 1ul; }),
+      0.0);
+}
+
+}  // namespace

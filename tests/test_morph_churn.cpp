@@ -1,0 +1,149 @@
+// Tests for the evolving-shape extension (paper footnote 1) and sustained
+// churn behaviour — the two dynamic regimes beyond the paper's static
+// three-phase scenario.
+#include <gtest/gtest.h>
+
+#include "scenario/simulation.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
+namespace {
+
+using poly::scenario::Simulation;
+using poly::scenario::SimulationConfig;
+using poly::shape::GridTorusShape;
+using poly::shape::RingShape;
+using poly::sim::NodeId;
+using poly::space::Point;
+
+// ---- morph_shape ---------------------------------------------------------------
+
+TEST(Morph, TransformPreservesPointIdentity) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(5);
+  std::vector<poly::space::PointId> ids_before;
+  for (const auto& dp : sim.initial_points()) ids_before.push_back(dp.id);
+
+  sim.morph_shape([](const Point& p) { return Point{p.x() + 1.0, p.y()}; });
+
+  std::vector<poly::space::PointId> ids_after;
+  for (const auto& dp : sim.initial_points()) ids_after.push_back(dp.id);
+  EXPECT_EQ(ids_before, ids_after);
+  // Positions actually moved (wrapped into the torus domain).
+  EXPECT_EQ(sim.initial_points()[0].pos, Point(1.0, 0.0));
+}
+
+TEST(Morph, GuestsAndGhostsMoveTogether) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(3);  // backups in place
+  sim.morph_shape([](const Point& p) { return Point{p.x() + 2.0, p.y()}; });
+  const auto* poly = sim.polystyrene();
+  for (NodeId id : sim.network().alive_ids()) {
+    for (const auto& g : poly->guests(id)) {
+      // Every guest's position matches its (transformed) initial point.
+      EXPECT_EQ(g.pos, sim.initial_points()[g.id].pos);
+    }
+    for (const auto& [origin, pts] : poly->ghosts(id))
+      for (const auto& g : pts)
+        EXPECT_EQ(g.pos, sim.initial_points()[g.id].pos);
+  }
+}
+
+TEST(Morph, HomogeneityIsRestoredAfterTransform) {
+  // Converged state + transform: guests moved with their reference points,
+  // so the shape metric is immediately (close to) zero again — nodes are
+  // re-projected onto the transformed guests.
+  GridTorusShape shape(10, 10);
+  Simulation sim(shape, {});
+  sim.run_rounds(10);
+  ASSERT_LT(sim.homogeneity(), 0.05);
+  sim.morph_shape(
+      [](const Point& p) { return Point{p.x() + 3.0, p.y() + 1.0}; });
+  EXPECT_LT(sim.homogeneity(), 0.05);
+}
+
+TEST(Morph, WrapsModularCoordinates) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.morph_shape([](const Point& p) { return Point{p.x() + 100.0, p.y()}; });
+  for (const auto& dp : sim.initial_points()) {
+    EXPECT_GE(dp.pos.x(), 0.0);
+    EXPECT_LT(dp.pos.x(), 8.0);
+  }
+}
+
+TEST(Morph, TrackingUnderSlowDrift) {
+  GridTorusShape shape(12, 8);
+  SimulationConfig config;
+  config.seed = 9;
+  Simulation sim(shape, config);
+  sim.run_rounds(12);
+  for (int round = 0; round < 20; ++round) {
+    sim.morph_shape(
+        [](const Point& p) { return Point{p.x() + 0.1, p.y()}; });
+    sim.run_round();
+  }
+  // Slow drift: the overlay keeps the shape without ever losing it.
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+}
+
+TEST(Morph, BaselineOwnPointsMove) {
+  GridTorusShape shape(6, 6);
+  SimulationConfig config;
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  sim.run_rounds(5);
+  sim.morph_shape([](const Point& p) { return Point{p.x(), p.y() + 1.0}; });
+  // Baseline nodes follow their own point.
+  EXPECT_EQ(sim.position(0), Point(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(sim.homogeneity(), 0.0);
+}
+
+// ---- sustained churn ---------------------------------------------------------------
+
+TEST(Churn, ShapeSurvivesMildChurn) {
+  GridTorusShape shape(12, 8);
+  SimulationConfig config;
+  config.seed = 21;
+  Simulation sim(shape, config);
+  sim.run_rounds(12);
+  for (int round = 0; round < 30; ++round) {
+    sim.crash_random(1);  // ~1% per round
+    sim.reinject(1);
+    sim.run_round();
+  }
+  EXPECT_LT(sim.homogeneity(), 2.0 * sim.reference_homogeneity());
+  EXPECT_GT(sim.reliability(), 0.9);
+}
+
+TEST(Churn, AliveCountStaysConstant) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(5);
+  for (int round = 0; round < 10; ++round) {
+    sim.crash_random(2);
+    sim.reinject(2);
+    sim.run_round();
+    EXPECT_EQ(sim.network().num_alive(), 64u);
+  }
+}
+
+TEST(Churn, CatastropheOnChurnedSystemStillRecovers) {
+  GridTorusShape shape(12, 8);
+  SimulationConfig config;
+  config.seed = 23;
+  Simulation sim(shape, config);
+  sim.run_rounds(10);
+  for (int round = 0; round < 15; ++round) {
+    sim.crash_random(1);
+    sim.reinject(1);
+    sim.run_round();
+  }
+  sim.crash_failure_half();
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Unit + property tests for poly::core point sets — the sorted-merge
+// machinery behind migration pooling (dedup) and incremental backup deltas.
+#include <gtest/gtest.h>
+
+#include "core/point_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::core::delta_size;
+using poly::core::delta_sizes;
+using poly::core::insert_point;
+using poly::core::is_valid_point_set;
+using poly::core::normalize;
+using poly::core::PointSet;
+using poly::core::union_by_id;
+using poly::space::DataPoint;
+using poly::space::Point;
+using poly::util::Rng;
+
+PointSet make(std::initializer_list<poly::space::PointId> ids) {
+  PointSet s;
+  for (auto id : ids)
+    s.push_back({id, Point(static_cast<double>(id), 0.0)});
+  return s;
+}
+
+TEST(PointSet, ValidityCheck) {
+  EXPECT_TRUE(is_valid_point_set(make({})));
+  EXPECT_TRUE(is_valid_point_set(make({1, 2, 5})));
+  EXPECT_FALSE(is_valid_point_set(make({2, 1})));
+  EXPECT_FALSE(is_valid_point_set(make({1, 1})));
+}
+
+TEST(PointSet, NormalizeSortsAndDedups) {
+  PointSet s = make({5, 1, 3, 1, 5});
+  normalize(s);
+  EXPECT_TRUE(is_valid_point_set(s));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].id, 1u);
+  EXPECT_EQ(s[2].id, 5u);
+}
+
+TEST(PointSet, UnionMergesAndDedups) {
+  const auto u = union_by_id(make({1, 3, 5}), make({2, 3, 6}));
+  ASSERT_EQ(u.size(), 5u);
+  EXPECT_TRUE(is_valid_point_set(u));
+  EXPECT_EQ(u[0].id, 1u);
+  EXPECT_EQ(u[4].id, 6u);
+}
+
+TEST(PointSet, UnionWithEmpty) {
+  EXPECT_EQ(union_by_id(make({}), make({1, 2})).size(), 2u);
+  EXPECT_EQ(union_by_id(make({1, 2}), make({})).size(), 2u);
+  EXPECT_TRUE(union_by_id(make({}), make({})).empty());
+}
+
+TEST(PointSet, UnionIdentical) {
+  const auto u = union_by_id(make({1, 2, 3}), make({1, 2, 3}));
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(PointSet, UnionPropertyRandomized) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    PointSet a;
+    PointSet b;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.bernoulli(0.5)) a.push_back({rng.uniform_u64(0, 40), Point()});
+      if (rng.bernoulli(0.5)) b.push_back({rng.uniform_u64(0, 40), Point()});
+    }
+    normalize(a);
+    normalize(b);
+    const auto u = union_by_id(a, b);
+    EXPECT_TRUE(is_valid_point_set(u));
+    // Every id of a and b appears exactly once; no foreign ids.
+    for (const auto& p : a) EXPECT_TRUE(poly::core::contains_id(u, p.id));
+    for (const auto& p : b) EXPECT_TRUE(poly::core::contains_id(u, p.id));
+    for (const auto& p : u)
+      EXPECT_TRUE(poly::core::contains_id(a, p.id) ||
+                  poly::core::contains_id(b, p.id));
+  }
+}
+
+TEST(PointSet, ContainsId) {
+  const auto s = make({2, 4, 8});
+  EXPECT_TRUE(poly::core::contains_id(s, 4));
+  EXPECT_FALSE(poly::core::contains_id(s, 5));
+  EXPECT_FALSE(poly::core::contains_id(make({}), 1));
+}
+
+TEST(PointSet, InsertKeepsOrderAndRejectsDuplicates) {
+  PointSet s = make({1, 5});
+  EXPECT_TRUE(insert_point(s, {3, Point(3, 0)}));
+  EXPECT_TRUE(is_valid_point_set(s));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(insert_point(s, {3, Point(9, 9)}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(PointSet, DeltaSizes) {
+  const auto prev = make({1, 2, 3});
+  const auto next = make({2, 3, 4, 5});
+  const auto d = delta_sizes(prev, next);
+  EXPECT_EQ(d.added, 2u);    // 4, 5
+  EXPECT_EQ(d.removed, 1u);  // 1
+  EXPECT_EQ(delta_size(prev, next), 3u);
+}
+
+TEST(PointSet, DeltaOfIdenticalSetsIsZero) {
+  const auto s = make({1, 2, 3});
+  EXPECT_EQ(delta_size(s, s), 0u);
+}
+
+TEST(PointSet, DeltaFromEmptyIsFullAdd) {
+  const auto d = delta_sizes(make({}), make({1, 2, 3}));
+  EXPECT_EQ(d.added, 3u);
+  EXPECT_EQ(d.removed, 0u);
+}
+
+TEST(PointSet, DeltaSymmetryProperty) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    PointSet a;
+    PointSet b;
+    for (int i = 0; i < 20; ++i) {
+      if (rng.bernoulli(0.6)) a.push_back({rng.uniform_u64(0, 25), Point()});
+      if (rng.bernoulli(0.6)) b.push_back({rng.uniform_u64(0, 25), Point()});
+    }
+    normalize(a);
+    normalize(b);
+    const auto dab = delta_sizes(a, b);
+    const auto dba = delta_sizes(b, a);
+    EXPECT_EQ(dab.added, dba.removed);
+    EXPECT_EQ(dab.removed, dba.added);
+  }
+}
+
+TEST(PointSet, IdsOf) {
+  EXPECT_EQ(poly::core::ids_of(make({3, 7})),
+            (std::vector<poly::space::PointId>{3, 7}));
+}
+
+}  // namespace

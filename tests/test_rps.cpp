@@ -1,0 +1,238 @@
+// Unit + property tests for poly::rps — Cyclon-style shuffle invariants,
+// bootstrap, self-healing after failures, and sampling quality.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rps/rps.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using poly::rps::RpsConfig;
+using poly::rps::RpsProtocol;
+using poly::sim::Network;
+using poly::sim::NodeId;
+using poly::space::Point;
+
+/// Builds a network of n nodes at dummy positions.
+void populate(Network& net, RpsProtocol& rps, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = net.add_node(Point(static_cast<double>(i), 0.0));
+    rps.on_node_added(id);
+  }
+  rps.bootstrap_all();
+}
+
+/// Checks the core view invariants for every alive node: bounded size, no
+/// self-reference, no duplicates.
+void expect_view_invariants(const Network& net, const RpsProtocol& rps) {
+  for (NodeId id = 0; id < net.num_total(); ++id) {
+    if (!net.alive(id)) continue;
+    const auto& view = rps.view(id);
+    EXPECT_LE(view.size(), rps.config().view_size);
+    std::set<NodeId> seen;
+    for (const auto& e : view) {
+      EXPECT_NE(e.id, id) << "self-reference in view of " << id;
+      EXPECT_TRUE(seen.insert(e.id).second)
+          << "duplicate " << e.id << " in view of " << id;
+      EXPECT_LT(e.id, net.num_total());
+    }
+  }
+}
+
+TEST(Rps, BootstrapFillsViews) {
+  Network net(1);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 100);
+  for (NodeId id = 0; id < 100; ++id)
+    EXPECT_EQ(rps.view(id).size(), 20u);
+  expect_view_invariants(net, rps);
+}
+
+TEST(Rps, TinyNetworkBootstrap) {
+  Network net(1);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 3);
+  // Only 2 possible peers per node.
+  for (NodeId id = 0; id < 3; ++id) EXPECT_EQ(rps.view(id).size(), 2u);
+}
+
+TEST(Rps, InvariantsHoldOverManyRounds) {
+  Network net(2);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 200);
+  for (int r = 0; r < 30; ++r) {
+    rps.round();
+    net.advance_round();
+    expect_view_invariants(net, rps);
+  }
+}
+
+TEST(Rps, ViewsChurnOverTime) {
+  Network net(3);
+  RpsProtocol rps(net, {10, 5});
+  populate(net, rps, 100);
+  std::set<NodeId> before;
+  for (const auto& e : rps.view(0)) before.insert(e.id);
+  for (int r = 0; r < 20; ++r) {
+    rps.round();
+    net.advance_round();
+  }
+  std::set<NodeId> after;
+  for (const auto& e : rps.view(0)) after.insert(e.id);
+  // Shuffling must replace a substantial part of the view.
+  std::size_t common = 0;
+  for (NodeId id : after) common += before.contains(id) ? 1 : 0;
+  EXPECT_LT(common, before.size());
+}
+
+TEST(Rps, IndegreeStaysBalanced) {
+  // Gossip peer sampling must keep the in-degree distribution tight; a
+  // node referenced by everyone (or no one) indicates a broken shuffle.
+  Network net(4);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 300);
+  for (int r = 0; r < 30; ++r) {
+    rps.round();
+    net.advance_round();
+  }
+  std::map<NodeId, std::size_t> indegree;
+  for (NodeId id = 0; id < 300; ++id)
+    for (const auto& e : rps.view(id)) ++indegree[e.id];
+  // Mean in-degree = view_size = 20.
+  std::size_t max_in = 0;
+  std::size_t referenced = 0;
+  for (const auto& [id, deg] : indegree) {
+    max_in = std::max(max_in, deg);
+    ++referenced;
+  }
+  EXPECT_GT(referenced, 295u);       // nearly everyone stays referenced
+  EXPECT_LT(max_in, 20u * 4);        // no hub forms
+}
+
+TEST(Rps, DeadEntriesGetFlushed) {
+  Network net(5);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 200);
+  for (int r = 0; r < 5; ++r) {
+    rps.round();
+    net.advance_round();
+  }
+  net.crash_region([](const Point& p) { return p.x() >= 100.0; });
+  EXPECT_GT(rps.dead_entry_fraction(), 0.3);  // ~half right after the crash
+  for (int r = 0; r < 30; ++r) {
+    rps.round();
+    net.advance_round();
+  }
+  // Aging + contact failures flush stale entries.
+  EXPECT_LT(rps.dead_entry_fraction(), 0.05);
+  expect_view_invariants(net, rps);
+}
+
+TEST(Rps, RandomPeerComesFromView) {
+  Network net(6);
+  RpsProtocol rps(net, {10, 5});
+  populate(net, rps, 50);
+  auto rng = net.rng().split();
+  for (int i = 0; i < 100; ++i) {
+    const NodeId peer = rps.random_peer(0, rng);
+    ASSERT_NE(peer, poly::sim::kInvalidNode);
+    bool found = false;
+    for (const auto& e : rps.view(0)) found = found || e.id == peer;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Rps, RandomPeersAreDistinct) {
+  Network net(7);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 100);
+  auto rng = net.rng().split();
+  const auto peers = rps.random_peers(0, 10, rng);
+  EXPECT_EQ(peers.size(), 10u);
+  std::set<NodeId> distinct(peers.begin(), peers.end());
+  EXPECT_EQ(distinct.size(), peers.size());
+}
+
+TEST(Rps, SamplingIsApproximatelyUniformAcrossNetwork) {
+  // The whole point of the peer-sampling service: over time, samples drawn
+  // through the view approximate uniform draws from the network (§II-B).
+  Network net(8);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 100);
+  auto rng = net.rng().split();
+  std::map<NodeId, int> hits;
+  for (int r = 0; r < 200; ++r) {
+    rps.round();
+    net.advance_round();
+    for (NodeId id = 0; id < 100; ++id) hits[rps.random_peer(id, rng)]++;
+  }
+  // 20000 draws over 100 nodes → expect ~200 each; allow generous slack.
+  for (const auto& [id, count] : hits) {
+    EXPECT_GT(count, 80) << "node " << id << " undersampled";
+    EXPECT_LT(count, 500) << "node " << id << " oversampled";
+  }
+  EXPECT_EQ(hits.size(), 100u);  // everyone gets sampled eventually
+}
+
+TEST(Rps, ReBootstrapAfterTotalViewLoss) {
+  Network net(9);
+  RpsProtocol rps(net, {10, 5});
+  populate(net, rps, 50);
+  // Crash everyone node 0 knows; its next shuffle re-bootstraps.  (Stale
+  // entries referencing the crashed nodes may still flow back in from other
+  // nodes' views — that is normal gossip behaviour and flushes over time —
+  // but node 0 must end up with a usable view containing alive peers.)
+  for (const auto& e : rps.view(0)) net.crash(e.id);
+  for (int r = 0; r < 3; ++r) {
+    rps.round();
+    net.advance_round();
+  }
+  EXPECT_FALSE(rps.view(0).empty());
+  std::size_t alive_entries = 0;
+  for (const auto& e : rps.view(0)) alive_entries += net.alive(e.id) ? 1 : 0;
+  EXPECT_GT(alive_entries, 0u);
+}
+
+TEST(Rps, ConfigValidation) {
+  Network net(1);
+  EXPECT_THROW(RpsProtocol(net, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(RpsProtocol(net, {10, 11}), std::invalid_argument);
+  EXPECT_THROW(RpsProtocol(net, {10, 0}), std::invalid_argument);
+}
+
+TEST(Rps, TrafficIsMetered) {
+  Network net(10);
+  RpsProtocol rps(net, {20, 10});
+  populate(net, rps, 50);
+  rps.round();
+  net.advance_round();
+  EXPECT_GT(net.traffic().total(0, poly::sim::Channel::kRps), 0.0);
+  // RPS never bills the paper-accounted channels.
+  EXPECT_DOUBLE_EQ(net.traffic().total(0, poly::sim::Channel::kTman), 0.0);
+}
+
+TEST(Rps, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    Network net(seed);
+    RpsProtocol rps(net, {15, 7});
+    for (std::size_t i = 0; i < 80; ++i) {
+      rps.on_node_added(net.add_node(Point(static_cast<double>(i), 0.0)));
+    }
+    rps.bootstrap_all();
+    for (int r = 0; r < 10; ++r) {
+      rps.round();
+      net.advance_round();
+    }
+    std::vector<NodeId> flat;
+    for (NodeId id = 0; id < 80; ++id)
+      for (const auto& e : rps.view(id)) flat.push_back(e.id);
+    return flat;
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(5678));
+}
+
+}  // namespace

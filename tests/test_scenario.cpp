@@ -1,0 +1,314 @@
+// Integration tests for the scenario layer — the Simulation façade, the
+// three-phase runner, the repetition framework (incl. thread-count
+// invariance), and snapshots.  These are the end-to-end checks that the
+// wired stack reproduces the paper's qualitative results at test scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "scenario/experiment.hpp"
+#include "scenario/simulation.hpp"
+#include "scenario/snapshot.hpp"
+#include "scenario/three_phase.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
+namespace {
+
+using poly::scenario::ExperimentSpec;
+using poly::scenario::RunResult;
+using poly::scenario::Simulation;
+using poly::scenario::SimulationConfig;
+using poly::scenario::ThreePhaseSpec;
+using poly::shape::GridTorusShape;
+using poly::shape::RingShape;
+using poly::sim::NodeId;
+using poly::space::Point;
+
+/// Small, fast scenario used across these tests.
+ThreePhaseSpec small_phases() {
+  ThreePhaseSpec spec;
+  spec.converge_rounds = 10;
+  spec.failure_rounds = 20;
+  spec.reinjection_rounds = 20;
+  return spec;
+}
+
+// ---- Simulation façade ------------------------------------------------------
+
+TEST(Simulation, BuildsOneNodePerDataPoint) {
+  GridTorusShape shape(10, 10);
+  Simulation sim(shape, {});
+  EXPECT_EQ(sim.network().num_total(), 100u);
+  EXPECT_EQ(sim.initial_points().size(), 100u);
+  EXPECT_NE(sim.polystyrene(), nullptr);
+}
+
+TEST(Simulation, TmanOnlyModeHasNoPolystyrene) {
+  GridTorusShape shape(6, 6);
+  SimulationConfig config;
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  EXPECT_EQ(sim.polystyrene(), nullptr);
+  sim.run_rounds(5);
+  EXPECT_DOUBLE_EQ(sim.avg_points_per_node(), 1.0);
+}
+
+TEST(Simulation, InitialHomogeneityIsZero) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  // Every node hosts its own point at its own position from round 0.
+  EXPECT_DOUBLE_EQ(sim.homogeneity(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.reliability(), 1.0);
+}
+
+TEST(Simulation, ConvergesOnSmallTorus) {
+  GridTorusShape shape(12, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(15);
+  EXPECT_NEAR(sim.proximity(), 1.0, 0.1);
+  EXPECT_LT(sim.homogeneity(), 0.05);
+}
+
+TEST(Simulation, CrashFailureHalfCrashesExactlyHalf) {
+  GridTorusShape shape(10, 10);
+  Simulation sim(shape, {});
+  EXPECT_EQ(sim.crash_failure_half(), 50u);
+  EXPECT_EQ(sim.network().num_alive(), 50u);
+}
+
+TEST(Simulation, RecoversShapeAfterCatastrophe) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config;
+  config.seed = 5;
+  Simulation sim(shape, config);
+  sim.run_rounds(12);
+  sim.crash_failure_half();
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+  EXPECT_GT(sim.reliability(), 0.9);  // K=4 analytic: 96.9%
+}
+
+TEST(Simulation, ReinjectAddsFreshNodes) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(8);
+  sim.crash_failure_half();
+  const auto fresh = sim.reinject(32);
+  EXPECT_EQ(fresh.size(), 32u);
+  EXPECT_EQ(sim.network().num_alive(), 64u);
+  for (NodeId id : fresh) {
+    EXPECT_TRUE(sim.network().alive(id));
+    EXPECT_TRUE(sim.polystyrene()->guests(id).empty());
+  }
+}
+
+TEST(Simulation, ImperfectFdConfigWiresDelayedDetector) {
+  GridTorusShape shape(8, 8);
+  SimulationConfig config;
+  config.fd_delay_rounds = 2;
+  Simulation sim(shape, config);
+  sim.network().crash(0);
+  // Crash at round 0 is not suspected until round 2.
+  EXPECT_FALSE(sim.failure_detector().suspects(1, 0));
+}
+
+TEST(Simulation, MessageCostTracksChannels) {
+  GridTorusShape shape(8, 8);
+  Simulation sim(shape, {});
+  sim.run_rounds(3);
+  // Paper-accounted cost excludes RPS but is positive once T-Man runs.
+  EXPECT_GT(sim.message_cost_per_node(1), 0.0);
+}
+
+// ---- Three-phase runner -------------------------------------------------------
+
+TEST(ThreePhase, RecordsEveryRound) {
+  GridTorusShape shape(10, 10);
+  const RunResult r =
+      poly::scenario::run_three_phase(shape, {}, small_phases());
+  EXPECT_EQ(r.rounds.size(), 50u);  // 10 + 20 + 20
+  EXPECT_EQ(r.crashed, 50u);
+  EXPECT_EQ(r.reinjected, 50u);
+  for (std::size_t i = 0; i < r.rounds.size(); ++i)
+    EXPECT_EQ(r.rounds[i].round, i);
+}
+
+TEST(ThreePhase, ComputesReshapingTime) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config;
+  config.seed = 11;
+  const RunResult r =
+      poly::scenario::run_three_phase(shape, config, small_phases());
+  ASSERT_FALSE(std::isnan(r.reshaping_rounds));
+  EXPECT_GE(r.reshaping_rounds, 1.0);
+  EXPECT_LE(r.reshaping_rounds, 20.0);
+  // The round it points at is indeed below the reference.
+  const auto idx = static_cast<std::size_t>(10 + r.reshaping_rounds - 1);
+  EXPECT_LT(r.rounds[idx].homogeneity, r.reference_h_after_failure);
+}
+
+TEST(ThreePhase, TmanNeverReshapes) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config;
+  config.polystyrene = false;
+  const RunResult r =
+      poly::scenario::run_three_phase(shape, config, small_phases());
+  EXPECT_TRUE(std::isnan(r.reshaping_rounds));
+}
+
+TEST(ThreePhase, NoFailurePhaseMeansNoCrash) {
+  GridTorusShape shape(8, 8);
+  ThreePhaseSpec spec;
+  spec.converge_rounds = 5;
+  spec.failure_rounds = 0;
+  const RunResult r = poly::scenario::run_three_phase(shape, {}, spec);
+  EXPECT_EQ(r.rounds.size(), 5u);
+  EXPECT_EQ(r.crashed, 0u);
+  EXPECT_DOUBLE_EQ(r.reliability, 1.0);
+}
+
+TEST(ThreePhase, ExplicitReinjectCount) {
+  GridTorusShape shape(8, 8);
+  ThreePhaseSpec spec = small_phases();
+  spec.reinject_count = 10;
+  const RunResult r = poly::scenario::run_three_phase(shape, {}, spec);
+  EXPECT_EQ(r.reinjected, 10u);
+}
+
+TEST(ThreePhase, SnapshotHookSeesEveryRound) {
+  GridTorusShape shape(6, 6);
+  ThreePhaseSpec spec;
+  spec.converge_rounds = 4;
+  spec.failure_rounds = 3;
+  spec.reinjection_rounds = 0;
+  std::vector<std::size_t> seen;
+  poly::scenario::run_three_phase(
+      shape, {}, spec,
+      [&](const Simulation&, std::size_t round) { seen.push_back(round); });
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(seen.front(), 0u);
+  EXPECT_EQ(seen.back(), 6u);
+}
+
+TEST(ThreePhase, DeterministicGivenSeed) {
+  GridTorusShape shape(10, 10);
+  SimulationConfig config;
+  config.seed = 77;
+  const RunResult a =
+      poly::scenario::run_three_phase(shape, config, small_phases());
+  const RunResult b =
+      poly::scenario::run_three_phase(shape, config, small_phases());
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].homogeneity, b.rounds[i].homogeneity);
+    EXPECT_DOUBLE_EQ(a.rounds[i].proximity, b.rounds[i].proximity);
+    EXPECT_DOUBLE_EQ(a.rounds[i].msg_paper, b.rounds[i].msg_paper);
+  }
+  EXPECT_DOUBLE_EQ(a.reshaping_rounds, b.reshaping_rounds);
+  EXPECT_DOUBLE_EQ(a.reliability, b.reliability);
+}
+
+// ---- Experiment framework ------------------------------------------------------
+
+TEST(Experiment, AggregatesAcrossReps) {
+  GridTorusShape shape(10, 10);
+  ExperimentSpec spec;
+  spec.phases = small_phases();
+  spec.repetitions = 4;
+  const auto result = poly::scenario::run_experiment(shape, spec);
+  EXPECT_EQ(result.reshaping_rounds.size(), 4u);
+  EXPECT_EQ(result.reliability.size(), 4u);
+  EXPECT_EQ(result.homogeneity.rounds(), 50u);
+  EXPECT_EQ(result.reliability_ci().n, 4u);
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  GridTorusShape shape(10, 10);
+  ExperimentSpec spec;
+  spec.phases = small_phases();
+  spec.phases.reinjection_rounds = 0;
+  spec.repetitions = 4;
+
+  spec.threads = 1;
+  const auto serial = poly::scenario::run_experiment(shape, spec);
+  spec.threads = 4;
+  const auto parallel = poly::scenario::run_experiment(shape, spec);
+
+  ASSERT_EQ(serial.reshaping_rounds.size(), parallel.reshaping_rounds.size());
+  for (std::size_t i = 0; i < serial.reshaping_rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.reshaping_rounds[i],
+                     parallel.reshaping_rounds[i]);
+    EXPECT_DOUBLE_EQ(serial.reliability[i], parallel.reliability[i]);
+  }
+  for (std::size_t round = 0; round < serial.homogeneity.rounds(); ++round)
+    EXPECT_DOUBLE_EQ(serial.homogeneity.row(round).mean,
+                     parallel.homogeneity.row(round).mean);
+}
+
+TEST(Experiment, NeverReshapedCounted) {
+  GridTorusShape shape(10, 10);
+  ExperimentSpec spec;
+  spec.config.polystyrene = false;  // T-Man never reshapes
+  spec.phases = small_phases();
+  spec.phases.reinjection_rounds = 0;
+  spec.repetitions = 3;
+  const auto result = poly::scenario::run_experiment(shape, spec);
+  EXPECT_EQ(result.never_reshaped(), 3u);
+  EXPECT_EQ(result.reshaping_ci().n, 0u);
+}
+
+// ---- Snapshots -------------------------------------------------------------------
+
+TEST(Snapshot, DensityMapShowsTheCrashedHalf) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config;
+  config.polystyrene = false;  // T-Man: survivors never move
+  Simulation sim(shape, config);
+  sim.run_rounds(5);
+  sim.crash_failure_half();
+  const std::string map = poly::scenario::ascii_density_map(sim, 16, 8);
+  // Right half of every row must be empty (spaces).
+  std::size_t row = 0;
+  for (std::size_t pos = map.find('|'); pos != std::string::npos;
+       pos = map.find('|', pos + 18), ++row) {
+    const std::string cells = map.substr(pos + 1, 16);
+    if (cells.size() < 16) break;
+    for (std::size_t c = 8; c < 16; ++c) EXPECT_EQ(cells[c], ' ');
+  }
+  EXPECT_GT(row, 4u);
+}
+
+TEST(Snapshot, RingDensityIsOneRow) {
+  RingShape shape(32, 1.0);
+  Simulation sim(shape, {});
+  const std::string map = poly::scenario::ascii_density_map(sim, 16, 4);
+  // Header + 1 histogram row + footer.
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 3);
+}
+
+TEST(Snapshot, PositionsCsvWrites) {
+  GridTorusShape shape(4, 4);
+  Simulation sim(shape, {});
+  const std::string path = ::testing::TempDir() + "/poly_positions.csv";
+  ASSERT_TRUE(poly::scenario::write_positions_csv(sim, path));
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "node_id,x,y,guests");
+  std::size_t lines = 0;
+  for (std::string line; std::getline(f, line);) ++lines;
+  EXPECT_EQ(lines, 16u);
+}
+
+TEST(Snapshot, SummaryLineContainsMetrics) {
+  GridTorusShape shape(4, 4);
+  Simulation sim(shape, {});
+  const std::string s = poly::scenario::summary_line(sim);
+  EXPECT_NE(s.find("homogeneity"), std::string::npos);
+  EXPECT_NE(s.find("alive=16"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Unit tests for poly::shape — grid/ring generation, re-injection layouts,
+// the reference homogeneity H (exact paper values), failure-half
+// predicates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
+namespace {
+
+using poly::shape::GridTorusShape;
+using poly::shape::RingShape;
+using poly::space::DataPoint;
+using poly::space::Point;
+
+// ---- GridTorusShape ---------------------------------------------------------
+
+TEST(GridTorus, GeneratesExpectedCount) {
+  GridTorusShape g(80, 40);
+  EXPECT_EQ(g.size(), 3200u);  // the paper's evaluation grid
+  EXPECT_EQ(g.generate().size(), 3200u);
+}
+
+TEST(GridTorus, PointsSitOnIntegerGrid) {
+  GridTorusShape g(4, 3, 1.0);
+  const auto pts = g.generate();
+  ASSERT_EQ(pts.size(), 12u);
+  EXPECT_EQ(pts[0].pos, Point(0.0, 0.0));
+  EXPECT_EQ(pts[1].pos, Point(1.0, 0.0));
+  EXPECT_EQ(pts[4].pos, Point(0.0, 1.0));  // row-major
+  EXPECT_EQ(pts[11].pos, Point(3.0, 2.0));
+}
+
+TEST(GridTorus, IdsAreDenseFromFirstId) {
+  GridTorusShape g(5, 5);
+  const auto pts = g.generate(100);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(pts[i].id, 100 + i);
+}
+
+TEST(GridTorus, StepScalesPositionsAndSpace) {
+  GridTorusShape g(4, 4, 2.5);
+  const auto pts = g.generate();
+  EXPECT_EQ(pts[1].pos, Point(2.5, 0.0));
+  const auto* torus =
+      dynamic_cast<const poly::space::TorusSpace*>(&g.space());
+  ASSERT_NE(torus, nullptr);
+  EXPECT_DOUBLE_EQ(torus->width(), 10.0);
+  EXPECT_DOUBLE_EQ(torus->height(), 10.0);
+}
+
+TEST(GridTorus, ReferenceHomogeneityMatchesPaper) {
+  // §IV-A: H(3200 nodes on 80×40) = 1/2; H(1600 survivors) = √2/2 ≈ 0.71.
+  GridTorusShape g(80, 40);
+  EXPECT_DOUBLE_EQ(g.reference_homogeneity(3200), 0.5);
+  EXPECT_NEAR(g.reference_homogeneity(1600), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(GridTorus, ReferenceHomogeneityZeroNodesIsInfinite) {
+  GridTorusShape g(8, 8);
+  EXPECT_TRUE(std::isinf(g.reference_homogeneity(0)));
+}
+
+TEST(GridTorus, FailureHalfIsRightHalf) {
+  GridTorusShape g(80, 40);
+  EXPECT_FALSE(g.in_failure_half(Point(0.0, 0.0)));
+  EXPECT_FALSE(g.in_failure_half(Point(39.0, 39.0)));
+  EXPECT_TRUE(g.in_failure_half(Point(40.0, 0.0)));
+  EXPECT_TRUE(g.in_failure_half(Point(79.0, 39.0)));
+}
+
+TEST(GridTorus, FailureHalfIsExactlyHalfThePoints) {
+  GridTorusShape g(80, 40);
+  std::size_t in = 0;
+  for (const auto& p : g.generate())
+    if (g.in_failure_half(p.pos)) ++in;
+  EXPECT_EQ(in, 1600u);
+}
+
+TEST(GridTorus, ReinjectionIsOffsetByHalfStep) {
+  GridTorusShape g(8, 8, 1.0);
+  const auto pos = g.reinjection_positions(64);
+  ASSERT_EQ(pos.size(), 64u);
+  EXPECT_EQ(pos[0], Point(0.5, 0.5));
+  // No re-injected position coincides with an original one.
+  std::set<std::pair<double, double>> originals;
+  for (const auto& p : g.generate())
+    originals.insert({p.pos.x(), p.pos.y()});
+  for (const auto& p : pos)
+    EXPECT_FALSE(originals.contains({p.x(), p.y()}));
+}
+
+TEST(GridTorus, PartialReinjectionIsUniform) {
+  GridTorusShape g(80, 40);
+  const auto pos = g.reinjection_positions(1600);  // half of 3200 slots
+  ASSERT_EQ(pos.size(), 1600u);
+  // Both halves of the torus must receive ~equal shares.
+  std::size_t right = 0;
+  for (const auto& p : pos)
+    if (p.x() >= 40.0) ++right;
+  EXPECT_NEAR(static_cast<double>(right), 800.0, 40.0);
+  // All distinct.
+  std::set<std::pair<double, double>> distinct;
+  for (const auto& p : pos) distinct.insert({p.x(), p.y()});
+  EXPECT_EQ(distinct.size(), 1600u);
+}
+
+TEST(GridTorus, ReinjectionCountCappedAtGridSize) {
+  GridTorusShape g(4, 4);
+  EXPECT_EQ(g.reinjection_positions(100).size(), 16u);
+  EXPECT_TRUE(g.reinjection_positions(0).empty());
+}
+
+TEST(GridTorus, InvalidParametersThrow) {
+  EXPECT_THROW(GridTorusShape(0, 4), std::invalid_argument);
+  EXPECT_THROW(GridTorusShape(4, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridTorusShape(4, 4, -1.0), std::invalid_argument);
+}
+
+TEST(GridTorus, Name) {
+  EXPECT_EQ(GridTorusShape(80, 40).name(), "grid_torus_80x40");
+}
+
+// ---- RingShape -------------------------------------------------------------
+
+TEST(RingShape, GeneratesEvenlySpacedPoints) {
+  RingShape r(10, 2.0);
+  const auto pts = r.generate();
+  ASSERT_EQ(pts.size(), 10u);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_DOUBLE_EQ(pts[i].pos.x(), 2.0 * i);
+}
+
+TEST(RingShape, SpaceCircumferenceMatches) {
+  RingShape r(10, 2.0);
+  const auto* ring = dynamic_cast<const poly::space::RingSpace*>(&r.space());
+  ASSERT_NE(ring, nullptr);
+  EXPECT_DOUBLE_EQ(ring->circumference(), 20.0);
+}
+
+TEST(RingShape, ReferenceHomogeneity) {
+  RingShape r(100, 1.0);
+  // Ideal layout: every point within C/(2N).
+  EXPECT_DOUBLE_EQ(r.reference_homogeneity(100), 0.5);
+  EXPECT_DOUBLE_EQ(r.reference_homogeneity(50), 1.0);
+}
+
+TEST(RingShape, FailureHalf) {
+  RingShape r(100, 1.0);
+  EXPECT_FALSE(r.in_failure_half(Point(0.0)));
+  EXPECT_FALSE(r.in_failure_half(Point(49.0)));
+  EXPECT_TRUE(r.in_failure_half(Point(50.0)));
+  EXPECT_TRUE(r.in_failure_half(Point(99.0)));
+}
+
+TEST(RingShape, ReinjectionOffsetsAndUniform) {
+  RingShape r(100, 1.0);
+  const auto pos = r.reinjection_positions(50);
+  ASSERT_EQ(pos.size(), 50u);
+  EXPECT_DOUBLE_EQ(pos[0].x(), 0.5);
+  std::size_t second_half = 0;
+  for (const auto& p : pos)
+    if (p.x() >= 50.0) ++second_half;
+  EXPECT_NEAR(static_cast<double>(second_half), 25.0, 2.0);
+}
+
+TEST(RingShape, InvalidParametersThrow) {
+  EXPECT_THROW(RingShape(0), std::invalid_argument);
+  EXPECT_THROW(RingShape(10, 0.0), std::invalid_argument);
+}
+
+}  // namespace

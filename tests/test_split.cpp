@@ -1,0 +1,291 @@
+// Unit + property tests for the SPLIT functions (Algorithms 4 and 5),
+// including the paper's Fig. 5 worked example: the configuration where
+// SPLIT_BASIC locks into a status quo and SPLIT_ADVANCED (PD+MD) finds the
+// better partition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/split.hpp"
+#include "space/euclidean.hpp"
+#include "space/medoid.hpp"
+#include "space/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::core::split;
+using poly::core::split_advanced;
+using poly::core::split_basic;
+using poly::core::split_md;
+using poly::core::split_pd;
+using poly::core::SplitKind;
+using poly::core::SplitResult;
+using poly::core::PointSet;
+using poly::space::DataPoint;
+using poly::space::EuclideanSpace;
+using poly::space::Point;
+using poly::space::TorusSpace;
+using poly::util::Rng;
+
+/// Conservation: every pool point lands on exactly one side.
+void expect_partition(const PointSet& pool, const SplitResult& r) {
+  EXPECT_EQ(r.for_p.size() + r.for_q.size(), pool.size());
+  PointSet merged = poly::core::union_by_id(r.for_p, r.for_q);
+  ASSERT_EQ(merged.size(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    EXPECT_EQ(merged[i].id, pool[i].id);
+  // Sides are disjoint.
+  for (const auto& x : r.for_p)
+    EXPECT_FALSE(poly::core::contains_id(r.for_q, x.id));
+}
+
+// ---- SPLIT_BASIC ------------------------------------------------------------
+
+TEST(SplitBasic, AssignsToCloserPosition) {
+  EuclideanSpace e(2);
+  PointSet pool{{0, Point(0, 0)}, {1, Point(10, 0)}, {2, Point(1, 0)}};
+  const auto r = split_basic(pool, Point(0, 0), Point(10, 0), e);
+  expect_partition(pool, r);
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, 0));
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, 2));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, 1));
+}
+
+TEST(SplitBasic, TiesGoToQ) {
+  // Algorithm 4 line 3: d(x, pos_q) <= d(x, pos_p) → q.
+  EuclideanSpace e(2);
+  PointSet pool{{0, Point(5, 0)}};  // equidistant from both
+  const auto r = split_basic(pool, Point(0, 0), Point(10, 0), e);
+  EXPECT_TRUE(r.for_p.empty());
+  EXPECT_EQ(r.for_q.size(), 1u);
+}
+
+TEST(SplitBasic, EmptyPool) {
+  EuclideanSpace e(2);
+  PointSet pool;
+  const auto r = split_basic(pool, Point(0, 0), Point(1, 0), e);
+  EXPECT_TRUE(r.for_p.empty());
+  EXPECT_TRUE(r.for_q.empty());
+}
+
+// ---- The paper's Fig. 5 example ----------------------------------------------
+//
+// Nodes p and q with p.guests = {d, e, f} and q.guests = {a, b, c};
+// e = p.pos, c = q.pos.  The geometry (reconstructed from Fig. 5): two
+// tight clusters {e, f} and {b, c} around the node positions, plus two
+// outliers a (on q's side) and d (on p's side) that sit close to *each
+// other*.  SPLIT_BASIC keeps the status quo — every point is already
+// closer to its current holder — yet the partition along the pool's
+// diameter yields {a, d} | {b, c, e, f}, which lowers the clustering
+// objective exactly as the paper argues.
+//
+// Verified properties of this layout:
+//   d(a, c) = 10   < d(a, e) = √136  → a stays with q under BASIC
+//   d(d, e) = 10   < d(d, c) = √136  → d stays with p under BASIC
+//   diameter = (a, e) (or the symmetric (c, d)), length √136
+//   closer-to-a vs closer-to-e partition = {a, d} | {b, c, e, f}
+
+struct Fig5 {
+  // Layout:
+  //   c=(0,6) b=(1,6)         q's cluster (c = q.pos)     a=(10,6)
+  //   e=(0,0) f=(1,0)         p's cluster (e = p.pos)     d=(10,0)
+  EuclideanSpace space{2};
+  DataPoint a{0, Point(10, 6)};
+  DataPoint b{1, Point(1, 6)};
+  DataPoint c{2, Point(0, 6)};
+  DataPoint d{3, Point(10, 0)};
+  DataPoint e{4, Point(0, 0)};
+  DataPoint f{5, Point(1, 0)};
+  Point pos_p = Point(0, 0);  // e
+  Point pos_q = Point(0, 6);  // c
+
+  PointSet pool() const {
+    PointSet s{a, b, c, d, e, f};
+    poly::core::normalize(s);
+    return s;
+  }
+};
+
+TEST(SplitFig5, BasicKeepsStatusQuo) {
+  Fig5 fig;
+  const auto r = split_basic(fig.pool(), fig.pos_p, fig.pos_q, fig.space);
+  expect_partition(fig.pool(), r);
+  // p keeps {d, e, f}: all closer to e=(10,0) than to c=(11,4).
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, fig.d.id));
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, fig.e.id));
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, fig.f.id));
+  // q keeps {a, b, c}.
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, fig.a.id));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, fig.b.id));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, fig.c.id));
+}
+
+TEST(SplitFig5, AdvancedFindsBetterPartition) {
+  Fig5 fig;
+  Rng rng(1);
+  const auto r =
+      split_advanced(fig.pool(), fig.pos_p, fig.pos_q, fig.space, rng);
+  expect_partition(fig.pool(), r);
+  // PD partitions along the diameter: the outliers {a, d} split from the
+  // cluster {b, c, e, f} (paper: "{a, d} and {b, c, e, f} would better
+  // distribute the set of data points").
+  const auto& outliers =
+      poly::core::contains_id(r.for_p, fig.a.id) ? r.for_p : r.for_q;
+  const auto& cluster =
+      poly::core::contains_id(r.for_p, fig.a.id) ? r.for_q : r.for_p;
+  EXPECT_EQ(outliers.size(), 2u);
+  EXPECT_TRUE(poly::core::contains_id(outliers, fig.a.id));
+  EXPECT_TRUE(poly::core::contains_id(outliers, fig.d.id));
+  EXPECT_EQ(cluster.size(), 4u);
+}
+
+TEST(SplitFig5, AdvancedLowersClusteringObjective) {
+  Fig5 fig;
+  Rng rng(1);
+  const auto basic = split_basic(fig.pool(), fig.pos_p, fig.pos_q, fig.space);
+  const auto adv =
+      split_advanced(fig.pool(), fig.pos_p, fig.pos_q, fig.space, rng);
+  const double cost_basic =
+      poly::space::pairwise_squared_cost(basic.for_p, fig.space) +
+      poly::space::pairwise_squared_cost(basic.for_q, fig.space);
+  const double cost_adv =
+      poly::space::pairwise_squared_cost(adv.for_p, fig.space) +
+      poly::space::pairwise_squared_cost(adv.for_q, fig.space);
+  EXPECT_LT(cost_adv, cost_basic);
+}
+
+// ---- PD / MD components ------------------------------------------------------
+
+TEST(SplitPd, PartitionsAlongDiameter) {
+  EuclideanSpace e(2);
+  // Two well-separated groups; the diameter spans them.
+  PointSet pool{{0, Point(0, 0)},
+                {1, Point(1, 0)},
+                {2, Point(20, 0)},
+                {3, Point(21, 0)}};
+  Rng rng(3);
+  const auto r = split_pd(pool, Point(0, 0), Point(21, 0), e, rng);
+  expect_partition(pool, r);
+  // Each side must be one group (either orientation).
+  EXPECT_EQ(r.for_p.size(), 2u);
+  EXPECT_EQ(r.for_q.size(), 2u);
+  const bool left_on_p = poly::core::contains_id(r.for_p, 0);
+  const auto& left = left_on_p ? r.for_p : r.for_q;
+  EXPECT_TRUE(poly::core::contains_id(left, 1));
+}
+
+TEST(SplitMd, SwapsWhenItReducesDisplacement) {
+  EuclideanSpace e(2);
+  // Basic partition assigns by closeness; positions engineered so the
+  // closest-cluster assignment is displacement-suboptimal cannot happen for
+  // basic (each cluster is already nearest).  MD must therefore simply keep
+  // basic's orientation here — check stability.
+  PointSet pool{{0, Point(0, 0)}, {1, Point(10, 0)}};
+  const auto r = split_md(pool, Point(0, 0), Point(10, 0), e);
+  expect_partition(pool, r);
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, 0));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, 1));
+}
+
+TEST(SplitAdvanced, MdOrientationMinimizesDisplacement) {
+  EuclideanSpace e(2);
+  // Cluster A near (0,0), cluster B near (10,0); p sits at (10,0), q at
+  // (0,0).  PD splits A|B; MD must give B (near p) to p and A to q.
+  PointSet pool{{0, Point(0, 0)},
+                {1, Point(1, 0)},
+                {2, Point(9, 0)},
+                {3, Point(10, 0)}};
+  Rng rng(5);
+  const auto r = split_advanced(pool, Point(10, 0), Point(0, 0), e, rng);
+  expect_partition(pool, r);
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, 2));
+  EXPECT_TRUE(poly::core::contains_id(r.for_p, 3));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, 0));
+  EXPECT_TRUE(poly::core::contains_id(r.for_q, 1));
+}
+
+// ---- Degenerate inputs ---------------------------------------------------------
+
+TEST(SplitAdvanced, SingletonPoolFallsBackToBasic) {
+  EuclideanSpace e(2);
+  PointSet pool{{0, Point(1, 0)}};
+  Rng rng(7);
+  const auto r = split_advanced(pool, Point(0, 0), Point(10, 0), e, rng);
+  expect_partition(pool, r);
+  EXPECT_EQ(r.for_p.size(), 1u);  // strictly closer to p
+}
+
+TEST(SplitAdvanced, AllCoincidentPointsFallBackToBasic) {
+  EuclideanSpace e(2);
+  PointSet pool{{0, Point(5, 5)}, {1, Point(5, 5)}, {2, Point(5, 5)}};
+  Rng rng(9);
+  const auto r = split_advanced(pool, Point(0, 0), Point(10, 10), e, rng);
+  expect_partition(pool, r);
+}
+
+TEST(SplitAdvanced, EmptyPool) {
+  EuclideanSpace e(2);
+  PointSet pool;
+  Rng rng(11);
+  const auto r = split_advanced(pool, Point(0, 0), Point(1, 0), e, rng);
+  EXPECT_TRUE(r.for_p.empty() && r.for_q.empty());
+}
+
+// ---- Conservation property across all kinds and spaces -------------------------
+
+class SplitConservation
+    : public ::testing::TestWithParam<poly::core::SplitKind> {};
+
+TEST_P(SplitConservation, RandomPoolsOnTorus) {
+  TorusSpace t(40.0, 40.0);
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    PointSet pool;
+    const std::size_t n = rng.index(40);  // includes empty pools
+    for (std::size_t i = 0; i < n; ++i)
+      pool.push_back({i, Point(rng.uniform_real(0, 40),
+                               rng.uniform_real(0, 40))});
+    const Point pos_p(rng.uniform_real(0, 40), rng.uniform_real(0, 40));
+    const Point pos_q(rng.uniform_real(0, 40), rng.uniform_real(0, 40));
+    const auto r = split(GetParam(), pool, pos_p, pos_q, t, rng);
+    expect_partition(pool, r);
+    // Sides stay sorted by id (the layer's PointSet invariant).
+    EXPECT_TRUE(poly::core::is_valid_point_set(r.for_p));
+    EXPECT_TRUE(poly::core::is_valid_point_set(r.for_q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SplitConservation,
+                         ::testing::Values(SplitKind::kBasic, SplitKind::kPd,
+                                           SplitKind::kMd,
+                                           SplitKind::kAdvanced),
+                         [](const auto& info) {
+                           return poly::core::to_string(info.param);
+                         });
+
+// ---- Misc ----------------------------------------------------------------------
+
+TEST(SplitKindNames, RoundTrip) {
+  for (auto k : {SplitKind::kBasic, SplitKind::kPd, SplitKind::kMd,
+                 SplitKind::kAdvanced})
+    EXPECT_EQ(poly::core::split_kind_from_string(poly::core::to_string(k)), k);
+  EXPECT_THROW(poly::core::split_kind_from_string("bogus"),
+               std::invalid_argument);
+}
+
+TEST(SplitAdvanced, LargePoolUsesSampledDiameterAndStillPartitions) {
+  TorusSpace t(40.0, 40.0);
+  Rng rng(17);
+  PointSet pool;
+  for (std::size_t i = 0; i < 200; ++i)  // above the exact threshold (30)
+    pool.push_back({i, Point(rng.uniform_real(0, 40),
+                             rng.uniform_real(0, 40))});
+  const auto r = split_advanced(pool, Point(0, 0), Point(20, 20), t, rng);
+  expect_partition(pool, r);
+  EXPECT_FALSE(r.for_p.empty());
+  EXPECT_FALSE(r.for_q.empty());
+}
+
+}  // namespace

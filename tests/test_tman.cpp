@@ -1,0 +1,253 @@
+// Unit + integration tests for poly::tman — convergence to grid
+// neighbourhoods, view invariants, position versioning/refresh, healing
+// after failures (and the Fig. 1 limitation: healing ≠ reshaping).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rps/rps.hpp"
+#include "shape/grid_torus.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/network.hpp"
+#include "tman/tman.hpp"
+
+namespace {
+
+using poly::rps::RpsProtocol;
+using poly::shape::GridTorusShape;
+using poly::sim::Network;
+using poly::sim::NodeId;
+using poly::sim::PerfectFailureDetector;
+using poly::space::Point;
+using poly::tman::TmanConfig;
+using poly::tman::TmanProtocol;
+
+/// A small wired T-Man stack over a grid torus.
+struct Stack {
+  explicit Stack(unsigned nx, unsigned ny, std::uint64_t seed = 1,
+                 TmanConfig cfg = {})
+      : shape(nx, ny),
+        net(seed),
+        rps(net, {20, 10}),
+        fd(net),
+        tman(net, shape.space(), rps, fd, cfg) {
+    for (const auto& dp : shape.generate()) {
+      const NodeId id = net.add_node(dp.pos);
+      rps.on_node_added(id);
+      tman.on_node_added(id, dp.pos);
+    }
+    rps.bootstrap_all();
+    tman.bootstrap_all();
+  }
+
+  void run_rounds(int n) {
+    for (int i = 0; i < n; ++i) {
+      rps.round();
+      tman.round();
+      net.advance_round();
+    }
+  }
+
+  /// Mean distance to the 4 closest alive view neighbours (the paper's
+  /// proximity, computed directly for test independence from metrics/).
+  double proximity4() const {
+    double sum = 0.0;
+    std::size_t counted = 0;
+    for (NodeId id = 0; id < net.num_total(); ++id) {
+      if (!net.alive(id)) continue;
+      const auto nbs = tman.closest_alive(id, 4);
+      if (nbs.empty()) continue;
+      double s = 0.0;
+      for (NodeId nb : nbs)
+        s += shape.space().distance(tman.position(id), tman.position(nb));
+      sum += s / static_cast<double>(nbs.size());
+      ++counted;
+    }
+    return sum / static_cast<double>(counted);
+  }
+
+  GridTorusShape shape;
+  Network net;
+  RpsProtocol rps;
+  PerfectFailureDetector fd;
+  TmanProtocol tman;
+};
+
+TEST(Tman, ConvergesToGridNeighbours) {
+  Stack s(16, 16, 7);
+  s.run_rounds(20);
+  // On a unit grid each node's 4 closest nodes are at distance exactly 1.
+  EXPECT_NEAR(s.proximity4(), 1.0, 0.05);
+}
+
+TEST(Tman, ConvergedViewsContainTheTrueNeighbours) {
+  Stack s(12, 12, 11);
+  s.run_rounds(25);
+  // Node (x, y) has id y*12+x; its 4 grid neighbours wrap around.
+  std::size_t perfect = 0;
+  for (unsigned y = 0; y < 12; ++y) {
+    for (unsigned x = 0; x < 12; ++x) {
+      const NodeId id = y * 12 + x;
+      const std::set<NodeId> expected{
+          y * 12 + ((x + 1) % 12), y * 12 + ((x + 11) % 12),
+          ((y + 1) % 12) * 12 + x, ((y + 11) % 12) * 12 + x};
+      const auto nbs = s.tman.closest_alive(id, 4);
+      std::set<NodeId> got(nbs.begin(), nbs.end());
+      if (got == expected) ++perfect;
+    }
+  }
+  // Allow a few stragglers; convergence is probabilistic (144 nodes total).
+  EXPECT_GE(perfect, 134u);
+}
+
+TEST(Tman, ViewInvariants) {
+  Stack s(10, 10, 13, TmanConfig{.view_cap = 30});
+  s.run_rounds(15);
+  for (NodeId id = 0; id < s.net.num_total(); ++id) {
+    const auto& view = s.tman.view(id);
+    EXPECT_LE(view.size(), 30u);
+    std::set<NodeId> seen;
+    for (const auto& d : view) {
+      EXPECT_NE(d.id, id) << "self in view";
+      EXPECT_TRUE(seen.insert(d.id).second) << "duplicate in view";
+    }
+    // Ranked: ascending distance to self.
+    for (std::size_t i = 1; i < view.size(); ++i) {
+      EXPECT_LE(s.shape.space().distance2(s.tman.position(id),
+                                          view[i - 1].pos),
+                s.shape.space().distance2(s.tman.position(id), view[i].pos) +
+                    1e-9);
+    }
+  }
+}
+
+TEST(Tman, SetPositionBumpsVersionAndReRanks) {
+  Stack s(8, 8, 17);
+  s.run_rounds(10);
+  const auto v0 = s.tman.position_version(0);
+  s.tman.set_position(0, Point(4.0, 4.0));
+  EXPECT_EQ(s.tman.position_version(0), v0 + 1);
+  EXPECT_EQ(s.tman.position(0), Point(4.0, 4.0));
+  // Setting the identical position must not bump the version.
+  s.tman.set_position(0, Point(4.0, 4.0));
+  EXPECT_EQ(s.tman.position_version(0), v0 + 1);
+}
+
+TEST(Tman, PositionRefreshPropagatesMoves) {
+  Stack s(8, 8, 19);
+  s.run_rounds(15);
+  // Move node 0 to the far corner; with refresh_positions, every view entry
+  // referencing node 0 must carry the new position within one round.
+  s.tman.set_position(0, Point(4.0, 4.0));
+  s.run_rounds(1);
+  for (NodeId id = 1; id < s.net.num_total(); ++id) {
+    for (const auto& d : s.tman.view(id)) {
+      if (d.id == 0) {
+        EXPECT_EQ(d.pos, Point(4.0, 4.0));
+      }
+    }
+  }
+}
+
+TEST(Tman, StaleViewsWithoutRefresh) {
+  TmanConfig cfg;
+  cfg.refresh_positions = false;
+  Stack s(8, 8, 19, cfg);
+  s.run_rounds(15);
+  s.tman.set_position(0, Point(4.0, 4.0));
+  // Without refresh, at least some views still carry the old position right
+  // after the move (gossip hasn't reached them yet).
+  std::size_t stale = 0;
+  for (NodeId id = 1; id < s.net.num_total(); ++id)
+    for (const auto& d : s.tman.view(id))
+      if (d.id == 0 && d.pos != Point(4.0, 4.0)) ++stale;
+  EXPECT_GT(stale, 0u);
+}
+
+TEST(Tman, HealsAfterRegionFailureButKeepsShapeLoss) {
+  // Fig. 1: T-Man reconnects boundary nodes to surviving neighbours, but
+  // the crashed half stays empty — healing is local, the shape is lost.
+  Stack s(16, 8, 23);
+  s.run_rounds(20);
+  s.net.crash_region([&](const Point& p) {
+    return s.shape.in_failure_half(p);
+  });
+  s.run_rounds(10);
+
+  // Healed: every survivor has alive neighbours again, and proximity is
+  // small (boundary nodes link across the gap).
+  for (NodeId id : s.net.alive_ids())
+    EXPECT_FALSE(s.tman.closest_alive(id, 4).empty());
+  EXPECT_LT(s.proximity4(), 2.5);
+
+  // Shape lost: no survivor ever moves into the crashed half (T-Man nodes
+  // never change position).
+  for (NodeId id : s.net.alive_ids())
+    EXPECT_FALSE(s.shape.in_failure_half(s.tman.position(id)));
+}
+
+TEST(Tman, ClosestAliveFiltersCrashedNodes) {
+  Stack s(10, 10, 29);
+  s.run_rounds(15);
+  // Crash node 1 (a grid neighbour of node 0).
+  s.net.crash(1);
+  const auto nbs = s.tman.closest_alive(0, 4);
+  for (NodeId nb : nbs) EXPECT_TRUE(s.net.alive(nb));
+}
+
+TEST(Tman, TrafficBilledPerDescriptor) {
+  Stack s(6, 6, 31);
+  s.run_rounds(1);
+  const double tman_units =
+      s.net.traffic().total(0, poly::sim::Channel::kTman);
+  // 36 active exchanges, each ≤ 2 buffers of ≤ 20 descriptors × 3 units;
+  // plus refresh costs (zero in round 0, versions unchanged).
+  EXPECT_GT(tman_units, 0.0);
+  EXPECT_LE(tman_units, 36.0 * 2 * 20 * 3);
+}
+
+TEST(Tman, BootstrapNodeJoinsExistingOverlay) {
+  Stack s(8, 8, 37);
+  s.run_rounds(15);
+  // Inject a fresh node between grid points.
+  const NodeId id = s.net.add_node(Point(3.5, 3.5));
+  s.rps.on_node_added(id);
+  s.rps.bootstrap_node(id);
+  s.tman.on_node_added(id, Point(3.5, 3.5));
+  s.tman.bootstrap_node(id);
+  s.run_rounds(10);
+  const auto nbs = s.tman.closest_alive(id, 4);
+  ASSERT_EQ(nbs.size(), 4u);
+  // Its neighbours must be the surrounding grid nodes (distance ≈ 0.707).
+  for (NodeId nb : nbs)
+    EXPECT_LT(s.shape.space().distance(Point(3.5, 3.5), s.tman.position(nb)),
+              1.0);
+}
+
+TEST(Tman, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Stack s(10, 10, seed);
+    s.run_rounds(10);
+    std::vector<NodeId> flat;
+    for (NodeId id = 0; id < s.net.num_total(); ++id)
+      for (const auto& d : s.tman.view(id)) flat.push_back(d.id);
+    return flat;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Tman, ConfigValidation) {
+  Network net(1);
+  RpsProtocol rps(net, {});
+  PerfectFailureDetector fd(net);
+  GridTorusShape shape(4, 4);
+  EXPECT_THROW(TmanProtocol(net, shape.space(), rps, fd,
+                            TmanConfig{.view_cap = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(TmanProtocol(net, shape.space(), rps, fd,
+                            TmanConfig{.msg_size = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace

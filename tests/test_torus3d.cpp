@@ -1,0 +1,138 @@
+// Tests for the 3-D torus space and the CAN-style cube shape — including
+// an end-to-end Polystyrene recovery on a 3-torus, demonstrating space-
+// agnosticism in the geometry of CAN (paper reference [3]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "scenario/simulation.hpp"
+#include "shape/cube_torus.hpp"
+#include "space/torus3d.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::scenario::Simulation;
+using poly::scenario::SimulationConfig;
+using poly::shape::CubeTorusShape;
+using poly::space::Point;
+using poly::space::Torus3dSpace;
+using poly::util::Rng;
+
+// ---- Torus3dSpace ------------------------------------------------------------
+
+TEST(Torus3d, WrapsOnAllAxes) {
+  Torus3dSpace t(8.0, 8.0, 8.0);
+  EXPECT_DOUBLE_EQ(t.distance(Point(7, 0, 0), Point(0, 0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(Point(0, 7, 0), Point(0, 0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(Point(0, 0, 7), Point(0, 0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(Point(7, 7, 7), Point(0, 0, 0)),
+                   std::sqrt(3.0));
+}
+
+TEST(Torus3d, MaxDistanceIsHalfDiagonal) {
+  Torus3dSpace t(8.0, 8.0, 8.0);
+  EXPECT_DOUBLE_EQ(t.distance(Point(0, 0, 0), Point(4, 4, 4)),
+                   std::sqrt(48.0));
+}
+
+TEST(Torus3d, MetricAxiomsSampled) {
+  Torus3dSpace t(10.0, 6.0, 4.0);
+  Rng rng(303);
+  auto random_point = [&] {
+    return Point{rng.uniform_real(0, 10), rng.uniform_real(0, 6),
+                 rng.uniform_real(0, 4)};
+  };
+  for (int i = 0; i < 300; ++i) {
+    const Point a = random_point();
+    const Point b = random_point();
+    const Point c = random_point();
+    EXPECT_GE(t.distance(a, b), 0.0);
+    EXPECT_NEAR(t.distance(a, b), t.distance(b, a), 1e-12);
+    EXPECT_NEAR(t.distance(a, a), 0.0, 1e-12);
+    EXPECT_LE(t.distance(a, c), t.distance(a, b) + t.distance(b, c) + 1e-9);
+    EXPECT_NEAR(t.distance2(a, b), t.distance(a, b) * t.distance(a, b),
+                1e-9);
+  }
+}
+
+TEST(Torus3d, NormalizeWraps) {
+  Torus3dSpace t(8.0, 8.0, 8.0);
+  const Point p = t.normalize(Point(-1.0, 9.0, 17.0));
+  EXPECT_DOUBLE_EQ(p.x(), 7.0);
+  EXPECT_DOUBLE_EQ(p.y(), 1.0);
+  EXPECT_DOUBLE_EQ(p.z(), 1.0);
+}
+
+TEST(Torus3d, InvalidExtentsThrow) {
+  EXPECT_THROW(Torus3dSpace(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Torus3dSpace(1.0, -1.0, 1.0), std::invalid_argument);
+}
+
+// ---- CubeTorusShape -----------------------------------------------------------
+
+TEST(CubeShape, GeneratesFullGrid) {
+  CubeTorusShape cube(4, 3, 2);
+  EXPECT_EQ(cube.size(), 24u);
+  const auto pts = cube.generate();
+  ASSERT_EQ(pts.size(), 24u);
+  EXPECT_EQ(pts[0].pos, Point(0, 0, 0));
+  EXPECT_EQ(pts[1].pos, Point(1, 0, 0));    // x-major
+  EXPECT_EQ(pts[4].pos, Point(0, 1, 0));    // then y
+  EXPECT_EQ(pts[12].pos, Point(0, 0, 1));   // then z
+  std::set<std::size_t> ids;
+  for (const auto& p : pts) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), 24u);
+}
+
+TEST(CubeShape, FailureHalfSplitsOnX) {
+  CubeTorusShape cube(8, 4, 4);
+  std::size_t in = 0;
+  for (const auto& p : cube.generate())
+    if (cube.in_failure_half(p.pos)) ++in;
+  EXPECT_EQ(in, cube.size() / 2);
+}
+
+TEST(CubeShape, ReferenceHomogeneityIsCubeRoot) {
+  CubeTorusShape cube(8, 8, 8);  // volume 512
+  EXPECT_DOUBLE_EQ(cube.reference_homogeneity(512), 0.5);
+  EXPECT_DOUBLE_EQ(cube.reference_homogeneity(64), 1.0);
+}
+
+TEST(CubeShape, ReinjectionOffsetsAreInteriorAndDistinct) {
+  CubeTorusShape cube(4, 4, 4);
+  const auto pos = cube.reinjection_positions(32);
+  ASSERT_EQ(pos.size(), 32u);
+  std::set<std::tuple<double, double, double>> distinct;
+  for (const auto& p : pos) {
+    distinct.insert({p.x(), p.y(), p.z()});
+    EXPECT_DOUBLE_EQ(std::fmod(p.x(), 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(std::fmod(p.z(), 1.0), 0.5);
+  }
+  EXPECT_EQ(distinct.size(), 32u);
+}
+
+// ---- End-to-end recovery on the 3-torus ------------------------------------------
+
+TEST(CubeShape, PolystyreneRecoversACrashedCubeHalf) {
+  CubeTorusShape cube(8, 8, 8);  // 512 nodes
+  SimulationConfig config;
+  config.seed = 31;
+  config.poly.replication = 4;
+  Simulation sim(cube, config);
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), 0.2);
+
+  sim.crash_failure_half();
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+  EXPECT_GT(sim.reliability(), 0.9);
+  // Survivors occupy the crashed half of the cube again.
+  std::size_t moved = 0;
+  for (poly::sim::NodeId id : sim.network().alive_ids())
+    if (cube.in_failure_half(sim.position(id))) ++moved;
+  EXPECT_GT(moved, sim.network().num_alive() / 4);
+}
+
+}  // namespace

@@ -1,0 +1,389 @@
+// Unit tests for poly::util — RNG determinism and distribution sanity,
+// statistics (Welford, Student-t CIs, series aggregation), table/CSV
+// rendering, and the binary codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using poly::util::ByteReader;
+using poly::util::ByteWriter;
+using poly::util::CodecError;
+using poly::util::MeanCi;
+using poly::util::Rng;
+using poly::util::RunningStats;
+using poly::util::SeriesAggregator;
+using poly::util::Table;
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 95u);  // not stuck
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64InvalidRangeThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform_u64(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformU64CoversRangeRoughlyUniformly) {
+  Rng r(11);
+  std::array<int, 8> buckets{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[r.uniform_u64(0, 7)];
+  for (int count : buckets) {
+    EXPECT_GT(count, n / 8 * 0.9);
+    EXPECT_LT(count, n / 8 * 1.1);
+  }
+}
+
+TEST(Rng, UniformI64HandlesNegativeRanges) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_i64(-50, -40);
+    EXPECT_GE(v, -50);
+    EXPECT_LE(v, -40);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+  Rng r(19);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng r(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(41);
+  for (std::size_t n : {5ul, 50ul, 500ul}) {
+    for (std::size_t k : {1ul, 3ul, 5ul}) {
+      auto s = r.sample_indices(n, k);
+      ASSERT_EQ(s.size(), std::min(n, k));
+      std::set<std::size_t> distinct(s.begin(), s.end());
+      EXPECT_EQ(distinct.size(), s.size());
+      for (auto i : s) EXPECT_LT(i, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesKLargerThanNReturnsAll) {
+  Rng r(43);
+  auto s = r.sample_indices(4, 10);
+  ASSERT_EQ(s.size(), 4u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Rng, SampleIndicesLargeKBranch) {
+  Rng r(47);
+  // k > n/3 exercises the partial Fisher–Yates path.
+  auto s = r.sample_indices(10, 6);
+  ASSERT_EQ(s.size(), 6u);
+  std::set<std::size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Rng, SampleIndicesUniformCoverage) {
+  Rng r(53);
+  std::array<int, 10> hits{};
+  for (int rep = 0; rep < 20000; ++rep)
+    for (auto i : r.sample_indices(10, 2)) ++hits[i];
+  for (int h : hits) {
+    EXPECT_GT(h, 4000 * 0.85);
+    EXPECT_LT(h, 4000 * 1.15);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(59);
+  Rng child = parent.split();
+  // Streams differ from each other and from a fresh parent continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(61);
+  Rng b(61);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng r(67);
+  std::vector<int> empty;
+  EXPECT_THROW(r.pick(empty), std::invalid_argument);
+}
+
+// ---- RunningStats ------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasNoSpread) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, Ci95MatchesHandComputation) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  // stddev = sqrt(2.5), se = sqrt(2.5/5), t(4) = 2.776
+  const double expected = 2.776 * std::sqrt(2.5 / 5.0);
+  EXPECT_NEAR(s.ci95_halfwidth(), expected, 1e-9);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_NEAR(poly::util::student_t95(1), 12.706, 1e-9);
+  EXPECT_NEAR(poly::util::student_t95(4), 2.776, 1e-9);
+  EXPECT_NEAR(poly::util::student_t95(24), 2.064, 1e-9);  // 25 reps → dof 24
+  EXPECT_NEAR(poly::util::student_t95(30), 2.042, 1e-9);
+  EXPECT_NEAR(poly::util::student_t95(1000), 1.960, 1e-9);
+}
+
+TEST(StudentT, MonotoneDecreasing) {
+  for (std::size_t dof = 1; dof < 200; ++dof)
+    EXPECT_GE(poly::util::student_t95(dof), poly::util::student_t95(dof + 1));
+}
+
+TEST(MeanCi, Formatting) {
+  MeanCi m{6.96, 0.083, 25};
+  EXPECT_EQ(m.str(2), "6.96 ± 0.08");
+  EXPECT_EQ(m.str(3), "6.960 ± 0.083");
+}
+
+TEST(MeanCi, OfSample) {
+  const auto m = poly::util::mean_ci({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_EQ(m.n, 3u);
+  EXPECT_GT(m.ci95, 0.0);
+}
+
+TEST(SeriesAggregator, AggregatesAcrossRuns) {
+  SeriesAggregator agg;
+  agg.add_run({1.0, 2.0, 3.0});
+  agg.add_run({3.0, 4.0, 5.0});
+  ASSERT_EQ(agg.rounds(), 3u);
+  EXPECT_DOUBLE_EQ(agg.row(0).mean, 2.0);
+  EXPECT_DOUBLE_EQ(agg.row(1).mean, 3.0);
+  EXPECT_DOUBLE_EQ(agg.row(2).mean, 4.0);
+}
+
+TEST(SeriesAggregator, UnequalLengths) {
+  SeriesAggregator agg;
+  agg.add_run({1.0});
+  agg.add_run({3.0, 5.0});
+  ASSERT_EQ(agg.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(agg.row(0).mean, 2.0);
+  EXPECT_DOUBLE_EQ(agg.row(1).mean, 5.0);
+  EXPECT_EQ(agg.row(1).n, 1u);
+}
+
+TEST(SeriesAggregator, OutOfRangeRowIsEmpty) {
+  SeriesAggregator agg;
+  agg.add_run({1.0});
+  EXPECT_EQ(agg.row(5).n, 0u);
+}
+
+// ---- Table ---------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"K", "Reshaping", "Reliability"});
+  t.add_row({"2", "5.00", "87.73"});
+  t.add_row({"8", "9.08", "99.80"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| K "), std::string::npos);
+  EXPECT_NE(s.find("87.73"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWiderThanHeaderThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_csv().find("1,"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"has,comma", "has\"quote"});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumericRows) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0}, 2);
+  EXPECT_NE(t.to_csv().find("1.23,2.00"), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+// ---- Codec ---------------------------------------------------------------
+
+TEST(Codec, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(3.14159);
+  w.str("polystyrene");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "polystyrene");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, TruncatedBufferThrows) {
+  ByteWriter w;
+  w.u32(42);
+  ByteReader r(w.data().data(), 2);  // cut short
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // declares 100 bytes that are not there
+  ByteReader r(w.data());
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Codec, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u64(1);
+  w.u64(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 16u);
+  r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for the Vicinity substrate — convergence, view invariants, oldest-
+// peer selection healing — and the headline check: Polystyrene runs
+// unchanged on top of it (the paper's "plugs into any topology construction
+// algorithm" claim, §II-C).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/simulation.hpp"
+#include "shape/grid_torus.hpp"
+#include "vicinity/vicinity.hpp"
+
+namespace {
+
+using poly::scenario::Simulation;
+using poly::scenario::SimulationConfig;
+using poly::scenario::Substrate;
+using poly::shape::GridTorusShape;
+using poly::sim::NodeId;
+using poly::space::Point;
+
+SimulationConfig vicinity_config(std::uint64_t seed = 1) {
+  SimulationConfig config;
+  config.seed = seed;
+  config.substrate = Substrate::kVicinity;
+  return config;
+}
+
+TEST(Vicinity, ConvergesToGridNeighbours) {
+  GridTorusShape shape(12, 12);
+  SimulationConfig config = vicinity_config(3);
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  sim.run_rounds(25);
+  EXPECT_NEAR(sim.proximity(), 1.0, 0.1);
+}
+
+TEST(Vicinity, ViewInvariants) {
+  GridTorusShape shape(10, 10);
+  SimulationConfig config = vicinity_config(5);
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  sim.run_rounds(15);
+  const auto* vic = dynamic_cast<const poly::vicinity::VicinityProtocol*>(
+      &sim.topology());
+  ASSERT_NE(vic, nullptr);
+  for (NodeId id = 0; id < sim.network().num_total(); ++id) {
+    const auto& view = vic->view(id);
+    EXPECT_LE(view.size(), vic->config().view_size);
+    std::set<NodeId> seen;
+    for (const auto& e : view) {
+      EXPECT_NE(e.id, id);
+      EXPECT_TRUE(seen.insert(e.id).second);
+    }
+  }
+}
+
+TEST(Vicinity, TmanAccessorThrowsOnVicinitySubstrate) {
+  GridTorusShape shape(4, 4);
+  Simulation sim(shape, vicinity_config());
+  EXPECT_THROW(sim.tman(), std::logic_error);
+  EXPECT_STREQ(sim.topology().name(), "vicinity");
+}
+
+TEST(Vicinity, HealsAfterRegionFailure) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config = vicinity_config(7);
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  sim.run_rounds(20);
+  sim.crash_failure_half();
+  sim.run_rounds(10);
+  for (NodeId id : sim.network().alive_ids())
+    EXPECT_FALSE(sim.topology().closest_alive(id, 4).empty());
+  // Like T-Man, bare Vicinity never recovers the shape.
+  EXPECT_GT(sim.homogeneity(), sim.reference_homogeneity());
+}
+
+TEST(VicinitySubstrate, PolystyreneRecoversShapeOnVicinity) {
+  // The paper's central modularity claim: the Polystyrene layer is
+  // substrate-agnostic.  Same catastrophe, same recovery — on Vicinity.
+  GridTorusShape shape(16, 8);
+  SimulationConfig config = vicinity_config(11);
+  config.poly.replication = 4;
+  Simulation sim(shape, config);
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), 0.05);
+
+  sim.crash_failure_half();
+  sim.run_rounds(15);
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+  EXPECT_GT(sim.reliability(), 0.9);
+}
+
+TEST(VicinitySubstrate, SurvivorsSpreadIntoTheFailedHalf) {
+  GridTorusShape shape(16, 8);
+  SimulationConfig config = vicinity_config(13);
+  Simulation sim(shape, config);
+  sim.run_rounds(12);
+  sim.crash_failure_half();
+  sim.run_rounds(14);
+  std::size_t moved = 0;
+  for (NodeId id : sim.network().alive_ids())
+    if (shape.in_failure_half(sim.position(id))) ++moved;
+  EXPECT_GT(moved, sim.network().num_alive() / 4);
+}
+
+TEST(VicinitySubstrate, ReinjectionWorks) {
+  GridTorusShape shape(12, 6);
+  SimulationConfig config = vicinity_config(17);
+  Simulation sim(shape, config);
+  sim.run_rounds(10);
+  const std::size_t crashed = sim.crash_failure_half();
+  sim.run_rounds(12);
+  sim.reinject(crashed);
+  sim.run_rounds(20);
+  EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
+}
+
+TEST(Vicinity, DeterministicGivenSeed) {
+  GridTorusShape shape(8, 8);
+  auto run = [&](std::uint64_t seed) {
+    Simulation sim(shape, vicinity_config(seed));
+    sim.run_rounds(10);
+    std::vector<double> out;
+    for (NodeId id = 0; id < sim.network().num_total(); ++id)
+      out.push_back(sim.position(id).x());
+    return out;
+  };
+  EXPECT_EQ(run(21), run(21));
+}
+
+TEST(Vicinity, ConfigValidation) {
+  GridTorusShape shape(4, 4);
+  SimulationConfig config = vicinity_config();
+  config.vicinity.view_size = 0;
+  EXPECT_THROW(Simulation sim(shape, config), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// polystyrene_sim — command-line driver for the full stack.
+//
+// Runs any shape / substrate / split / failure-scenario combination without
+// writing code, printing per-round metrics (and optional density maps /
+// CSV).  Examples:
+//
+//   # the paper's headline scenario
+//   polystyrene_sim --shape grid:80x40 --k 4 --rounds 200
+//                   --fail-round 20 --reinject-round 100
+//
+//   # bare T-Man baseline, with maps at the phase boundaries
+//   polystyrene_sim --shape grid:80x40 --no-polystyrene --map
+//
+//   # Vicinity substrate on a ring, basic split, churn + drifting shape
+//   polystyrene_sim --shape ring:512 --substrate vicinity --split basic
+//                   --churn 1.0 --drift 0.2
+//
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "scenario/simulation.hpp"
+#include "scenario/snapshot.hpp"
+#include "shape/cube_torus.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace poly;
+
+struct Options {
+  std::string shape = "grid:80x40";
+  std::size_t k = 4;
+  std::string split = "advanced";
+  std::string substrate = "tman";
+  bool polystyrene = true;
+  std::size_t rounds = 60;
+  long fail_round = 20;       // -1 = never
+  long reinject_round = -1;   // -1 = never
+  std::uint64_t seed = 1;
+  std::size_t every = 1;      // print every Nth round
+  double churn_pct = 0.0;     // random churn per round, percent of alive
+  double drift = 0.0;         // shape drift per round (x axis)
+  std::uint64_t fd_delay = 0;
+  double fd_fp = 0.0;
+  bool map = false;
+  std::string csv;
+};
+
+[[noreturn]] void usage(int code) {
+  std::puts(
+      "polystyrene_sim [options]\n"
+      "  --shape grid:WxH | ring:N | cube:XxYxZ          [grid:80x40]\n"
+      "  --k K                       backup copies       [4]\n"
+      "  --split basic|pd|md|advanced                    [advanced]\n"
+      "  --substrate tman|vicinity                       [tman]\n"
+      "  --no-polystyrene            bare baseline\n"
+      "  --rounds N                  total rounds        [60]\n"
+      "  --fail-round N              half-shape crash    [20; -1=never]\n"
+      "  --reinject-round N          fresh node join     [-1=never]\n"
+      "  --churn PCT                 random churn %/round [0]\n"
+      "  --drift D                   shape drift/round    [0]\n"
+      "  --fd-delay N --fd-fp RATE   imperfect detector  [0 / 0]\n"
+      "  --seed S --every N --map --csv FILE --help");
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--shape")) opt.shape = next();
+    else if (!std::strcmp(a, "--k")) opt.k = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--split")) opt.split = next();
+    else if (!std::strcmp(a, "--substrate")) opt.substrate = next();
+    else if (!std::strcmp(a, "--no-polystyrene")) opt.polystyrene = false;
+    else if (!std::strcmp(a, "--rounds")) opt.rounds = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--fail-round")) opt.fail_round = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--reinject-round")) opt.reinject_round = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--churn")) opt.churn_pct = std::strtod(next(), nullptr);
+    else if (!std::strcmp(a, "--drift")) opt.drift = std::strtod(next(), nullptr);
+    else if (!std::strcmp(a, "--fd-delay")) opt.fd_delay = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--fd-fp")) opt.fd_fp = std::strtod(next(), nullptr);
+    else if (!std::strcmp(a, "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--every")) opt.every = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--map")) opt.map = true;
+    else if (!std::strcmp(a, "--csv")) opt.csv = next();
+    else if (!std::strcmp(a, "--help")) usage(0);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a);
+      usage(2);
+    }
+  }
+  if (opt.every == 0) opt.every = 1;
+  return opt;
+}
+
+std::unique_ptr<shape::Shape> make_shape(const std::string& spec) {
+  if (spec.rfind("grid:", 0) == 0) {
+    unsigned w = 0;
+    unsigned h = 0;
+    if (std::sscanf(spec.c_str() + 5, "%ux%u", &w, &h) != 2 || w == 0 ||
+        h == 0) {
+      std::fprintf(stderr, "bad grid spec: %s (want grid:WxH)\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    return std::make_unique<shape::GridTorusShape>(w, h);
+  }
+  if (spec.rfind("ring:", 0) == 0) {
+    const unsigned long n = std::strtoul(spec.c_str() + 5, nullptr, 10);
+    if (n == 0) {
+      std::fprintf(stderr, "bad ring spec: %s (want ring:N)\n", spec.c_str());
+      std::exit(2);
+    }
+    return std::make_unique<shape::RingShape>(n);
+  }
+  if (spec.rfind("cube:", 0) == 0) {
+    unsigned x = 0;
+    unsigned y = 0;
+    unsigned z = 0;
+    if (std::sscanf(spec.c_str() + 5, "%ux%ux%u", &x, &y, &z) != 3 ||
+        x == 0 || y == 0 || z == 0) {
+      std::fprintf(stderr, "bad cube spec: %s (want cube:XxYxZ)\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    return std::make_unique<shape::CubeTorusShape>(x, y, z);
+  }
+  std::fprintf(stderr, "unknown shape: %s\n", spec.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const auto target = make_shape(opt.shape);
+
+  scenario::SimulationConfig config;
+  config.seed = opt.seed;
+  config.polystyrene = opt.polystyrene;
+  config.poly.replication = opt.k;
+  config.poly.split_kind = core::split_kind_from_string(opt.split);
+  config.fd_delay_rounds = opt.fd_delay;
+  config.fd_false_positive_rate = opt.fd_fp;
+  if (opt.substrate == "vicinity") {
+    config.substrate = scenario::Substrate::kVicinity;
+  } else if (opt.substrate != "tman") {
+    std::fprintf(stderr, "unknown substrate: %s\n", opt.substrate.c_str());
+    return 2;
+  }
+
+  scenario::Simulation sim(*target, config);
+  std::printf("# shape=%s nodes=%zu substrate=%s polystyrene=%s K=%zu "
+              "split=%s seed=%llu\n",
+              target->name().c_str(), target->size(),
+              sim.topology().name(), opt.polystyrene ? "on" : "off", opt.k,
+              opt.split.c_str(),
+              static_cast<unsigned long long>(opt.seed));
+
+  util::Table table({"round", "alive", "homogeneity", "H", "proximity",
+                     "points/node", "msg/node"});
+  std::size_t crashed = 0;
+
+  for (std::size_t round = 0; round < opt.rounds; ++round) {
+    if (static_cast<long>(round) == opt.fail_round) {
+      crashed = sim.crash_failure_half();
+      std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
+                  round, crashed);
+      if (opt.map) std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
+    }
+    if (static_cast<long>(round) == opt.reinject_round) {
+      const std::size_t n = crashed ? crashed : target->size() / 2;
+      sim.reinject(n);
+      std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
+    }
+    if (opt.churn_pct > 0.0) {
+      const auto n = static_cast<std::size_t>(
+          static_cast<double>(sim.network().num_alive()) * opt.churn_pct /
+          100.0);
+      if (n > 0) {
+        sim.crash_random(n);
+        sim.reinject(n);
+      }
+    }
+    if (opt.drift != 0.0) {
+      sim.morph_shape([&](const space::Point& p) {
+        return space::Point{p.x() + opt.drift, p.y()};
+      });
+    }
+
+    sim.run_round();
+    if (round % opt.every == 0 || round + 1 == opt.rounds) {
+      table.add_row({std::to_string(round),
+                     std::to_string(sim.network().num_alive()),
+                     util::fmt(sim.homogeneity(), 3),
+                     util::fmt(sim.reference_homogeneity(), 3),
+                     util::fmt(sim.proximity(), 3),
+                     util::fmt(sim.avg_points_per_node(), 2),
+                     util::fmt(sim.message_cost_per_node(
+                                   sim.network().round() - 1),
+                               1)});
+    }
+  }
+
+  std::fputs(table.to_string().c_str(), stdout);
+  if (opt.map) std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
+  std::printf("final: homogeneity=%.3f (H=%.3f) reliability=%.2f%%\n",
+              sim.homogeneity(), sim.reference_homogeneity(),
+              sim.reliability() * 100.0);
+  if (!opt.csv.empty()) {
+    if (table.write_csv(opt.csv))
+      std::printf("csv written to %s\n", opt.csv.c_str());
+  }
+  return 0;
+}

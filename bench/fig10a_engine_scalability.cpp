@@ -1,0 +1,74 @@
+// Event-engine scalability — Fig. 10a's question ("does recovery scale
+// with N?") asked of the *live protocol* instead of the round simulator.
+//
+// For each network size the full AsyncNode stack (real wire codecs, RPS +
+// T-Man + backup + migration messages) runs on the deterministic event
+// engine: converge, crash half the torus, recover.  The threaded runtime
+// tops out at a few hundred nodes (one thread per node); the engine runs
+// the same protocol code to 100k+ nodes in one process.  Reported per
+// size: post-recovery reliability/homogeneity, frames and events executed,
+// and the engine's wall-clock throughput.
+//
+//   fig10a_engine_scalability                    # sweep to --max-nodes
+//   fig10a_engine_scalability --max-nodes 102400 # the 100k-node point
+//
+// Engine runs are deterministic given --seed, so reps default to 1.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "engine/event_cluster.hpp"
+#include "shape/grid_torus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace poly;
+  using namespace std::chrono_literals;
+  const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/1);
+  std::printf(
+      "Event-engine scalability: live protocol, half-torus crash "
+      "(seed %llu)\n\n",
+      static_cast<unsigned long long>(opt.seed));
+
+  constexpr std::size_t kConvergeRounds = 30;
+  constexpr std::size_t kRecoverRounds = 40;
+
+  util::Table table({"nodes", "grid", "reliability", "homogeneity", "frames",
+                     "events", "events/s", "wall_s"});
+  for (std::size_t n = 100; n <= opt.max_nodes; n *= 2) {
+    const auto dims = bench::grid_for(n);
+    shape::GridTorusShape shape(dims.nx, dims.ny);
+
+    engine::EventClusterConfig cfg;
+    cfg.node.replication = 4;
+    const auto wall_start = std::chrono::steady_clock::now();
+    engine::EventCluster fleet(shape.space_ptr(), shape.generate(), cfg,
+                               opt.seed);
+    fleet.run_rounds(kConvergeRounds);
+    fleet.crash_region([&](const space::Point& p) {
+      return shape.in_failure_half(p);
+    });
+    fleet.run_rounds(kRecoverRounds);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    const double events = static_cast<double>(fleet.engine().events_executed());
+    table.add_row({std::to_string(n),
+                   std::to_string(dims.nx) + "x" + std::to_string(dims.ny),
+                   util::fmt(fleet.reliability(), 3),
+                   util::fmt(fleet.homogeneity(), 3),
+                   std::to_string(fleet.hub().frames_sent()),
+                   std::to_string(fleet.engine().events_executed()),
+                   util::fmt(wall > 0 ? events / wall : 0.0, 0),
+                   util::fmt(wall, 2)});
+    std::printf("  done: %zu nodes (%.2fs)\n", n, wall);
+  }
+
+  std::puts("");
+  bench::emit(table, opt, "fig10a_engine_scalability");
+  std::puts(
+      "\nExpected: reliability ~1 at every size (K=4 on a 50% correlated "
+      "crash), wall time ~linear in events.");
+  return 0;
+}

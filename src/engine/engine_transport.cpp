@@ -1,0 +1,96 @@
+#include "engine/engine_transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace poly::engine {
+
+// ---- EngineTransport --------------------------------------------------------
+
+EngineTransport::EngineTransport(EngineHub* hub, net::Address address)
+    : hub_(hub), address_(std::move(address)) {}
+
+EngineTransport::~EngineTransport() { shutdown(); }
+
+void EngineTransport::set_handler(net::MessageHandler handler) {
+  handler_ = std::move(handler);
+}
+
+bool EngineTransport::send(const net::Address& to,
+                           std::vector<std::uint8_t> payload) {
+  if (stopped_) return false;
+  return hub_->send_from(address_, to, std::move(payload));
+}
+
+void EngineTransport::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  hub_->unregister(address_);
+}
+
+void EngineTransport::dispatch(net::Message msg) {
+  if (!stopped_ && handler_) handler_(std::move(msg));
+}
+
+// ---- EngineHub --------------------------------------------------------------
+
+EngineHub::EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link)
+    : engine_(engine),
+      link_(link ? std::move(link) : std::make_unique<ZeroLatency>()),
+      rng_(engine.split_rng()) {}
+
+std::unique_ptr<EngineTransport> EngineHub::make_endpoint(
+    const net::Address& address) {
+  if (endpoints_.count(address))
+    throw std::invalid_argument("EngineHub: duplicate address " + address);
+  auto ep =
+      std::unique_ptr<EngineTransport>(new EngineTransport(this, address));
+  endpoints_[address] = ep.get();
+  return ep;
+}
+
+bool EngineHub::reachable(const net::Address& address) const {
+  return endpoints_.count(address) > 0;
+}
+
+void EngineHub::unregister(const net::Address& address) {
+  if (endpoints_.erase(address) == 0) return;
+  // Drop the dead endpoint's FIFO-clamp entries: it can never send or
+  // receive again, and long churn scenarios would otherwise accumulate
+  // clamp state for every node that ever lived.
+  for (auto it = fifo_clamp_.begin(); it != fifo_clamp_.end();) {
+    const std::string& key = it->first;
+    const auto sep = key.find('\n');
+    const bool is_from = key.compare(0, sep, address) == 0;
+    const bool is_to =
+        key.compare(sep + 1, std::string::npos, address) == 0;
+    it = (is_from || is_to) ? fifo_clamp_.erase(it) : ++it;
+  }
+}
+
+bool EngineHub::send_from(const net::Address& from, const net::Address& to,
+                          std::vector<std::uint8_t> payload) {
+  if (!endpoints_.count(to)) return false;  // contact failure
+  ++sent_;
+  if (link_->drop(rng_)) {
+    ++dropped_;
+    return true;  // accepted, lost in flight
+  }
+  SimTime at = engine_.now() + link_->latency(payload.size(), rng_);
+  if (link_->may_reorder()) {
+    SimTime& last = fifo_clamp_[from + '\n' + to];
+    if (at < last) at = last;  // keep per-pair FIFO under jitter
+    last = at;
+  }
+  engine_.schedule_at(
+      at, [this, to, msg = net::Message{from, std::move(payload)}]() mutable {
+        // Route at delivery time: the receiver may have crashed in between.
+        auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) return;
+        ++delivered_;
+        it->second->dispatch(std::move(msg));
+      });
+  return true;
+}
+
+}  // namespace poly::engine

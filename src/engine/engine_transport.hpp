@@ -1,0 +1,101 @@
+// Event-driven transport: net::Transport over the discrete-event kernel.
+//
+// EngineHub plays the role InProcHub plays for the threaded runtime — a
+// registry of named endpoints — except that delivery is an *event*: send()
+// draws a latency (and possibly a drop) from the hub's LinkModel and
+// schedules the receiver's handler at now + latency on the engine.  No
+// threads, no mailboxes: handlers run inline in the engine loop, in
+// deterministic timestamp order.
+//
+// Semantics match the live transports where it matters to the protocol:
+//   * send() returns false when the destination is not (or no longer)
+//     registered — peers observe crashes as contact failures;
+//   * a frame in flight to an endpoint that shuts down before delivery is
+//     discarded silently (as a TCP segment to a dead process would be);
+//   * per sender→receiver FIFO is preserved even under jittered latency
+//     (delivery times are clamped monotone per pair).
+//
+// Lifetime: the hub must outlive the engine's pending delivery events (in
+// practice: destroy the engine first, or simply stop running it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engine/event_engine.hpp"
+#include "engine/link_model.hpp"
+#include "net/transport.hpp"
+
+namespace poly::engine {
+
+class EngineHub;
+
+/// One endpoint of an EngineHub.  Single-threaded: use only from engine
+/// event handlers or from the thread driving the engine.
+class EngineTransport final : public net::Transport {
+ public:
+  ~EngineTransport() override;
+
+  net::Address address() const override { return address_; }
+  void set_handler(net::MessageHandler handler) override;
+  bool send(const net::Address& to,
+            std::vector<std::uint8_t> payload) override;
+  void shutdown() override;
+
+ private:
+  friend class EngineHub;
+  EngineTransport(EngineHub* hub, net::Address address);
+
+  void dispatch(net::Message msg);
+
+  EngineHub* hub_;
+  net::Address address_;
+  net::MessageHandler handler_;
+  bool stopped_ = false;
+};
+
+/// The endpoint registry + delivery scheduler.  One hub per emulated
+/// network; endpoints must not outlive the hub.
+class EngineHub {
+ public:
+  /// `link` defaults to ZeroLatency.
+  EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link = nullptr);
+
+  EngineHub(const EngineHub&) = delete;
+  EngineHub& operator=(const EngineHub&) = delete;
+
+  /// Creates and registers an endpoint with a unique address.
+  std::unique_ptr<EngineTransport> make_endpoint(const net::Address& address);
+
+  /// True if the address is currently registered (alive).
+  bool reachable(const net::Address& address) const;
+
+  EventEngine& engine() noexcept { return engine_; }
+
+  // Traffic counters (frames).
+  std::uint64_t frames_sent() const noexcept { return sent_; }
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+  std::uint64_t frames_dropped() const noexcept { return dropped_; }
+
+ private:
+  friend class EngineTransport;
+
+  bool send_from(const net::Address& from, const net::Address& to,
+                 std::vector<std::uint8_t> payload);
+  void unregister(const net::Address& address);
+
+  EventEngine& engine_;
+  std::unique_ptr<LinkModel> link_;
+  util::Rng rng_;  // link randomness, split off the engine stream
+  std::unordered_map<net::Address, EngineTransport*> endpoints_;
+  /// Last scheduled delivery per "from\nto" pair; populated only when the
+  /// link model can reorder (fixed-latency runs keep this empty).
+  std::unordered_map<std::string, SimTime> fifo_clamp_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace poly::engine

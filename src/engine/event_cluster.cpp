@@ -1,0 +1,144 @@
+#include "engine/event_cluster.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace poly::engine {
+
+namespace {
+
+SimTime tick_period(const EventClusterConfig& cfg) {
+  const auto t = std::chrono::duration_cast<SimTime>(cfg.node.tick);
+  return t > SimTime::zero() ? t : std::chrono::milliseconds(1);
+}
+
+}  // namespace
+
+EventCluster::EventCluster(std::shared_ptr<const space::MetricSpace> space,
+                           const std::vector<space::DataPoint>& points,
+                           EventClusterConfig config, std::uint64_t seed)
+    : space_(std::move(space)),
+      cfg_(config),
+      engine_(seed),
+      hub_(std::make_unique<EngineHub>(
+          engine_, std::make_unique<UniformLatency>(
+                       cfg_.latency_min, cfg_.latency_max, cfg_.drop_rate))),
+      rng_(engine_.split_rng()),
+      points_(points) {
+  nodes_.reserve(points_.size());
+  for (const auto& dp : points_) add_node(dp);
+  // Bootstrap after all endpoints exist, so contact samples span the fleet.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) bootstrap_node(i);
+  const SimTime period = tick_period(cfg_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->start();
+    // Random phase offset: nodes tick desynchronized, as live fleets do.
+    schedule_tick(i, SimTime{rng_.uniform_i64(0, period.count() - 1)});
+  }
+}
+
+EventCluster::~EventCluster() = default;
+
+std::size_t EventCluster::add_node(std::optional<space::DataPoint> initial) {
+  const std::size_t idx = nodes_.size();
+  auto node = std::make_unique<net::AsyncNode>(
+      static_cast<net::LiveNodeId>(idx), space_,
+      hub_->make_endpoint("node-" + std::to_string(idx)), std::move(initial),
+      cfg_.node, engine_.split_rng().next_u64());
+  node->set_manual_drive([this] { return engine_.clock(); });
+  nodes_.push_back(std::move(node));
+  crashed_.push_back(false);
+  return idx;
+}
+
+void EventCluster::bootstrap_node(std::size_t idx) {
+  std::vector<std::size_t> candidates;
+  candidates.reserve(nodes_.size());
+  for (std::size_t j = 0; j < nodes_.size(); ++j)
+    if (j != idx && !crashed_[j]) candidates.push_back(j);
+  std::vector<net::Seed> seeds;
+  for (std::size_t j : rng_.sample(
+           candidates, std::min(cfg_.node.rps_view, candidates.size())))
+    seeds.push_back(net::Seed{static_cast<net::LiveNodeId>(j),
+                              nodes_[j]->address()});
+  nodes_[idx]->bootstrap(seeds);
+}
+
+void EventCluster::schedule_tick(std::size_t idx, SimTime delay) {
+  engine_.schedule_after(delay, [this, idx] {
+    if (crashed_[idx]) return;  // stop rescheduling after a crash
+    nodes_[idx]->drive_tick();
+    schedule_tick(idx, tick_period(cfg_));
+  });
+}
+
+void EventCluster::run_for(SimTime dur) {
+  engine_.run_until(engine_.now() + dur);
+}
+
+void EventCluster::run_rounds(std::size_t n) {
+  run_for(tick_period(cfg_) * static_cast<std::int64_t>(n));
+}
+
+std::size_t EventCluster::alive_count() const {
+  std::size_t n = 0;
+  for (bool c : crashed_) n += c ? 0 : 1;
+  return n;
+}
+
+std::size_t EventCluster::crash_region(
+    const std::function<bool(const space::Point&)>& pred) {
+  std::size_t crashed = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!crashed_[i] && pred(points_[i].pos)) {
+      nodes_[i]->crash();
+      crashed_[i] = true;
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+std::size_t EventCluster::crash_random(std::size_t count) {
+  std::vector<std::size_t> alive;
+  alive.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) alive.push_back(i);
+  std::size_t crashed = 0;
+  for (std::size_t i : rng_.sample(alive, std::min(count, alive.size()))) {
+    nodes_[i]->crash();
+    crashed_[i] = true;
+    ++crashed;
+  }
+  return crashed;
+}
+
+std::size_t EventCluster::inject(const space::Point& pos) {
+  const std::size_t idx = add_node(std::nullopt);
+  points_.push_back({space::kInvalidPointId, pos});
+  bootstrap_node(idx);
+  nodes_[idx]->start();
+  schedule_tick(idx, tick_period(cfg_) / 2);
+  return idx;
+}
+
+std::vector<net::FleetNodeState> EventCluster::alive_states() const {
+  std::vector<net::FleetNodeState> alive;
+  alive.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i])
+      alive.push_back(net::FleetNodeState{nodes_[i]->position(),
+                                          nodes_[i]->guests()});
+  return alive;
+}
+
+double EventCluster::homogeneity() const {
+  return net::fleet_homogeneity(*space_, points_, alive_states());
+}
+
+double EventCluster::reliability() const {
+  return net::fleet_reliability(points_, alive_states());
+}
+
+}  // namespace poly::engine

@@ -1,0 +1,67 @@
+#include "engine/event_engine.hpp"
+
+#include <utility>
+
+namespace poly::engine {
+
+EventEngine::EventEngine(std::uint64_t seed) : rng_(seed) {}
+
+EventId EventEngine::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+EventId EventEngine::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (delay < SimTime::zero()) delay = SimTime::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventEngine::cancel(EventId id) { pending_.erase(id); }
+
+bool EventEngine::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the handler is moved out via const_cast,
+    // which is safe because the slot is popped immediately after.
+    out.at = queue_.top().at;
+    out.id = queue_.top().id;
+    out.fn = std::move(const_cast<Event&>(queue_.top()).fn);
+    queue_.pop();
+    if (pending_.erase(out.id) > 0) return true;  // else: cancelled slot
+  }
+  return false;
+}
+
+bool EventEngine::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventEngine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t EventEngine::run_until(SimTime t) {
+  std::size_t n = 0;
+  for (;;) {
+    // Reap cancelled heads first so the timestamp check sees a live event;
+    // otherwise step() could run an event beyond t.
+    while (!queue_.empty() && pending_.count(queue_.top().id) == 0)
+      queue_.pop();
+    if (queue_.empty() || queue_.top().at > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace poly::engine

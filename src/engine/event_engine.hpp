@@ -1,0 +1,131 @@
+// Deterministic discrete-event kernel.
+//
+// The repo has three ways to execute the protocol stack: the lock-step
+// round simulator (scenario/), the thread-per-node live runtime (net/), and
+// — built on this kernel — a single-threaded event-driven mode that runs
+// the *same* AsyncNode protocol logic over a virtual clock.  The kernel is
+// the scheduling core shared by all engine-driven modes:
+//
+//   * a virtual clock (nanoseconds since the engine epoch; no wall time),
+//   * a binary-heap event queue ordered by (time, insertion sequence) so
+//     simultaneous events fire in FIFO order — fully deterministic,
+//   * per-node RNG streams split off one master seed (util::Rng::split),
+//     so scheduling order never perturbs a node's private randomness.
+//
+// Everything runs on the caller's thread: an event handler that schedules
+// further events sees them executed in timestamp order by the same run()
+// loop.  Determinism contract: the same seed and the same sequence of
+// schedule/run calls replay the exact same execution, bit for bit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace poly::engine {
+
+/// Virtual time: nanoseconds since the engine epoch (construction).
+using SimTime = std::chrono::nanoseconds;
+
+/// Identifier of a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+/// The deterministic event loop: virtual clock + event queue + RNG streams.
+class EventEngine {
+ public:
+  explicit EventEngine(std::uint64_t seed);
+
+  EventEngine(const EventEngine&) = delete;
+  EventEngine& operator=(const EventEngine&) = delete;
+
+  // ---- clock -------------------------------------------------------------
+
+  /// Current virtual time.
+  SimTime now() const noexcept { return now_; }
+
+  /// The virtual clock expressed as a steady_clock time point (epoch-based),
+  /// for components that consume wall-style time points (e.g. the live
+  /// runtime's backup-staleness timeouts).  Only differences are meaningful.
+  std::chrono::steady_clock::time_point clock() const noexcept {
+    return std::chrono::steady_clock::time_point{} +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               now_);
+  }
+
+  // ---- scheduling --------------------------------------------------------
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now: an event
+  /// scheduled in the past fires at the current time, after already-queued
+  /// events with the same timestamp).  Returns an id usable with cancel().
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) of virtual time.
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event (lazy: the slot is skipped when popped).
+  /// Cancelling an already-executed id is a no-op.
+  void cancel(EventId id);
+
+  // ---- execution ---------------------------------------------------------
+
+  /// Executes the next pending event, advancing the clock to its timestamp.
+  /// Returns false when the queue is empty.
+  bool step();
+
+  /// Drains the queue.  Returns the number of events executed.  Beware of
+  /// self-rescheduling events (e.g. protocol tick loops): those never drain;
+  /// use run_until.
+  std::size_t run();
+
+  /// Executes every event with timestamp <= t (including events they
+  /// schedule inside the window), then advances the clock to exactly t.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t);
+
+  // ---- introspection -----------------------------------------------------
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  // ---- randomness --------------------------------------------------------
+
+  /// The engine-global RNG stream (link latency, churn injection, ...).
+  util::Rng& rng() noexcept { return rng_; }
+
+  /// Derives an independent stream — one per node, so a node's draws are a
+  /// function of the seed and its creation order only.
+  util::Rng split_rng() noexcept { return rng_.split(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  /// Min-heap on (at, id): id is the insertion sequence, so ties are FIFO.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.id > b.id);
+    }
+  };
+
+  /// Pops the next non-cancelled event; false when none.
+  bool pop_next(Event& out);
+
+  SimTime now_{0};
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Ids of live (scheduled, not executed, not cancelled) events.  An id
+  /// missing here when its heap slot pops means it was cancelled; cancel()
+  /// and cancel-after-execution are both O(1) no-leak operations.
+  std::unordered_set<EventId> pending_;
+  util::Rng rng_;
+};
+
+}  // namespace poly::engine

@@ -1,0 +1,23 @@
+#include "engine/link_model.hpp"
+
+#include <stdexcept>
+
+namespace poly::engine {
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi, double drop_rate)
+    : lo_(lo), hi_(hi), drop_rate_(drop_rate) {
+  if (lo_ > hi_) throw std::invalid_argument("UniformLatency: lo > hi");
+  if (drop_rate_ < 0.0 || drop_rate_ >= 1.0)
+    throw std::invalid_argument("UniformLatency: drop rate outside [0, 1)");
+}
+
+SimTime UniformLatency::latency(std::size_t, util::Rng& rng) {
+  if (lo_ == hi_) return lo_;
+  return SimTime{rng.uniform_i64(lo_.count(), hi_.count())};
+}
+
+bool UniformLatency::drop(util::Rng& rng) {
+  return drop_rate_ > 0.0 && rng.bernoulli(drop_rate_);
+}
+
+}  // namespace poly::engine

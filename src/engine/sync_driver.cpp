@@ -1,0 +1,23 @@
+#include "engine/sync_driver.hpp"
+
+namespace poly::engine {
+
+SyncDriver::SyncDriver(scenario::Simulation& sim, EventEngine& engine,
+                       SimTime round_period)
+    : sim_(sim), engine_(engine), period_(round_period) {
+  if (period_ < SimTime::zero()) period_ = SimTime::zero();
+}
+
+void SyncDriver::run_rounds(std::size_t n) {
+  const SimTime base = engine_.now();
+  for (std::size_t i = 1; i <= n; ++i) {
+    engine_.schedule_at(base + period_ * static_cast<std::int64_t>(i),
+                        [this] {
+                          sim_.run_round();
+                          ++rounds_run_;
+                        });
+  }
+  engine_.run_until(base + period_ * static_cast<std::int64_t>(n));
+}
+
+}  // namespace poly::engine

@@ -1,0 +1,47 @@
+// The synchronous scenario driver as a degenerate event-engine schedule.
+//
+// The lock-step simulator (scenario::Simulation) is, from the engine's
+// point of view, the simplest possible schedule: one zero-duration event
+// per round, all communication instantaneous inside it.  SyncDriver makes
+// that explicit — it ports the three-phase scenario driver onto the kernel
+// by scheduling each Simulation::run_round() as an engine event.
+//
+// Because the events execute the exact same calls in the exact same order
+// as Simulation::run_rounds, a fixed seed produces bit-identical metrics
+// through either path (test_engine_parity locks this in).  The payoff is
+// uniformity: round scenarios and live-protocol scenarios now share one
+// clock, one queue, and one execution loop, so a scenario can mix both
+// (e.g. schedule churn at virtual times between rounds).
+#pragma once
+
+#include <cstddef>
+
+#include "engine/event_engine.hpp"
+#include "scenario/simulation.hpp"
+
+namespace poly::engine {
+
+/// Drives a Simulation on an EventEngine, one round per event.
+class SyncDriver {
+ public:
+  /// `round_period` is the virtual time between rounds; zero collapses the
+  /// whole scenario onto a single timestamp (pure FIFO ordering).  The
+  /// simulation and engine must outlive the driver.
+  SyncDriver(scenario::Simulation& sim, EventEngine& engine,
+             SimTime round_period = std::chrono::milliseconds(1));
+
+  /// Schedules `n` further rounds and runs the engine through them.
+  /// Interleaved scenario actions (crash, reinject, morph) go between
+  /// run_rounds calls, exactly as with Simulation::run_rounds.
+  void run_rounds(std::size_t n);
+
+  std::size_t rounds_run() const noexcept { return rounds_run_; }
+
+ private:
+  scenario::Simulation& sim_;
+  EventEngine& engine_;
+  SimTime period_;
+  std::size_t rounds_run_ = 0;
+};
+
+}  // namespace poly::engine

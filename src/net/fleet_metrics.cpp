@@ -1,0 +1,75 @@
+#include "net/fleet_metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace poly::net {
+
+namespace {
+
+/// id → index into `points`, skipping injected sentinels.
+std::unordered_map<space::PointId, std::size_t> point_index(
+    const std::vector<space::DataPoint>& points) {
+  std::unordered_map<space::PointId, std::size_t> index;
+  index.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (points[i].id != space::kInvalidPointId) index.emplace(points[i].id, i);
+  return index;
+}
+
+}  // namespace
+
+double fleet_homogeneity(const space::MetricSpace& space,
+                         const std::vector<space::DataPoint>& points,
+                         const std::vector<FleetNodeState>& alive) {
+  if (alive.empty()) return 0.0;
+  const auto index = point_index(points);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(points.size(), kInf);
+  for (const auto& node : alive) {
+    for (const auto& g : node.guests) {
+      const auto it = index.find(g.id);
+      if (it == index.end()) continue;
+      const double d = space.distance(points[it->second].pos, node.pos);
+      if (d < best[it->second]) best[it->second] = d;
+    }
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].id == space::kInvalidPointId) continue;
+    double d = best[i];
+    if (!std::isfinite(d)) {
+      // Lost point: distance to the nearest alive node.
+      d = kInf;
+      for (const auto& node : alive)
+        d = std::min(d, space.distance(points[i].pos, node.pos));
+    }
+    sum += d;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+double fleet_reliability(const std::vector<space::DataPoint>& points,
+                         const std::vector<FleetNodeState>& alive) {
+  const auto index = point_index(points);
+  std::vector<bool> hosted(points.size(), false);
+  for (const auto& node : alive) {
+    for (const auto& g : node.guests) {
+      const auto it = index.find(g.id);
+      if (it != index.end()) hosted[it->second] = true;
+    }
+  }
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].id == space::kInvalidPointId) continue;
+    ++total;
+    ok += hosted[i] ? 1 : 0;
+  }
+  return total ? static_cast<double>(ok) / static_cast<double>(total) : 1.0;
+}
+
+}  // namespace poly::net

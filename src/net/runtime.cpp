@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/fleet_metrics.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "space/medoid.hpp"
@@ -63,12 +64,26 @@ void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
   }
 }
 
+void AsyncNode::set_manual_drive(ClockFn clock) {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  manual_ = true;
+  clock_ = std::move(clock);
+}
+
+void AsyncNode::drive_tick() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (!started_ || crashed_) return;
+  }
+  on_tick();
+}
+
 void AsyncNode::start() {
   std::lock_guard<std::mutex> lk(stop_mu_);
   if (started_ || crashed_) return;
   started_ = true;
   stop_requested_ = false;
-  ticker_ = std::thread([this] { tick_loop(); });
+  if (!manual_) ticker_ = std::thread([this] { tick_loop(); });
 }
 
 void AsyncNode::stop() {
@@ -355,12 +370,12 @@ void AsyncNode::handle_backup_push(const Header& h,
   auto& slot = ghosts_[h.sender];
   slot.points = to_point_set(guests);
   slot.addr = h.sender_addr;
-  slot.last_push = std::chrono::steady_clock::now();
+  slot.last_push = clock_now();
 }
 
 void AsyncNode::step_recovery() {
   if (migrating_) return;  // guests frozen during an exchange
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_now();
   bool changed = false;
   for (auto it = ghosts_.begin(); it != ghosts_.end();) {
     if (now - it->second.last_push > cfg_.origin_timeout) {
@@ -561,49 +576,21 @@ std::size_t LiveCluster::inject(const space::Point& pos) {
   return idx;
 }
 
-double LiveCluster::homogeneity() const {
-  double sum = 0.0;
-  std::size_t counted = 0;
-  // Snapshot alive nodes' state once.
-  std::vector<std::pair<space::Point, core::PointSet>> alive;
+std::vector<FleetNodeState> LiveCluster::alive_states() const {
+  std::vector<FleetNodeState> alive;
   for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (!crashed_[i]) alive.emplace_back(nodes_[i]->position(),
-                                         nodes_[i]->guests());
-  if (alive.empty()) return 0.0;
-  for (const auto& dp : points_) {
-    if (dp.id == space::kInvalidPointId) continue;  // injected, no point
-    double best_hosted = std::numeric_limits<double>::infinity();
-    double best_any = std::numeric_limits<double>::infinity();
-    for (const auto& [pos, guests] : alive) {
-      const double d = space_->distance(dp.pos, pos);
-      best_any = std::min(best_any, d);
-      if (core::contains_id(guests, dp.id))
-        best_hosted = std::min(best_hosted, d);
-    }
-    sum += std::isfinite(best_hosted) ? best_hosted : best_any;
-    ++counted;
-  }
-  return counted ? sum / static_cast<double>(counted) : 0.0;
+    if (!crashed_[i])
+      alive.push_back(FleetNodeState{nodes_[i]->position(),
+                                     nodes_[i]->guests()});
+  return alive;
+}
+
+double LiveCluster::homogeneity() const {
+  return fleet_homogeneity(*space_, points_, alive_states());
 }
 
 double LiveCluster::reliability() const {
-  std::size_t hosted = 0;
-  std::size_t total = 0;
-  std::vector<core::PointSet> alive;
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (!crashed_[i]) alive.push_back(nodes_[i]->guests());
-  for (const auto& dp : points_) {
-    if (dp.id == space::kInvalidPointId) continue;
-    ++total;
-    for (const auto& guests : alive) {
-      if (core::contains_id(guests, dp.id)) {
-        ++hosted;
-        break;
-      }
-    }
-  }
-  return total ? static_cast<double>(hosted) / static_cast<double>(total)
-               : 1.0;
+  return fleet_reliability(points_, alive_states());
 }
 
 std::size_t LiveCluster::alive_count() const {

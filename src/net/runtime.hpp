@@ -38,6 +38,8 @@
 
 namespace poly::net {
 
+struct FleetNodeState;  // net/fleet_metrics.hpp
+
 /// Tunables of the live runtime (scaled-down defaults suit tests and the
 /// live_async example; semantics mirror the simulator's configs).
 struct AsyncConfig {
@@ -77,7 +79,25 @@ class AsyncNode {
   /// Introduces bootstrap contacts (call before start()).
   void bootstrap(const std::vector<Seed>& seeds);
 
-  /// Starts the ticker thread.  Idempotent.
+  // ---- engine drive -----------------------------------------------------
+
+  /// Source of "now" for timeout bookkeeping (virtual clocks in engine
+  /// runs; defaults to steady_clock).
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// Switches the node to engine-driven (manual) mode: start()/stop() no
+  /// longer manage a ticker thread, time is read from `clock`, and the
+  /// owner advances the protocol by calling drive_tick().  The protocol
+  /// logic — on_tick and the on_message handlers — is unchanged; only the
+  /// thread and the clock are replaced.  Call before start().
+  void set_manual_drive(ClockFn clock);
+
+  /// Executes one protocol tick on the caller's thread.  Manual mode only;
+  /// a no-op before start() and after stop()/crash().
+  void drive_tick();
+
+  /// Starts the node: spawns the ticker thread, or (manual mode) just arms
+  /// drive_tick().  Idempotent.
   void start();
 
   /// Graceful stop: finishes the current tick, keeps state inspectable.
@@ -133,10 +153,17 @@ class AsyncNode {
   Header header(MsgType type) const;
   std::vector<WirePoint> wire_guests() const;
 
+  /// Current time per the injected clock (manual mode) or steady_clock.
+  std::chrono::steady_clock::time_point clock_now() const {
+    return clock_ ? clock_() : std::chrono::steady_clock::now();
+  }
+
   const LiveNodeId id_;
   std::shared_ptr<const space::MetricSpace> space_;
   std::unique_ptr<Transport> transport_;
   AsyncConfig cfg_;
+  bool manual_ = false;
+  ClockFn clock_;
 
   mutable std::mutex state_mu_;
   util::Rng rng_;
@@ -227,6 +254,8 @@ class LiveCluster {
   std::size_t alive_count() const;
 
  private:
+  std::vector<FleetNodeState> alive_states() const;
+
   std::shared_ptr<const space::MetricSpace> space_;
   std::vector<space::DataPoint> points_;
   AsyncConfig cfg_;

@@ -1,0 +1,315 @@
+// Tests for the discrete-event kernel and the sync-driver port: event
+// ordering and cancellation, per-node RNG streams, the engine transport's
+// delivery semantics, and the headline parity property — for a fixed seed,
+// the lock-step scenario driver and its degenerate event-engine schedule
+// produce bit-identical homogeneity / proximity metrics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "engine/engine_transport.hpp"
+#include "engine/event_cluster.hpp"
+#include "engine/event_engine.hpp"
+#include "engine/sync_driver.hpp"
+#include "scenario/simulation.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using poly::engine::EngineHub;
+using poly::engine::EventCluster;
+using poly::engine::EventClusterConfig;
+using poly::engine::EventEngine;
+using poly::engine::SimTime;
+using poly::engine::SyncDriver;
+using poly::engine::UniformLatency;
+using poly::engine::ZeroLatency;
+
+// ---- kernel -----------------------------------------------------------------
+
+TEST(EventEngine, ExecutesInTimestampOrder) {
+  EventEngine engine(1);
+  std::vector<int> order;
+  engine.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  engine.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  engine.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), SimTime{30});
+}
+
+TEST(EventEngine, SimultaneousEventsAreFifo) {
+  EventEngine engine(1);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    engine.schedule_at(SimTime{5}, [&, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventEngine, HandlersScheduleFurtherEvents) {
+  EventEngine engine(1);
+  std::vector<SimTime> fired;
+  engine.schedule_at(SimTime{10}, [&] {
+    fired.push_back(engine.now());
+    engine.schedule_after(SimTime{5}, [&] { fired.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], SimTime{10});
+  EXPECT_EQ(fired[1], SimTime{15});
+}
+
+TEST(EventEngine, PastSchedulingClampsToNow) {
+  EventEngine engine(1);
+  engine.schedule_at(SimTime{100}, [] {});
+  engine.run();
+  bool ran = false;
+  engine.schedule_at(SimTime{10}, [&] {
+    ran = true;
+    EXPECT_EQ(engine.now(), SimTime{100});
+  });
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventEngine, CancelSkipsEvent) {
+  EventEngine engine(1);
+  int fired = 0;
+  const auto id = engine.schedule_at(SimTime{10}, [&] { ++fired; });
+  engine.schedule_at(SimTime{20}, [&] { ++fired; });
+  engine.cancel(id);
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventEngine, RunUntilStopsAtBoundary) {
+  EventEngine engine(1);
+  std::vector<int> fired;
+  engine.schedule_at(SimTime{10}, [&] { fired.push_back(1); });
+  engine.schedule_at(SimTime{20}, [&] { fired.push_back(2); });
+  engine.schedule_at(SimTime{21}, [&] { fired.push_back(3); });
+  EXPECT_EQ(engine.run_until(SimTime{20}), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.now(), SimTime{20});  // advanced exactly to the boundary
+  engine.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventEngine, RunUntilSkipsCancelledHead) {
+  EventEngine engine(1);
+  int fired = 0;
+  const auto id = engine.schedule_at(SimTime{10}, [&] { ++fired; });
+  engine.schedule_at(SimTime{50}, [&] { ++fired; });
+  engine.cancel(id);
+  // A naive loop would pop the cancelled head and then run the t=50 event
+  // even though the window ends at 20.
+  EXPECT_EQ(engine.run_until(SimTime{20}), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(engine.now(), SimTime{20});
+}
+
+TEST(EventEngine, SplitRngStreamsAreSeedDeterministic) {
+  EventEngine a(42);
+  EventEngine b(42);
+  EventEngine c(43);
+  auto ra1 = a.split_rng();
+  auto ra2 = a.split_rng();
+  auto rb1 = b.split_rng();
+  EXPECT_EQ(ra1.next_u64(), rb1.next_u64());  // same seed, same stream
+  auto rc1 = c.split_rng();
+  EXPECT_NE(ra2.next_u64(), rc1.next_u64());  // different seed
+}
+
+TEST(EventEngine, VirtualClockMapsToSteadyTimePoints) {
+  EventEngine engine(1);
+  const auto t0 = engine.clock();
+  engine.schedule_at(SimTime{std::chrono::milliseconds(250)}, [] {});
+  engine.run();
+  EXPECT_EQ(engine.clock() - t0, 250ms);
+}
+
+// ---- engine transport -------------------------------------------------------
+
+TEST(EngineTransport, DeliversWithLatency) {
+  EventEngine engine(1);
+  EngineHub hub(engine,
+                std::make_unique<poly::engine::FixedLatency>(SimTime{3ms}));
+  auto a = hub.make_endpoint("a");
+  auto b = hub.make_endpoint("b");
+  std::vector<std::string> got;
+  b->set_handler([&](poly::net::Message m) {
+    EXPECT_EQ(engine.now(), SimTime{3ms});
+    got.emplace_back(m.payload.begin(), m.payload.end());
+    EXPECT_EQ(m.from, "a");
+  });
+  ASSERT_TRUE(a->send("b", {'h', 'i'}));
+  engine.run();
+  EXPECT_EQ(got, std::vector<std::string>{"hi"});
+}
+
+TEST(EngineTransport, SendToUnknownOrShutdownFails) {
+  EventEngine engine(1);
+  EngineHub hub(engine);
+  auto a = hub.make_endpoint("a");
+  EXPECT_FALSE(a->send("nobody", {1}));
+  auto b = hub.make_endpoint("b");
+  b->shutdown();
+  EXPECT_FALSE(a->send("b", {1}));
+  EXPECT_FALSE(hub.reachable("b"));
+}
+
+TEST(EngineTransport, InFlightFrameToCrashedEndpointIsDiscarded) {
+  EventEngine engine(1);
+  EngineHub hub(engine,
+                std::make_unique<poly::engine::FixedLatency>(SimTime{5ms}));
+  auto a = hub.make_endpoint("a");
+  auto b = hub.make_endpoint("b");
+  int delivered = 0;
+  b->set_handler([&](poly::net::Message) { ++delivered; });
+  ASSERT_TRUE(a->send("b", {1}));  // accepted while b is alive
+  b->shutdown();                   // crashes before delivery
+  engine.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(hub.frames_delivered(), 0u);
+}
+
+TEST(EngineTransport, JitteredLatencyPreservesPerPairFifo) {
+  EventEngine engine(7);
+  EngineHub hub(engine, std::make_unique<UniformLatency>(SimTime{1ms},
+                                                         SimTime{50ms}));
+  auto a = hub.make_endpoint("a");
+  auto b = hub.make_endpoint("b");
+  std::vector<std::uint8_t> got;
+  b->set_handler(
+      [&](poly::net::Message m) { got.push_back(m.payload.at(0)); });
+  for (std::uint8_t i = 0; i < 50; ++i) ASSERT_TRUE(a->send("b", {i}));
+  engine.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(EngineTransport, DropModelLosesFramesSilently) {
+  EventEngine engine(3);
+  EngineHub hub(engine, std::make_unique<UniformLatency>(
+                            SimTime{1ms}, SimTime{1ms}, /*drop_rate=*/0.5));
+  auto a = hub.make_endpoint("a");
+  auto b = hub.make_endpoint("b");
+  int delivered = 0;
+  b->set_handler([&](poly::net::Message) { ++delivered; });
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(a->send("b", {1}));
+  engine.run();
+  EXPECT_EQ(hub.frames_dropped() + hub.frames_delivered(), 200u);
+  EXPECT_GT(hub.frames_dropped(), 50u);
+  EXPECT_GT(delivered, 50);
+}
+
+// ---- sync-driver parity -----------------------------------------------------
+
+/// Runs the paper's three phases on a Simulation, with rounds executed
+/// either directly or through a SyncDriver on an event engine.
+struct Metrics {
+  double homogeneity;
+  double proximity;
+  double reliability;
+  double points_per_node;
+};
+
+template <typename RunRounds>
+Metrics run_scenario(poly::scenario::Simulation& sim, RunRounds&& rounds) {
+  rounds(10);
+  sim.crash_failure_half();
+  rounds(10);
+  sim.reinject(sim.network().num_total() - sim.network().num_alive());
+  rounds(10);
+  return Metrics{sim.homogeneity(), sim.proximity(), sim.reliability(),
+                 sim.avg_points_per_node()};
+}
+
+TEST(SyncDriverParity, IdenticalMetricsForSameSeed) {
+  poly::shape::GridTorusShape shape(16, 8);
+  poly::scenario::SimulationConfig config;
+  config.seed = 5;
+
+  poly::scenario::Simulation direct(shape, config);
+  const Metrics a = run_scenario(direct,
+                                 [&](std::size_t n) { direct.run_rounds(n); });
+
+  poly::scenario::Simulation engined(shape, config);
+  EventEngine engine(5);
+  SyncDriver driver(engined, engine);
+  const Metrics b = run_scenario(
+      engined, [&](std::size_t n) { driver.run_rounds(n); });
+
+  // Bit-identical, not approximately equal: the engine schedule replays the
+  // exact same call sequence.
+  EXPECT_EQ(a.homogeneity, b.homogeneity);
+  EXPECT_EQ(a.proximity, b.proximity);
+  EXPECT_EQ(a.reliability, b.reliability);
+  EXPECT_EQ(a.points_per_node, b.points_per_node);
+  EXPECT_EQ(driver.rounds_run(), 30u);
+}
+
+TEST(SyncDriverParity, ZeroPeriodDegenerateScheduleStillMatches) {
+  poly::shape::GridTorusShape shape(10, 10);
+  poly::scenario::SimulationConfig config;
+  config.seed = 11;
+
+  poly::scenario::Simulation direct(shape, config);
+  direct.run_rounds(15);
+
+  poly::scenario::Simulation engined(shape, config);
+  EventEngine engine(11);
+  SyncDriver driver(engined, engine, SimTime::zero());
+  driver.run_rounds(15);
+
+  EXPECT_EQ(engine.now(), SimTime::zero());  // all rounds at one timestamp
+  EXPECT_EQ(direct.homogeneity(), engined.homogeneity());
+  EXPECT_EQ(direct.proximity(), engined.proximity());
+}
+
+TEST(SyncDriverParity, BareSubstrateBaselineAlsoMatches) {
+  poly::shape::GridTorusShape shape(10, 10);
+  poly::scenario::SimulationConfig config;
+  config.seed = 23;
+  config.polystyrene = false;
+
+  poly::scenario::Simulation direct(shape, config);
+  const Metrics a = run_scenario(direct,
+                                 [&](std::size_t n) { direct.run_rounds(n); });
+
+  poly::scenario::Simulation engined(shape, config);
+  EventEngine engine(23);
+  SyncDriver driver(engined, engine);
+  const Metrics b = run_scenario(
+      engined, [&](std::size_t n) { driver.run_rounds(n); });
+
+  EXPECT_EQ(a.homogeneity, b.homogeneity);
+  EXPECT_EQ(a.proximity, b.proximity);
+}
+
+// ---- event-cluster determinism ----------------------------------------------
+
+TEST(EventClusterDeterminism, SameSeedReplaysBitForBit) {
+  poly::shape::RingShape shape(16, 1.0);
+  auto run_once = [&](std::uint64_t seed) {
+    EventCluster fleet(shape.space_ptr(), shape.generate(),
+                       EventClusterConfig{}, seed);
+    fleet.run_rounds(30);
+    fleet.crash_region(
+        [&](const poly::space::Point& p) { return shape.in_failure_half(p); });
+    fleet.run_rounds(40);
+    return std::pair<double, double>{fleet.homogeneity(),
+                                     fleet.reliability()};
+  };
+  const auto a = run_once(99);
+  const auto b = run_once(99);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// The live migration protocol (Algorithm 3 over real messages) under
+// engine-injected churn: catastrophic region crashes, continuous random
+// churn with re-injection, lossy links — all on the deterministic event
+// engine, so every scenario replays exactly from its seed, without the
+// wall-clock timeouts the threaded runtime tests need.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "engine/event_cluster.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using poly::engine::EventCluster;
+using poly::engine::EventClusterConfig;
+using poly::engine::SimTime;
+using poly::space::Point;
+
+EventClusterConfig fast_config() {
+  EventClusterConfig cfg;
+  cfg.node.tick = 10ms;  // virtual milliseconds
+  cfg.node.origin_timeout = 150ms;
+  cfg.node.replication = 3;
+  return cfg;
+}
+
+/// Runs rounds in slices until `pred` holds or `max_rounds` elapse.
+template <typename Pred>
+bool converges(EventCluster& fleet, Pred&& pred, std::size_t max_rounds,
+               std::size_t slice = 10) {
+  for (std::size_t r = 0; r < max_rounds; r += slice) {
+    fleet.run_rounds(slice);
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+TEST(LiveMigration, FleetConvergesAndReplicates) {
+  poly::shape::RingShape shape(24, 1.0);
+  EventCluster fleet(shape.space_ptr(), shape.generate(), fast_config(), 7);
+  // Every node initially hosts its own point: homogeneity ~0 stays ~0, and
+  // backup pushes spread K ghost copies per point across the fleet.
+  EXPECT_TRUE(converges(
+      fleet, [&] { return fleet.homogeneity() < 0.01; }, 100));
+  EXPECT_TRUE(converges(
+      fleet,
+      [&] {
+        std::size_t ghosts = 0;
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+          ghosts += fleet.node(i).ghost_point_count();
+        return ghosts >= 24 * 2;
+      },
+      200));
+}
+
+TEST(LiveMigration, RecoversAfterHalfRegionCrash) {
+  poly::shape::RingShape shape(24, 1.0);
+  EventCluster fleet(shape.space_ptr(), shape.generate(), fast_config(), 11);
+  ASSERT_TRUE(converges(
+      fleet,
+      [&] {
+        std::size_t ghosts = 0;
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+          ghosts += fleet.node(i).ghost_point_count();
+        return ghosts >= 24 * 2;
+      },
+      200));
+
+  const std::size_t crashed = fleet.crash_region(
+      [&](const Point& p) { return shape.in_failure_half(p); });
+  EXPECT_EQ(crashed, 12u);
+  EXPECT_EQ(fleet.alive_count(), 12u);
+
+  // Ghost reactivation + migration re-homogenize the surviving half.
+  EXPECT_TRUE(converges(
+      fleet, [&] { return fleet.reliability() > 0.85; }, 400));
+  EXPECT_TRUE(converges(
+      fleet, [&] { return fleet.homogeneity() < 1.0; }, 400));
+}
+
+TEST(LiveMigration, InjectedNodeAcquiresGuestsThroughMigration) {
+  poly::shape::RingShape shape(12, 1.0);
+  EventCluster fleet(shape.space_ptr(), shape.generate(), fast_config(), 13);
+  ASSERT_TRUE(converges(
+      fleet, [&] { return fleet.homogeneity() < 0.01; }, 100));
+  const std::size_t idx = fleet.inject(Point(3.5));
+  // The fresh node has no data point; a neighbour's migrate_req hands it a
+  // share of the pooled guests (paper Phase 3).
+  EXPECT_TRUE(converges(
+      fleet, [&] { return !fleet.node(idx).guests().empty(); }, 400));
+}
+
+TEST(LiveMigration, SurvivesContinuousChurn) {
+  poly::shape::RingShape shape(32, 1.0);
+  EventCluster fleet(shape.space_ptr(), shape.generate(), fast_config(), 17);
+  ASSERT_TRUE(converges(
+      fleet, [&] { return fleet.reliability() == 1.0; }, 100));
+  // Churn: every ~10 virtual rounds one node dies and a fresh one joins.
+  for (int wave = 0; wave < 12; ++wave) {
+    EXPECT_EQ(fleet.crash_random(1), 1u);
+    fleet.inject(Point(0.5 + wave));
+    fleet.run_rounds(20);
+  }
+  // Replication keeps nearly every original point alive through the churn.
+  EXPECT_GT(fleet.reliability(), 0.85);
+  EXPECT_GT(fleet.alive_count(), 30u);  // 32 - 12 + 12 injected = 32
+}
+
+TEST(LiveMigration, ToleratesLossyLinks) {
+  poly::shape::RingShape shape(16, 1.0);
+  EventClusterConfig cfg = fast_config();
+  cfg.latency_min = 1ms;
+  cfg.latency_max = 8ms;   // jittered — exercises the FIFO clamp
+  cfg.drop_rate = 0.05;    // 5% frame loss
+  EventCluster fleet(shape.space_ptr(), shape.generate(), cfg, 19);
+  EXPECT_TRUE(converges(
+      fleet, [&] { return fleet.reliability() == 1.0; }, 200));
+  fleet.crash_region([&](const Point& p) { return shape.in_failure_half(p); });
+  EXPECT_TRUE(converges(
+      fleet, [&] { return fleet.reliability() > 0.8; }, 500));
+  EXPECT_GT(fleet.hub().frames_dropped(), 0u);
+}
+
+TEST(LiveMigration, ChurnScenarioIsDeterministic) {
+  poly::shape::GridTorusShape shape(8, 4);
+  auto run_once = [&] {
+    EventCluster fleet(shape.space_ptr(), shape.generate(), fast_config(),
+                       101);
+    fleet.run_rounds(30);
+    fleet.crash_random(8);
+    for (int i = 0; i < 4; ++i) fleet.inject(Point(0.5 * i, 0.5));
+    fleet.run_rounds(50);
+    return std::pair<double, double>{fleet.homogeneity(),
+                                     fleet.reliability()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace

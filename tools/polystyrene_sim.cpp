@@ -15,12 +15,16 @@
 //   polystyrene_sim --shape ring:512 --substrate vicinity --split basic
 //                   --churn 1.0 --drift 0.2
 //
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "engine/event_cluster.hpp"
+#include "net/runtime.hpp"
 #include "scenario/simulation.hpp"
 #include "scenario/snapshot.hpp"
 #include "shape/cube_torus.hpp"
@@ -33,6 +37,7 @@ namespace {
 using namespace poly;
 
 struct Options {
+  std::string engine = "sync";
   std::string shape = "grid:80x40";
   std::size_t k = 4;
   std::string split = "advanced";
@@ -54,6 +59,10 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::puts(
       "polystyrene_sim [options]\n"
+      "  --engine sync|events|live                       [sync]\n"
+      "      sync:   lock-step round simulator (paper evaluation)\n"
+      "      events: live protocol on the deterministic event engine\n"
+      "      live:   live protocol on real threads (small shapes only)\n"
       "  --shape grid:WxH | ring:N | cube:XxYxZ          [grid:80x40]\n"
       "  --k K                       backup copies       [4]\n"
       "  --split basic|pd|md|advanced                    [advanced]\n"
@@ -77,7 +86,8 @@ Options parse(int argc, char** argv) {
       return argv[++i];
     };
     const char* a = argv[i];
-    if (!std::strcmp(a, "--shape")) opt.shape = next();
+    if (!std::strcmp(a, "--engine")) opt.engine = next();
+    else if (!std::strcmp(a, "--shape")) opt.shape = next();
     else if (!std::strcmp(a, "--k")) opt.k = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(a, "--split")) opt.split = next();
     else if (!std::strcmp(a, "--substrate")) opt.substrate = next();
@@ -139,11 +149,145 @@ std::unique_ptr<shape::Shape> make_shape(const std::string& spec) {
   std::exit(2);
 }
 
+/// Rejects simulator-only flags in the live/events modes (the AsyncNode
+/// stack is Polystyrene-on-T-Man with its own failure detection).
+bool fleet_flags_ok(const Options& opt, const char* mode) {
+  if (opt.polystyrene && opt.substrate == "tman" && opt.fd_delay == 0 &&
+      opt.fd_fp == 0.0 && opt.drift == 0.0 && !opt.map)
+    return true;
+  std::fprintf(stderr,
+               "--engine %s runs the full Polystyrene stack on T-Man; "
+               "--no-polystyrene, --substrate vicinity, --fd-*, --drift and "
+               "--map need --engine sync\n",
+               mode);
+  return false;
+}
+
+int run_events(const Options& opt, const shape::Shape& target) {
+  if (!fleet_flags_ok(opt, "events")) return 2;
+  engine::EventClusterConfig cfg;
+  cfg.node.replication = opt.k;
+  cfg.node.split_kind = core::split_kind_from_string(opt.split);
+  engine::EventCluster fleet(target.space_ptr(), target.generate(), cfg,
+                             opt.seed);
+  std::printf("# engine=events shape=%s nodes=%zu K=%zu split=%s seed=%llu\n",
+              target.name().c_str(), fleet.size(), opt.k, opt.split.c_str(),
+              static_cast<unsigned long long>(opt.seed));
+
+  util::Table table({"round", "alive", "homogeneity", "reliability",
+                     "frames"});
+  std::size_t crashed = 0;
+  for (std::size_t round = 0; round < opt.rounds; ++round) {
+    if (static_cast<long>(round) == opt.fail_round) {
+      crashed = fleet.crash_region(
+          [&](const space::Point& p) { return target.in_failure_half(p); });
+      std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
+                  round, crashed);
+    }
+    if (static_cast<long>(round) == opt.reinject_round) {
+      const std::size_t n = crashed ? crashed : fleet.size() / 2;
+      for (const auto& pos : target.reinjection_positions(n))
+        fleet.inject(pos);
+      std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
+    }
+    if (opt.churn_pct > 0.0) {
+      const auto n = static_cast<std::size_t>(
+          static_cast<double>(fleet.alive_count()) * opt.churn_pct / 100.0);
+      if (n > 0) {
+        fleet.crash_random(n);
+        for (const auto& pos : target.reinjection_positions(n))
+          fleet.inject(pos);
+      }
+    }
+    fleet.run_rounds(1);
+    if (round % opt.every == 0 || round + 1 == opt.rounds) {
+      table.add_row({std::to_string(round),
+                     std::to_string(fleet.alive_count()),
+                     util::fmt(fleet.homogeneity(), 3),
+                     util::fmt(fleet.reliability(), 3),
+                     std::to_string(fleet.hub().frames_sent())});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("final: homogeneity=%.3f reliability=%.2f%% events=%llu\n",
+              fleet.homogeneity(), fleet.reliability() * 100.0,
+              static_cast<unsigned long long>(
+                  fleet.engine().events_executed()));
+  if (!opt.csv.empty() && table.write_csv(opt.csv))
+    std::printf("csv written to %s\n", opt.csv.c_str());
+  return 0;
+}
+
+int run_live(const Options& opt, const shape::Shape& target) {
+  if (!fleet_flags_ok(opt, "live")) return 2;
+  if (opt.churn_pct > 0.0) {
+    std::fprintf(stderr, "--churn needs --engine sync or events\n");
+    return 2;
+  }
+  const auto points = target.generate();
+  if (points.size() > 512) {
+    std::fprintf(stderr,
+                 "--engine live is thread-per-node; %zu nodes is too many "
+                 "(use --engine events, or a shape of <= 512 nodes)\n",
+                 points.size());
+    return 2;
+  }
+  net::AsyncConfig cfg;
+  cfg.replication = opt.k;
+  cfg.split_kind = core::split_kind_from_string(opt.split);
+  net::LiveCluster fleet(target.space_ptr(), points, cfg, opt.seed);
+  fleet.start();
+  std::printf("# engine=live shape=%s nodes=%zu K=%zu split=%s seed=%llu "
+              "tick=%lldms\n",
+              target.name().c_str(), fleet.size(), opt.k, opt.split.c_str(),
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<long long>(cfg.tick.count()));
+
+  util::Table table({"round", "alive", "homogeneity", "reliability"});
+  std::size_t crashed = 0;
+  for (std::size_t round = 0; round < opt.rounds; ++round) {
+    if (static_cast<long>(round) == opt.fail_round) {
+      crashed = fleet.crash_region(
+          [&](const space::Point& p) { return target.in_failure_half(p); });
+      std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
+                  round, crashed);
+    }
+    if (static_cast<long>(round) == opt.reinject_round) {
+      const std::size_t n = crashed ? crashed : fleet.size() / 2;
+      for (const auto& pos : target.reinjection_positions(n))
+        fleet.inject(pos);
+      std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
+    }
+    std::this_thread::sleep_for(cfg.tick);  // one wall-clock "round"
+    if (round % opt.every == 0 || round + 1 == opt.rounds) {
+      table.add_row({std::to_string(round),
+                     std::to_string(fleet.alive_count()),
+                     util::fmt(fleet.homogeneity(), 3),
+                     util::fmt(fleet.reliability(), 3)});
+    }
+  }
+  fleet.stop();
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("final: homogeneity=%.3f reliability=%.2f%%\n",
+              fleet.homogeneity(), fleet.reliability() * 100.0);
+  if (!opt.csv.empty() && table.write_csv(opt.csv))
+    std::printf("csv written to %s\n", opt.csv.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const auto target = make_shape(opt.shape);
+
+  if (opt.engine == "events") return run_events(opt, *target);
+  if (opt.engine == "live") return run_live(opt, *target);
+  if (opt.engine != "sync") {
+    std::fprintf(stderr, "unknown engine: %s (want sync|events|live)\n",
+                 opt.engine.c_str());
+    return 2;
+  }
 
   scenario::SimulationConfig config;
   config.seed = opt.seed;

@@ -10,11 +10,18 @@
 //   --max-nodes N / POLY_BENCH_MAX_NODES  cap for the scalability sweeps
 //   --seed N / POLY_BENCH_SEED          base RNG seed
 //   --csv DIR / POLY_BENCH_CSV          also write gnuplot-ready CSVs there
+//   --json DIR / POLY_BENCH_JSON        directory for BENCH_<name>.json
+//                                       records (default "."; empty
+//                                       disables)
 //
 // Output format: every bench prints the same rows/series its paper
-// table/figure reports, as an aligned ASCII table.
+// table/figure reports, as an aligned ASCII table.  `emit` additionally
+// writes a machine-readable BENCH_<name>.json (options, wall-clock, and
+// every table cell) so CI can archive the perf trajectory as artifacts.
 #pragma once
 
+#include <chrono>
+#include <limits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +40,9 @@ struct BenchOptions {
   std::size_t max_nodes = 51200;
   std::uint64_t seed = 1;
   std::optional<std::string> csv_dir;
+  std::string json_dir = ".";  // empty = JSON records disabled
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
 
   static BenchOptions parse(int argc, char** argv,
                             std::size_t default_reps = 5) {
@@ -45,6 +55,7 @@ struct BenchOptions {
     if (const char* e = std::getenv("POLY_BENCH_SEED"))
       opt.seed = std::strtoull(e, nullptr, 10);
     if (const char* e = std::getenv("POLY_BENCH_CSV")) opt.csv_dir = e;
+    if (const char* e = std::getenv("POLY_BENCH_JSON")) opt.json_dir = e;
     for (int i = 1; i < argc; ++i) {
       auto next = [&]() -> const char* {
         return i + 1 < argc ? argv[++i] : "";
@@ -57,11 +68,13 @@ struct BenchOptions {
         opt.seed = std::strtoull(next(), nullptr, 10);
       else if (std::strcmp(argv[i], "--csv") == 0)
         opt.csv_dir = next();
+      else if (std::strcmp(argv[i], "--json") == 0)
+        opt.json_dir = next();
       else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "options: --reps N --max-nodes N --seed N --csv DIR\n"
+            "options: --reps N --max-nodes N --seed N --csv DIR --json DIR\n"
             "env:     POLY_BENCH_REPS POLY_BENCH_MAX_NODES POLY_BENCH_SEED "
-            "POLY_BENCH_CSV\n");
+            "POLY_BENCH_CSV POLY_BENCH_JSON\n");
         std::exit(0);
       }
     }
@@ -70,13 +83,106 @@ struct BenchOptions {
   }
 };
 
-/// Emits the table to stdout and optionally to <csv_dir>/<name>.csv.
+namespace detail {
+
+inline void json_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Emits a cell as a bare JSON number when it parses fully as one (so
+/// downstream tooling gets numbers for "nodes"/"wall_s"-style columns),
+/// else as a string ("0.502 ± 0.01" series cells stay strings).
+inline void json_cell(std::string& out, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && *end == '\0' &&
+        cell.find_first_of("nN") == std::string::npos) {  // reject nan/inf
+      out += cell;
+      return;
+    }
+  }
+  json_escape(out, cell);
+}
+
+}  // namespace detail
+
+/// Writes <json_dir>/BENCH_<name>.json: the bench options, elapsed
+/// wall-clock, and the full table (headers + every cell).  This is the
+/// machine-readable perf record CI uploads as an artifact.
+inline bool write_bench_json(const util::Table& table, const BenchOptions& opt,
+                             const std::string& name,
+                             const std::string& path) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    opt.started)
+          .count();
+  std::string out = "{\n  \"bench\": ";
+  detail::json_escape(out, name);
+  out += ",\n  \"seed\": " + std::to_string(opt.seed);
+  out += ",\n  \"reps\": " + std::to_string(opt.reps);
+  out += ",\n  \"max_nodes\": " + std::to_string(opt.max_nodes);
+  char wall_buf[32];
+  std::snprintf(wall_buf, sizeof wall_buf, "%.3f", wall);
+  out += ",\n  \"wall_seconds\": ";
+  out += wall_buf;
+  out += ",\n  \"headers\": [";
+  for (std::size_t c = 0; c < table.headers().size(); ++c) {
+    if (c) out += ", ";
+    detail::json_escape(out, table.headers()[c]);
+  }
+  out += "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < table.data().size(); ++r) {
+    out += r ? ",\n    [" : "\n    [";
+    const auto& row = table.data()[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ", ";
+      detail::json_cell(out, row[c]);
+    }
+    out += "]";
+  }
+  out += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// Emits the table to stdout, optionally to <csv_dir>/<name>.csv, and (by
+/// default) to <json_dir>/BENCH_<name>.json for the CI perf trajectory.
 inline void emit(const util::Table& table, const BenchOptions& opt,
                  const std::string& name) {
   std::fputs(table.to_string().c_str(), stdout);
   if (opt.csv_dir) {
     const std::string path = *opt.csv_dir + "/" + name + ".csv";
     if (table.write_csv(path)) std::printf("(csv written to %s)\n", path.c_str());
+  }
+  if (!opt.json_dir.empty()) {
+    const std::string path = opt.json_dir + "/BENCH_" + name + ".json";
+    if (write_bench_json(table, opt, name, path))
+      std::printf("(json written to %s)\n", path.c_str());
   }
 }
 
@@ -90,12 +196,18 @@ struct GridDims {
 };
 inline GridDims grid_for(std::size_t n) {
   // 100→10×10, 200→20×10, 400→20×20, 800→40×20, 1600→40×40, 3200→80×40,
-  // 6400→80×80, 12800→160×80, 25600→160×160, 51200→320×160.
+  // 6400→80×80, 12800→160×80, 25600→160×160, 51200→320×160,
+  // 102400→320×320, 204800→640×320, …: the doubling continues past the
+  // paper's 51,200-node ceiling so --max-nodes 102400 sweeps the event
+  // engine's 100k-node point.
   unsigned nx = 10;
   unsigned ny = 10;
   std::size_t cur = 100;
   bool grow_x = true;
-  while (cur < n) {
+  // The axis-count guard doubles as an overflow guard for `cur`: nx/ny
+  // wrap (unsigned) long before cur does, so stop doubling once an axis
+  // would exceed what a shape can address.
+  while (cur < n && nx <= (1u << 30) && ny <= (1u << 30)) {
     if (grow_x) nx *= 2; else ny *= 2;
     grow_x = !grow_x;
     cur *= 2;
@@ -104,10 +216,17 @@ inline GridDims grid_for(std::size_t n) {
 }
 
 /// The standard scalability sweep (paper Fig. 10 x-axis), capped by opt.
+/// `--max-nodes` is honored as given: the old hard 51,200 ceiling silently
+/// truncated requests like `--max-nodes 102400` even though grid_for and
+/// the event engine handle those sizes.
 inline std::vector<std::size_t> sweep_sizes(const BenchOptions& opt) {
   std::vector<std::size_t> sizes;
-  for (std::size_t n = 100; n <= opt.max_nodes && n <= 51200; n *= 2)
+  for (std::size_t n = 100; n <= opt.max_nodes; n *= 2) {
     sizes.push_back(n);
+    // Guard the doubling against wrap-around: --max-nodes -1 parses to
+    // SIZE_MAX, and 100·2^62 ≡ 0 (mod 2^64) would loop forever.
+    if (n > std::numeric_limits<std::size_t>::max() / 2) break;
+  }
   return sizes;
 }
 

@@ -6,7 +6,7 @@
 #include <optional>
 #include <vector>
 
-#include "metrics/position_index.hpp"
+#include "space/spatial_index.hpp"
 
 namespace poly::metrics {
 
@@ -36,7 +36,7 @@ double homogeneity(const sim::Network& net, const space::MetricSpace& space,
   // Pass 2: lost points fall back to the nearest node in the whole network
   // (the ĝuests⁻¹(x) = nodes case of §IV-A).  The index is built lazily —
   // converged runs have no lost points and skip it entirely.
-  std::optional<PositionIndex> index;
+  std::optional<space::SpatialIndex> index;
   double sum = 0.0;
   for (const auto& p : initial_points) {
     double d = best[p.id];

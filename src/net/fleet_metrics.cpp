@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
+
+#include "space/spatial_index.hpp"
 
 namespace poly::net {
 
@@ -35,16 +38,24 @@ double fleet_homogeneity(const space::MetricSpace& space,
       if (d < best[it->second]) best[it->second] = d;
     }
   }
+  // Lost points fall back to the nearest alive node.  Right after a
+  // catastrophe half the points are lost at once, so a per-point linear
+  // scan would be O(lost × alive); the spatial index is built lazily (one
+  // O(alive) pass) and answers each fallback in ~O(1) expected.
+  std::optional<space::SpatialIndex> nearest_alive;
   double sum = 0.0;
   std::size_t counted = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (points[i].id == space::kInvalidPointId) continue;
     double d = best[i];
     if (!std::isfinite(d)) {
-      // Lost point: distance to the nearest alive node.
-      d = kInf;
-      for (const auto& node : alive)
-        d = std::min(d, space.distance(points[i].pos, node.pos));
+      if (!nearest_alive) {
+        std::vector<space::Point> positions;
+        positions.reserve(alive.size());
+        for (const auto& node : alive) positions.push_back(node.pos);
+        nearest_alive.emplace(space, std::move(positions));
+      }
+      d = nearest_alive->nearest_distance(points[i].pos);
     }
     sum += d;
     ++counted;

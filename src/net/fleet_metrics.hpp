@@ -6,8 +6,10 @@
 // position and guest set and evaluate the same §IV-A quantities here.
 // Implementations are linear in the total number of hosted points (one
 // id-index pass over every guest set), so they stay affordable at the
-// event engine's 100k-node scale; only *lost* points pay a nearest-node
-// scan.
+// event engine's 100k-node scale; *lost* points resolve their nearest
+// alive node through a lazily-built space::SpatialIndex instead of a
+// per-point linear scan (which would be quadratic right after a
+// catastrophe, exactly when the metric matters most).
 #pragma once
 
 #include <vector>

@@ -170,11 +170,20 @@ sim::NodeId RpsProtocol::random_peer(sim::NodeId self, util::Rng& rng) const {
 std::vector<sim::NodeId> RpsProtocol::random_peers(sim::NodeId self,
                                                    std::size_t k,
                                                    util::Rng& rng) const {
-  const auto& view = views_[self];
   std::vector<sim::NodeId> out;
+  for (const RpsEntry& e : random_view_entries(self, k, rng))
+    out.push_back(e.id);
+  return out;
+}
+
+std::vector<RpsEntry> RpsProtocol::random_view_entries(sim::NodeId self,
+                                                       std::size_t k,
+                                                       util::Rng& rng) const {
+  const auto& view = views_[self];
+  std::vector<RpsEntry> out;
   for (std::size_t i : rng.sample_indices(view.size(),
                                           std::min(k, view.size())))
-    out.push_back(view[i].id);
+    out.push_back(view[i]);
   return out;
 }
 

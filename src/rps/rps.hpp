@@ -75,6 +75,13 @@ class RpsProtocol {
   std::vector<sim::NodeId> random_peers(sim::NodeId self, std::size_t k,
                                         util::Rng& rng) const;
 
+  /// Up to `k` distinct random entries (id + age) from `self`'s view — the
+  /// age-carrying variant of random_peers for layers that must not mint
+  /// fresh (age-0) descriptors for peers they never actually contacted
+  /// (e.g. Vicinity's RPS mix).
+  std::vector<RpsEntry> random_view_entries(sim::NodeId self, std::size_t k,
+                                            util::Rng& rng) const;
+
   /// Fraction of entries across all alive views that reference crashed
   /// nodes — a staleness gauge used by tests and ablations.
   double dead_entry_fraction() const;

@@ -1,0 +1,273 @@
+#include "space/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "space/ring.hpp"
+#include "space/torus.hpp"
+#include "space/torus3d.hpp"
+
+namespace poly::space {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Ascending (distance, index): the deterministic result order.
+bool closer(const SpatialIndex::Neighbor& a, const SpatialIndex::Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const MetricSpace& space,
+                           std::vector<Point> positions)
+    : space_(space), positions_(std::move(positions)) {
+  if (positions_.empty()) return;
+  if (const auto* t = dynamic_cast<const TorusSpace*>(&space)) {
+    dims_ = 2;
+    extent_ = {t->width(), t->height(), 1.0};
+  } else if (const auto* t3 = dynamic_cast<const Torus3dSpace*>(&space)) {
+    dims_ = 3;
+    extent_ = {t3->width(), t3->height(), t3->depth()};
+  } else if (const auto* r = dynamic_cast<const RingSpace*>(&space)) {
+    dims_ = 1;
+    extent_ = {r->circumference(), 1.0, 1.0};
+  } else {
+    return;  // unknown geometry: linear fallback
+  }
+
+  // Aim for ~1 position per cell: cell edge ≈ (volume / n)^(1/dims).
+  const double n = static_cast<double>(positions_.size());
+  double target = 0.0;
+  switch (dims_) {
+    case 1:
+      target = extent_[0] / n;
+      break;
+    case 2:
+      target = std::sqrt(extent_[0] * extent_[1] / n);
+      break;
+    default:
+      target = std::cbrt(extent_[0] * extent_[1] * extent_[2] / n);
+      break;
+  }
+  min_edge_ = kInf;
+  for (unsigned a = 0; a < dims_; ++a) {
+    grid_[a] = std::max<std::ptrdiff_t>(
+        1, static_cast<std::ptrdiff_t>(std::floor(extent_[a] / target)));
+    cell_[a] = extent_[a] / static_cast<double>(grid_[a]);
+    min_edge_ = std::min(min_edge_, cell_[a]);
+  }
+  cells_.assign(static_cast<std::size_t>(grid_[0] * grid_[1] * grid_[2]), {});
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    const Point p = space_.normalize(positions_[i]);
+    std::size_t flat = 0;
+    for (unsigned a = dims_; a-- > 0;) {
+      auto c = static_cast<std::ptrdiff_t>(p[a] / cell_[a]);
+      if (c >= grid_[a]) c = grid_[a] - 1;  // guard against FP edge rounding
+      if (c < 0) c = 0;
+      flat = flat * static_cast<std::size_t>(grid_[a]) +
+             static_cast<std::size_t>(c);
+    }
+    cells_[flat].push_back(i);
+  }
+
+  // Multi-source BFS (Chebyshev neighbourhood, wrap-aware) from every
+  // non-empty cell: cell_dist_[c] = first shell around c that can contain
+  // a position.  After a catastrophe half the grid is empty — without this
+  // jump start, every query from the depopulated half would crawl shell by
+  // shell across the whole empty region.
+  const std::size_t num_cells = cells_.size();
+  cell_dist_.assign(num_cells, -1);
+  std::vector<std::uint32_t> frontier;
+  frontier.reserve(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (!cells_[c].empty()) {
+      cell_dist_[c] = 0;
+      frontier.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  const auto gx = static_cast<std::size_t>(grid_[0]);
+  const auto gy = static_cast<std::size_t>(grid_[1]);
+  std::vector<std::uint32_t> next;
+  next.reserve(num_cells);
+  for (std::int32_t dist = 1; !frontier.empty(); ++dist) {
+    next.clear();
+    for (std::uint32_t c : frontier) {
+      const std::ptrdiff_t cx = static_cast<std::ptrdiff_t>(c % gx);
+      const std::ptrdiff_t cy = static_cast<std::ptrdiff_t>((c / gx) % gy);
+      const std::ptrdiff_t cz = static_cast<std::ptrdiff_t>(c / (gx * gy));
+      const std::ptrdiff_t rz = dims_ >= 3 ? 1 : 0;
+      const std::ptrdiff_t ry = dims_ >= 2 ? 1 : 0;
+      for (std::ptrdiff_t dz = -rz; dz <= rz; ++dz) {
+        for (std::ptrdiff_t dy = -ry; dy <= ry; ++dy) {
+          for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const std::size_t nx = static_cast<std::size_t>(
+                ((cx + dx) % grid_[0] + grid_[0]) % grid_[0]);
+            const std::size_t ny = static_cast<std::size_t>(
+                ((cy + dy) % grid_[1] + grid_[1]) % grid_[1]);
+            const std::size_t nz = static_cast<std::size_t>(
+                ((cz + dz) % grid_[2] + grid_[2]) % grid_[2]);
+            const std::size_t n = (nz * gy + ny) * gx + nx;
+            if (cell_dist_[n] >= 0) continue;
+            cell_dist_[n] = dist;
+            next.push_back(static_cast<std::uint32_t>(n));
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+template <typename Visit, typename Bound>
+void SpatialIndex::visit_shells(const Point& query, Visit&& visit,
+                                Bound&& bound) const {
+  const Point q = space_.normalize(query);
+  std::array<std::ptrdiff_t, 3> qc{0, 0, 0};
+  for (unsigned a = 0; a < dims_; ++a) {
+    qc[a] = static_cast<std::ptrdiff_t>(q[a] / cell_[a]);
+    if (qc[a] >= grid_[a]) qc[a] = grid_[a] - 1;
+    if (qc[a] < 0) qc[a] = 0;
+  }
+
+  // Scans one cell at offset `delta` from the query cell, skipping wrapped
+  // duplicates: once a ring spans the whole grid on an axis, only offsets
+  // in the canonical window [-(g-1)/2, g/2] name distinct cells (for even
+  // g, -g/2 and +g/2 alias the same cell — the window keeps +g/2 only, so
+  // no cell is ever visited twice and k_nearest cannot report duplicates).
+  bool any_cell = false;
+  const auto scan_cell = [&](std::ptrdiff_t ring,
+                             const std::array<std::ptrdiff_t, 3>& delta) {
+    std::size_t flat = 0;
+    for (unsigned a = 3; a-- > 0;) {
+      const std::ptrdiff_t g = grid_[a];
+      if (ring * 2 >= g && (delta[a] < -((g - 1) / 2) || delta[a] > g / 2))
+        return;
+      const std::size_t c =
+          static_cast<std::size_t>(((qc[a] + delta[a]) % g + g) % g);
+      flat = flat * static_cast<std::size_t>(g) + c;
+    }
+    any_cell = true;
+    for (std::uint32_t i : cells_[flat]) visit(q, i);
+  };
+
+  std::ptrdiff_t max_ring = 0;
+  for (unsigned a = 0; a < dims_; ++a) max_ring = std::max(max_ring, grid_[a]);
+  max_ring = max_ring / 2 + 1;
+
+  // Jump start: every shell before the BFS cell distance is empty by
+  // construction, so skipping them cannot change any result.
+  std::size_t qflat = 0;
+  for (unsigned a = 3; a-- > 0;)
+    qflat = qflat * static_cast<std::size_t>(grid_[a]) +
+            static_cast<std::size_t>(qc[a]);
+  const std::ptrdiff_t start = cell_dist_[qflat];
+
+  for (std::ptrdiff_t ring = start; ring <= max_ring; ++ring) {
+    // Cells in ring r are at least (r-1)·min_edge away: once the current
+    // result beats that, no unvisited cell can improve it.
+    if (bound() < static_cast<double>(ring - 1) * min_edge_) return;
+    any_cell = false;
+    if (ring == 0) {
+      scan_cell(0, {0, 0, 0});
+    } else {
+      // Enumerate only the shell boundary, O(surface) instead of the
+      // O(volume) interior-skip loop.  A boundary cell is generated from
+      // the *lowest* axis sitting at ±ring: that axis is pinned, axes
+      // below it stay strictly inside (|d| < ring), axes above span the
+      // full [-ring, ring] — so every boundary cell appears exactly once.
+      for (unsigned a = 0; a < dims_; ++a) {
+        std::array<std::ptrdiff_t, 3> lo{0, 0, 0};
+        std::array<std::ptrdiff_t, 3> hi{0, 0, 0};
+        for (unsigned b = 0; b < dims_; ++b) {
+          if (b == a) continue;
+          lo[b] = b < a ? -(ring - 1) : -ring;
+          hi[b] = b < a ? ring - 1 : ring;
+        }
+        const unsigned o1 = a == 0 ? 1 : 0;  // the two non-pinned axes
+        const unsigned o2 = a == 2 ? 1 : 2;
+        for (std::ptrdiff_t side : {-ring, ring}) {
+          std::array<std::ptrdiff_t, 3> delta{0, 0, 0};
+          delta[a] = side;
+          for (delta[o1] = lo[o1]; delta[o1] <= hi[o1]; ++delta[o1])
+            for (delta[o2] = lo[o2]; delta[o2] <= hi[o2]; ++delta[o2])
+              scan_cell(ring, delta);
+        }
+      }
+    }
+    if (!any_cell && ring > 0) return;  // wrapped past the whole grid
+  }
+}
+
+SpatialIndex::Neighbor SpatialIndex::nearest(const Point& query) const {
+  if (positions_.empty())
+    throw std::logic_error("SpatialIndex: query on empty index");
+  Neighbor best{std::numeric_limits<std::uint32_t>::max(), kInf};
+  auto consider = [&](double d, std::uint32_t i) {
+    if (d < best.distance || (d == best.distance && i < best.index))
+      best = Neighbor{i, d};
+  };
+  if (dims_ == 0) {
+    for (std::uint32_t i = 0; i < positions_.size(); ++i)
+      consider(space_.distance(query, positions_[i]), i);
+  } else {
+    visit_shells(
+        query,
+        [&](const Point& q, std::uint32_t i) {
+          consider(space_.distance(q, positions_[i]), i);
+        },
+        [&] { return best.distance; });
+  }
+  return best;
+}
+
+double SpatialIndex::nearest_distance(const Point& query) const {
+  return nearest(query).distance;
+}
+
+std::vector<SpatialIndex::Neighbor> SpatialIndex::k_nearest(
+    const Point& query, std::size_t k) const {
+  if (k == 0 || positions_.empty()) return {};
+  const std::size_t want = std::min(k, positions_.size());
+
+  // Bounded max-heap of the best `want` seen so far; heap top = current
+  // worst kept neighbour (std::push_heap with a "better-than" comparator
+  // keeps the comparator-largest, i.e. worst, element on top).
+  std::vector<Neighbor> heap;
+  heap.reserve(want);
+  auto consider = [&](double d, std::uint32_t i) {
+    if (heap.size() < want) {
+      heap.push_back(Neighbor{i, d});
+      std::push_heap(heap.begin(), heap.end(), closer);
+      return;
+    }
+    const Neighbor& worst = heap.front();
+    if (d < worst.distance || (d == worst.distance && i < worst.index)) {
+      std::pop_heap(heap.begin(), heap.end(), closer);
+      heap.back() = Neighbor{i, d};
+      std::push_heap(heap.begin(), heap.end(), closer);
+    }
+  };
+
+  if (dims_ == 0) {
+    for (std::uint32_t i = 0; i < positions_.size(); ++i)
+      consider(space_.distance(query, positions_[i]), i);
+  } else {
+    visit_shells(
+        query,
+        [&](const Point& q, std::uint32_t i) {
+          consider(space_.distance(q, positions_[i]), i);
+        },
+        [&] { return heap.size() < want ? kInf : heap.front().distance; });
+  }
+
+  std::sort(heap.begin(), heap.end(), closer);
+  return heap;
+}
+
+}  // namespace poly::space

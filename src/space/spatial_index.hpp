@@ -1,0 +1,98 @@
+// Shared nearest-neighbour index over a snapshot of positions.
+//
+// Several layers need "closest position(s) to x" queries over the same
+// metric spaces the protocols run in: the homogeneity metrics (for every
+// *lost* data point, the nearest alive node in the whole network — the
+// ĝuests⁻¹ fallback of §IV-A), the fleet metrics of the live runtimes, and
+// diagnostics over 100k-node event-engine scenarios.  Right after a
+// catastrophe thousands of points are lost at once, so a linear scan per
+// query would dominate measurement time exactly where the paper's headline
+// scenario lives.
+//
+// For the wrapping spaces the repo ships — TorusSpace (2-D), Torus3dSpace
+// (3-D) and RingSpace (1-D) — the index buckets positions into a uniform
+// grid over the fundamental domain and answers queries with an expanding
+// shell search that is wrap-aware on every axis.  Queries are *exact*: the
+// search only terminates once no unvisited cell can hold a closer point, so
+// results are bit-identical to a linear scan (min over the same distance
+// set).  Other metric spaces fall back to the linear scan; they only appear
+// in small examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "space/metric_space.hpp"
+#include "space/point.hpp"
+
+namespace poly::space {
+
+/// Immutable snapshot index over a set of positions.
+class SpatialIndex {
+ public:
+  /// One query result: the position's index in the constructor vector and
+  /// its distance to the query.  Ties in distance are broken by the smaller
+  /// index, so results are deterministic.
+  struct Neighbor {
+    std::uint32_t index = 0;
+    double distance = 0.0;
+  };
+
+  /// Builds an index over `positions` in `space`.  Grid acceleration kicks
+  /// in when `space` is a TorusSpace, Torus3dSpace or RingSpace; otherwise
+  /// queries scan linearly.
+  SpatialIndex(const MetricSpace& space, std::vector<Point> positions);
+
+  /// Distance from `query` to the nearest indexed position.
+  /// Precondition: the index is non-empty.
+  double nearest_distance(const Point& query) const;
+
+  /// The nearest indexed position (smallest index on exact distance ties).
+  /// Precondition: the index is non-empty.
+  Neighbor nearest(const Point& query) const;
+
+  /// The k nearest indexed positions, sorted by ascending (distance,
+  /// index).  Returns min(k, size()) entries; empty when k == 0.
+  std::vector<Neighbor> k_nearest(const Point& query, std::size_t k) const;
+
+  const Point& position(std::uint32_t index) const {
+    return positions_[index];
+  }
+  std::size_t size() const noexcept { return positions_.size(); }
+  bool empty() const noexcept { return positions_.empty(); }
+  /// True when the grid path answers queries (wrapping space detected).
+  bool grid_accelerated() const noexcept { return dims_ > 0; }
+
+ private:
+  // Walks grid cells in expanding Chebyshev shells around the query cell,
+  // wrap-aware per axis.  `visit(q, i)` is called with the normalized query
+  // and each candidate position index; shells stop expanding once
+  // `bound() < (ring - 1) * min_edge_`, i.e. when no unvisited cell can
+  // hold a point closer than the current result.  Two exactness-preserving
+  // shortcuts keep the worst case (queries deep inside a depopulated
+  // region, the post-catastrophe geometry) cheap: only the shell *boundary*
+  // is enumerated (O(surface), not O(volume)), and the search starts at the
+  // first shell that can contain a position at all (cell_dist_).
+  template <typename Visit, typename Bound>
+  void visit_shells(const Point& query, Visit&& visit, Bound&& bound) const;
+
+  const MetricSpace& space_;
+  std::vector<Point> positions_;
+
+  // Grid state (wrapping spaces only).  Axes beyond dims_ have extent 1.
+  unsigned dims_ = 0;  // 0 = linear fallback
+  std::array<double, 3> extent_{1.0, 1.0, 1.0};
+  std::array<std::ptrdiff_t, 3> grid_{1, 1, 1};
+  std::array<double, 3> cell_{1.0, 1.0, 1.0};
+  double min_edge_ = 0.0;
+  // cells_[(cz * grid_[1] + cy) * grid_[0] + cx] lists position indices.
+  std::vector<std::vector<std::uint32_t>> cells_;
+  // Chebyshev cell distance (in shells, wrap-aware) from each cell to the
+  // nearest non-empty cell — multi-source BFS at build time.  Queries from
+  // cell c can skip straight to shell cell_dist_[c]: every earlier shell
+  // is empty by construction.
+  std::vector<std::int32_t> cell_dist_;
+};
+
+}  // namespace poly::space

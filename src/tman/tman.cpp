@@ -1,8 +1,11 @@
 #include "tman/tman.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/topk.hpp"
 
 namespace poly::tman {
 
@@ -86,28 +89,19 @@ void TmanProtocol::prune_suspected(sim::NodeId id) {
 
 namespace {
 
-/// Sorts descriptors by a precomputed distance key (ties broken by id so
-/// every run is deterministic).  Caching the keys avoids re-evaluating the
-/// metric inside the comparator — the dominant cost at 50k-node scale.
+/// Keeps the `keep` descriptors closest to `target`, sorted ascending
+/// with id tie-breaks (deterministic, and a strict total order over
+/// unique-id pools — so the partial selection is element-for-element
+/// identical to a full sort + truncate, while never ordering candidates
+/// that the view cap / message size would discard anyway).
 void sort_by_distance_to(std::vector<Descriptor>& view,
                          const space::Point& target,
-                         const space::MetricSpace& space) {
-  struct Keyed {
-    double key;
-    std::uint32_t idx;
-  };
-  std::vector<Keyed> keys;
-  keys.reserve(view.size());
-  for (std::uint32_t i = 0; i < view.size(); ++i)
-    keys.push_back({space.distance2(target, view[i].pos), i});
-  std::sort(keys.begin(), keys.end(), [&](const Keyed& a, const Keyed& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return view[a.idx].id < view[b.idx].id;
-  });
-  std::vector<Descriptor> sorted;
-  sorted.reserve(view.size());
-  for (const auto& k : keys) sorted.push_back(view[k.idx]);
-  view.swap(sorted);
+                         const space::MetricSpace& space,
+                         std::size_t keep = std::numeric_limits<std::size_t>::max()) {
+  util::keep_closest_sorted(
+      view, keep,
+      [&](const Descriptor& d) { return space.distance2(target, d.pos); },
+      [](const Descriptor& d) { return d.id; });
 }
 
 }  // namespace
@@ -124,12 +118,16 @@ std::vector<Descriptor> TmanProtocol::build_buffer(sim::NodeId p,
   //  by the peer-sampling overlay", §II-B — this is what guarantees
   //  convergence from arbitrary states).
   std::vector<Descriptor> cand = views_[p];
+  std::size_t mixed = 0;
   for (sim::NodeId r : rps_.random_peers(p, cfg_.rps_fresh, rng)) {
     if (r == p || r == q || !net_.alive(r)) continue;
     cand.push_back(Descriptor{r, pos_[r], version_[r]});
+    ++mixed;
   }
-  // Rank candidates by distance to *q* and keep the best m-1.
-  sort_by_distance_to(cand, pos_[q], space_);
+  // Rank candidates by distance to *q* and keep the best m-1.  The take
+  // loop below skips at most one entry for q plus one per RPS-mixed
+  // duplicate, so a prefix of msg_size + mixed is always enough.
+  sort_by_distance_to(cand, pos_[q], space_, cfg_.msg_size + mixed);
   std::vector<Descriptor> buf;
   buf.reserve(cfg_.msg_size);
   buf.push_back(Descriptor{p, pos_[p], version_[p]});  // own, always first
@@ -161,8 +159,9 @@ void TmanProtocol::merge(sim::NodeId self,
       view.push_back(d);
     }
   }
-  rank(self, view);
-  if (view.size() > cfg_.view_cap) view.resize(cfg_.view_cap);
+  // Rank-and-truncate in one step: only the kept view_cap prefix needs an
+  // order (ids are unique here, so this matches a full sort bit-for-bit).
+  sort_by_distance_to(view, pos_[self], space_, cfg_.view_cap);
 }
 
 bool TmanProtocol::exchange(sim::NodeId p) {

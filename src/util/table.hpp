@@ -25,6 +25,12 @@ class Table {
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t cols() const noexcept { return headers_.size(); }
 
+  /// Structured read access (used by the bench harness's JSON records).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
   /// Renders an aligned ASCII table.
   std::string to_string() const;
   /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).

@@ -1,0 +1,60 @@
+// Keep-smallest selection for the gossip view/buffer builders.
+//
+// T-Man and Vicinity cap their ranked views (view_cap / view_size) and
+// their gossip buffers (msg_size / gossip_size), yet historically sorted
+// the *whole* candidate pool before truncating.  At 50k–100k nodes that is
+// wasted work: only the kept prefix needs an order.  `keep_smallest_sorted`
+// partitions with std::nth_element and sorts just the prefix.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace poly::util {
+
+/// Reduces `v` to its `keep` smallest elements under `cmp`, sorted
+/// ascending.  Whenever `cmp` is a strict *total* order (every pair of
+/// distinct elements compares unequal — e.g. a distance key with an id
+/// tie-break over unique ids), the result is element-for-element identical
+/// to `std::sort(v); v.resize(keep)`, in O(n + keep·log keep) instead of
+/// O(n·log n).
+template <typename T, typename Cmp>
+void keep_smallest_sorted(std::vector<T>& v, std::size_t keep, Cmp cmp) {
+  if (keep < v.size()) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(keep),
+                     v.end(), cmp);
+    v.resize(keep);
+  }
+  std::sort(v.begin(), v.end(), cmp);
+}
+
+/// The gossip-layer instantiation: reduces `v` to its `keep` entries with
+/// the smallest `key_of(entry)` (ties broken by ascending `id_of(entry)`,
+/// which is what makes the order total over unique-id pools), sorted.
+/// Keys are computed once per entry — re-evaluating the metric inside the
+/// comparator is the dominant ranking cost at 50k-node scale.
+template <typename T, typename KeyOf, typename IdOf>
+void keep_closest_sorted(std::vector<T>& v, std::size_t keep, KeyOf&& key_of,
+                         IdOf&& id_of) {
+  struct Keyed {
+    double key;
+    std::uint32_t idx;
+  };
+  std::vector<Keyed> keys;
+  keys.reserve(v.size());
+  for (std::uint32_t i = 0; i < v.size(); ++i)
+    keys.push_back({key_of(v[i]), i});
+  keep_smallest_sorted(keys, std::min(keep, keys.size()),
+                       [&](const Keyed& a, const Keyed& b) {
+                         if (a.key != b.key) return a.key < b.key;
+                         return id_of(v[a.idx]) < id_of(v[b.idx]);
+                       });
+  std::vector<T> kept;
+  kept.reserve(keys.size());
+  for (const auto& k : keys) kept.push_back(v[k.idx]);
+  v.swap(kept);
+}
+
+}  // namespace poly::util

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/topk.hpp"
+
 namespace poly::vicinity {
 
 VicinityProtocol::VicinityProtocol(sim::Network& net,
@@ -77,26 +79,14 @@ void VicinityProtocol::refresh_positions(sim::NodeId p) {
 
 void VicinityProtocol::select_closest(sim::NodeId self,
                                       std::vector<VicinityEntry>& view) const {
+  // Only the kept view_size prefix needs an order; ids are unique within a
+  // view, so the key is a strict total order and the partial selection
+  // matches a full sort bit-for-bit.
   const space::Point& me = pos_[self];
-  struct Keyed {
-    double key;
-    std::uint32_t idx;
-  };
-  std::vector<Keyed> keys;
-  keys.reserve(view.size());
-  for (std::uint32_t i = 0; i < view.size(); ++i)
-    keys.push_back({space_.distance2(me, view[i].pos), i});
-  std::sort(keys.begin(), keys.end(), [&](const Keyed& a, const Keyed& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return view[a.idx].id < view[b.idx].id;
-  });
-  std::vector<VicinityEntry> selected;
-  selected.reserve(std::min(view.size(), cfg_.view_size));
-  for (const auto& k : keys) {
-    if (selected.size() >= cfg_.view_size) break;
-    selected.push_back(view[k.idx]);
-  }
-  view.swap(selected);
+  util::keep_closest_sorted(
+      view, cfg_.view_size,
+      [&](const VicinityEntry& e) { return space_.distance2(me, e.pos); },
+      [](const VicinityEntry& e) { return e.id; });
 }
 
 std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
@@ -105,18 +95,24 @@ std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
   // Own descriptor + Vicinity view + a slice of the peer-sampling view —
   // the two-layer candidate pool of the original protocol.
   std::vector<VicinityEntry> cand = views_[p];
-  for (sim::NodeId r : rps_.random_peers(p, cfg_.rps_mix, rng)) {
-    if (r == p || r == q || !net_.alive(r)) continue;
-    cand.push_back(VicinityEntry{r, pos_[r], version_[r], 0});
+  std::size_t mixed = 0;
+  for (const rps::RpsEntry& r : rps_.random_view_entries(p, cfg_.rps_mix, rng)) {
+    if (r.id == p || r.id == q || !net_.alive(r.id)) continue;
+    // Descriptors minted from the peer-sampling layer carry the RPS view's
+    // own age: p never contacted r, so advertising r as fresh (age 0)
+    // would rejuvenate stale entries across the network and delay the
+    // Cyclon-style flushing of dead nodes after a catastrophe.
+    cand.push_back(VicinityEntry{r.id, pos_[r.id], version_[r.id], r.age});
+    ++mixed;
   }
+  // The take loop below skips at most one entry for q plus one per
+  // RPS-mixed duplicate, so ranking a gossip_size + mixed prefix is always
+  // enough — no need to sort the whole candidate pool.
   const space::Point& qpos = pos_[q];
-  std::sort(cand.begin(), cand.end(),
-            [&](const VicinityEntry& a, const VicinityEntry& b) {
-              const double da = space_.distance2(qpos, a.pos);
-              const double db = space_.distance2(qpos, b.pos);
-              if (da != db) return da < db;
-              return a.id < b.id;
-            });
+  util::keep_closest_sorted(
+      cand, cfg_.gossip_size + mixed,
+      [&](const VicinityEntry& e) { return space_.distance2(qpos, e.pos); },
+      [](const VicinityEntry& e) { return e.id; });
   std::vector<VicinityEntry> buf;
   buf.reserve(cfg_.gossip_size);
   buf.push_back(VicinityEntry{p, pos_[p], version_[p], 0});
@@ -130,7 +126,7 @@ std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
   return buf;
 }
 
-void VicinityProtocol::merge(sim::NodeId self,
+void VicinityProtocol::merge(sim::NodeId self, sim::NodeId from,
                              const std::vector<VicinityEntry>& incoming) {
   auto& view = views_[self];
   std::unordered_map<sim::NodeId, std::size_t> index;
@@ -145,16 +141,31 @@ void VicinityProtocol::merge(sim::NodeId self,
         mine.pos = e.pos;
         mine.version = e.version;
       }
-      mine.age = std::min(mine.age, e.age);
+      // Only direct contact proves liveness: the exchange partner's own
+      // descriptor resets the age, but relayed descriptors must not — the
+      // old min-merge let third-hand (and RPS-minted age-0) descriptors
+      // keep dead entries young without any contact.
+      if (e.id == from) mine.age = 0;
     } else {
       index.emplace(e.id, view.size());
       view.push_back(e);
+      if (e.id == from) view.back().age = 0;
     }
   }
   select_closest(self, view);
 }
 
+void VicinityProtocol::prune_suspected(sim::NodeId id) {
+  auto& view = views_[id];
+  view.erase(std::remove_if(view.begin(), view.end(),
+                            [&](const VicinityEntry& e) {
+                              return fd_.suspects(id, e.id);
+                            }),
+             view.end());
+}
+
 bool VicinityProtocol::exchange(sim::NodeId p) {
+  prune_suspected(p);
   auto& view = views_[p];
   for (auto& e : view) ++e.age;
 
@@ -180,13 +191,14 @@ bool VicinityProtocol::exchange(sim::NodeId p) {
   }
 
   const auto buf_pq = build_buffer(p, q);
+  prune_suspected(q);
   const auto buf_qp = build_buffer(q, p);
   net_.traffic().add(
       sim::Channel::kTman,
       static_cast<double>(buf_pq.size() + buf_qp.size()) *
           sim::TrafficMeter::descriptor_units(space_.dimension()));
-  merge(q, buf_pq);
-  merge(p, buf_qp);
+  merge(q, p, buf_pq);
+  merge(p, q, buf_qp);
   return true;
 }
 

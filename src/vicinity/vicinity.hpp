@@ -15,6 +15,14 @@
 //   * after the exchange both sides keep the `view_size` entries closest
 //     to themselves (strict selection, no cap slack).
 //
+// Failure handling: entries suspected by the failure detector are pruned
+// at the start of every exchange (like T-Man's prune_suspected) — without
+// it, a post-catastrophe view fills with dead closest-ranked entries that
+// the cap then protects forever, starving closest_alive().  Ages are only
+// reset on *direct contact* (the exchange partner); relayed or RPS-minted
+// descriptors never rejuvenate an existing entry, preserving Cyclon's
+// age-based healing under churn.
+//
 // Implementing a second substrate demonstrates the paper's central claim
 // that Polystyrene "comes in the form of an add-on layer that can be
 // plugged into any decentralized topology construction algorithm" (§II-C):
@@ -77,8 +85,20 @@ class VicinityProtocol final : public topo::TopologyConstruction {
  private:
   bool exchange(sim::NodeId p);
   void refresh_positions(sim::NodeId p);
+
+  /// Drops suspected-dead entries from a node's view (Vicinity's analog of
+  /// T-Man's prune_suspected; run at the start of every exchange).
+  void prune_suspected(sim::NodeId id);
+
   std::vector<VicinityEntry> build_buffer(sim::NodeId p, sim::NodeId q);
-  void merge(sim::NodeId self, const std::vector<VicinityEntry>& incoming);
+
+  /// Merges `incoming` (received from the directly-contacted peer `from`)
+  /// into `self`'s view.  Positions/versions adopt the freshest advertised
+  /// value; ages are reset only for `from` itself — gossiped descriptors
+  /// never rejuvenate existing entries.
+  void merge(sim::NodeId self, sim::NodeId from,
+             const std::vector<VicinityEntry>& incoming);
+
   void select_closest(sim::NodeId self, std::vector<VicinityEntry>& view) const;
 
   sim::Network& net_;

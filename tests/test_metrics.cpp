@@ -1,13 +1,13 @@
 // Unit tests for poly::metrics — homogeneity (both the hosted and the
 // lost-point fallback branches, checked against the paper's closed-form
-// values), reliability, proximity, the position index, and storage
-// averaging.
+// values), reliability, proximity, and storage averaging.  The spatial
+// index backing the lost-point fallback is covered by
+// test_spatial_index.cpp.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "metrics/metrics.hpp"
-#include "metrics/position_index.hpp"
 #include "shape/grid_torus.hpp"
 #include "space/euclidean.hpp"
 #include "space/ring.hpp"
@@ -17,7 +17,6 @@
 namespace {
 
 using poly::metrics::HostingView;
-using poly::metrics::PositionIndex;
 using poly::sim::Network;
 using poly::sim::NodeId;
 using poly::space::DataPoint;
@@ -26,67 +25,6 @@ using poly::space::Point;
 using poly::space::RingSpace;
 using poly::space::TorusSpace;
 using poly::util::Rng;
-
-// ---- PositionIndex -----------------------------------------------------------
-
-TEST(PositionIndex, GridMatchesLinearScanOnTorus) {
-  TorusSpace t(80.0, 40.0);
-  Rng rng(1);
-  std::vector<Point> positions;
-  for (int i = 0; i < 500; ++i)
-    positions.push_back(Point(rng.uniform_real(0, 80),
-                              rng.uniform_real(0, 40)));
-  PositionIndex index(t, positions);
-  for (int q = 0; q < 200; ++q) {
-    const Point query(rng.uniform_real(0, 80), rng.uniform_real(0, 40));
-    double expected = std::numeric_limits<double>::infinity();
-    for (const auto& p : positions)
-      expected = std::min(expected, t.distance(query, p));
-    EXPECT_NEAR(index.nearest_distance(query), expected, 1e-9);
-  }
-}
-
-TEST(PositionIndex, WrapAroundQueries) {
-  TorusSpace t(80.0, 40.0);
-  // Single node at the origin; query from the far corner wraps.
-  PositionIndex index(t, {Point(0.0, 0.0)});
-  EXPECT_NEAR(index.nearest_distance(Point(79.0, 39.0)), std::sqrt(2.0),
-              1e-9);
-}
-
-TEST(PositionIndex, HalfEmptyTorus) {
-  // The exact geometry of the paper's post-failure fallback: nodes only in
-  // the left half, queries from the right half.
-  TorusSpace t(80.0, 40.0);
-  std::vector<Point> positions;
-  for (int x = 0; x < 40; ++x)
-    for (int y = 0; y < 40; ++y)
-      positions.push_back(Point(x, y));
-  PositionIndex index(t, positions);
-  // x = 60 is 21 from x=39 and 20 from x=80≡0.
-  EXPECT_NEAR(index.nearest_distance(Point(60.0, 10.0)), 20.0, 1e-9);
-  EXPECT_NEAR(index.nearest_distance(Point(41.0, 10.0)), 2.0, 1e-9);
-}
-
-TEST(PositionIndex, NonTorusFallsBackToLinear) {
-  EuclideanSpace e(2);
-  PositionIndex index(e, {Point(0, 0), Point(10, 0)});
-  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(4, 0)), 4.0);
-}
-
-TEST(PositionIndex, RingSpaceLinear) {
-  RingSpace r(100.0);
-  PositionIndex index(r, {Point(10.0), Point(90.0)});
-  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(95.0)), 5.0);
-  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(0.0)), 10.0);
-}
-
-TEST(PositionIndex, EmptyIndexThrowsOnQuery) {
-  EuclideanSpace e(2);
-  PositionIndex index(e, {});
-  EXPECT_TRUE(index.empty());
-  EXPECT_THROW(index.nearest_distance(Point(0, 0)), std::logic_error);
-}
 
 // ---- Homogeneity --------------------------------------------------------------
 

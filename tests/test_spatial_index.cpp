@@ -1,0 +1,314 @@
+// Tests for space::SpatialIndex — the shared nearest-neighbour subsystem.
+//
+// The index must be *exact* (the homogeneity metrics depend on it being
+// bit-identical to a linear scan), so the core of this file is property
+// testing against brute force: random point sets and queries on every
+// gridded geometry (2-D torus, 3-D torus, ring), including extreme aspect
+// ratios (gx ≫ gy) that stress the expanding-shell termination bound and
+// the per-axis wrap deduplication.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "space/euclidean.hpp"
+#include "space/ring.hpp"
+#include "space/spatial_index.hpp"
+#include "space/torus.hpp"
+#include "space/torus3d.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::space::EuclideanSpace;
+using poly::space::MetricSpace;
+using poly::space::Point;
+using poly::space::RingSpace;
+using poly::space::SpatialIndex;
+using poly::space::Torus3dSpace;
+using poly::space::TorusSpace;
+using poly::util::Rng;
+
+double linear_nearest(const MetricSpace& space,
+                      const std::vector<Point>& positions,
+                      const Point& query) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : positions)
+    best = std::min(best, space.distance(query, p));
+  return best;
+}
+
+/// Brute-force k-NN reference: all (distance, index) pairs sorted by
+/// ascending distance with index tie-break — the index's contract.
+std::vector<SpatialIndex::Neighbor> linear_k_nearest(
+    const MetricSpace& space, const std::vector<Point>& positions,
+    const Point& query, std::size_t k) {
+  std::vector<SpatialIndex::Neighbor> all;
+  for (std::uint32_t i = 0; i < positions.size(); ++i)
+    all.push_back({i, space.distance(query, positions[i])});
+  std::sort(all.begin(), all.end(),
+            [](const SpatialIndex::Neighbor& a,
+               const SpatialIndex::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+void expect_same_neighbors(const std::vector<SpatialIndex::Neighbor>& got,
+                           const std::vector<SpatialIndex::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+}
+
+// ---- exactness vs. brute force ---------------------------------------------
+
+TEST(SpatialIndex, GridMatchesLinearScanOnTorus) {
+  TorusSpace t(80.0, 40.0);
+  Rng rng(1);
+  std::vector<Point> positions;
+  for (int i = 0; i < 500; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 80),
+                              rng.uniform_real(0, 40)));
+  SpatialIndex index(t, positions);
+  EXPECT_TRUE(index.grid_accelerated());
+  for (int q = 0; q < 200; ++q) {
+    const Point query(rng.uniform_real(0, 80), rng.uniform_real(0, 40));
+    EXPECT_DOUBLE_EQ(index.nearest_distance(query),
+                     linear_nearest(t, positions, query));
+  }
+}
+
+TEST(SpatialIndex, ExtremeAspectRatioTorus) {
+  // gx ≫ gy: the grid degenerates to a near-1-D strip, so the expanding
+  // shell must travel far along x while wrapping almost immediately on y —
+  // the ring-termination bound (min cell edge) and the per-axis wrap
+  // deduplication both get exercised hard here.
+  TorusSpace t(1000.0, 2.0);
+  Rng rng(7);
+  std::vector<Point> positions;
+  for (int i = 0; i < 300; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 1000),
+                              rng.uniform_real(0, 2)));
+  SpatialIndex index(t, positions);
+  for (int q = 0; q < 300; ++q) {
+    const Point query(rng.uniform_real(0, 1000), rng.uniform_real(0, 2));
+    EXPECT_DOUBLE_EQ(index.nearest_distance(query),
+                     linear_nearest(t, positions, query));
+  }
+  // Sparse occupancy on the same strip: long empty stretches force the
+  // shell search across many all-empty rings before finding a candidate.
+  std::vector<Point> sparse{Point(0.0, 0.0), Point(500.0, 1.0)};
+  SpatialIndex sparse_index(t, sparse);
+  for (int q = 0; q < 100; ++q) {
+    const Point query(rng.uniform_real(0, 1000), rng.uniform_real(0, 2));
+    EXPECT_DOUBLE_EQ(sparse_index.nearest_distance(query),
+                     linear_nearest(t, sparse, query));
+  }
+}
+
+TEST(SpatialIndex, Torus3dMatchesLinearScan) {
+  Torus3dSpace t(16.0, 8.0, 4.0);
+  Rng rng(3);
+  std::vector<Point> positions;
+  for (int i = 0; i < 400; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 16),
+                              rng.uniform_real(0, 8),
+                              rng.uniform_real(0, 4)));
+  SpatialIndex index(t, positions);
+  EXPECT_TRUE(index.grid_accelerated());
+  for (int q = 0; q < 150; ++q) {
+    const Point query(rng.uniform_real(0, 16), rng.uniform_real(0, 8),
+                      rng.uniform_real(0, 4));
+    EXPECT_DOUBLE_EQ(index.nearest_distance(query),
+                     linear_nearest(t, positions, query));
+  }
+}
+
+TEST(SpatialIndex, RingMatchesLinearScan) {
+  RingSpace r(100.0);
+  Rng rng(5);
+  std::vector<Point> positions;
+  for (int i = 0; i < 200; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 100)));
+  SpatialIndex index(r, positions);
+  EXPECT_TRUE(index.grid_accelerated());
+  for (int q = 0; q < 200; ++q) {
+    const Point query(rng.uniform_real(0, 100));
+    EXPECT_DOUBLE_EQ(index.nearest_distance(query),
+                     linear_nearest(r, positions, query));
+  }
+}
+
+TEST(SpatialIndex, WrapAroundQueries) {
+  TorusSpace t(80.0, 40.0);
+  // Single node at the origin; query from the far corner wraps.
+  SpatialIndex index(t, {Point(0.0, 0.0)});
+  EXPECT_NEAR(index.nearest_distance(Point(79.0, 39.0)), std::sqrt(2.0),
+              1e-9);
+}
+
+TEST(SpatialIndex, HalfEmptyTorus) {
+  // The exact geometry of the paper's post-failure fallback: nodes only in
+  // the left half, queries from the right half.
+  TorusSpace t(80.0, 40.0);
+  std::vector<Point> positions;
+  for (int x = 0; x < 40; ++x)
+    for (int y = 0; y < 40; ++y)
+      positions.push_back(Point(x, y));
+  SpatialIndex index(t, positions);
+  // x = 60 is 21 from x=39 and 20 from x=80≡0.
+  EXPECT_NEAR(index.nearest_distance(Point(60.0, 10.0)), 20.0, 1e-9);
+  EXPECT_NEAR(index.nearest_distance(Point(41.0, 10.0)), 2.0, 1e-9);
+}
+
+// ---- k-NN -------------------------------------------------------------------
+
+TEST(SpatialIndex, KNearestMatchesBruteForceOnTorus) {
+  TorusSpace t(40.0, 20.0);
+  Rng rng(11);
+  std::vector<Point> positions;
+  for (int i = 0; i < 300; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 40),
+                              rng.uniform_real(0, 20)));
+  SpatialIndex index(t, positions);
+  for (int q = 0; q < 100; ++q) {
+    const Point query(rng.uniform_real(0, 40), rng.uniform_real(0, 20));
+    for (std::size_t k : {1ul, 4ul, 17ul}) {
+      expect_same_neighbors(index.k_nearest(query, k),
+                            linear_k_nearest(t, positions, query, k));
+    }
+  }
+}
+
+TEST(SpatialIndex, KNearestMatchesBruteForceOnExtremeAspectRatio) {
+  TorusSpace t(400.0, 1.0);
+  Rng rng(13);
+  std::vector<Point> positions;
+  for (int i = 0; i < 120; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 400),
+                              rng.uniform_real(0, 1)));
+  SpatialIndex index(t, positions);
+  for (int q = 0; q < 100; ++q) {
+    const Point query(rng.uniform_real(0, 400), rng.uniform_real(0, 1));
+    expect_same_neighbors(index.k_nearest(query, 8),
+                          linear_k_nearest(t, positions, query, 8));
+  }
+}
+
+TEST(SpatialIndex, KNearestNoDuplicatesOnEvenGridAxes) {
+  // Regression: with an even cell count g on an axis, shell offsets -g/2
+  // and +g/2 alias the same wrapped cell.  The dedup window must admit
+  // only one of them, or positions in that cell are visited twice and
+  // k_nearest reports duplicate neighbours, dropping the true k-th.
+  // 16 points on an 16×8 torus build a 5×2 grid (gy even), and every
+  // query reaches ring ≥ gy/2 immediately.
+  TorusSpace t(16.0, 8.0);
+  Rng rng(42);
+  std::vector<Point> positions;
+  for (int i = 0; i < 16; ++i)
+    positions.push_back(Point(rng.uniform_real(0, 16),
+                              rng.uniform_real(0, 8)));
+  SpatialIndex index(t, positions);
+  for (int q = 0; q < 200; ++q) {
+    const Point query(rng.uniform_real(0, 16), rng.uniform_real(0, 8));
+    for (std::size_t k : {2ul, 8ul, 16ul}) {
+      const auto got = index.k_nearest(query, k);
+      std::vector<bool> seen(positions.size(), false);
+      for (const auto& nb : got) {
+        EXPECT_FALSE(seen[nb.index]) << "duplicate neighbour " << nb.index;
+        seen[nb.index] = true;
+      }
+      expect_same_neighbors(got, linear_k_nearest(t, positions, query, k));
+    }
+  }
+}
+
+TEST(SpatialIndex, KNearestTieBreaksByIndex) {
+  // Duplicate positions: equal distances must rank by ascending index.
+  TorusSpace t(10.0, 10.0);
+  SpatialIndex index(t, {Point(5, 5), Point(1, 1), Point(5, 5)});
+  const auto got = index.k_nearest(Point(5.0, 5.0), 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].index, 0u);
+  EXPECT_DOUBLE_EQ(got[0].distance, 0.0);
+  EXPECT_EQ(got[1].index, 2u);
+  EXPECT_DOUBLE_EQ(got[1].distance, 0.0);
+  EXPECT_EQ(got[2].index, 1u);
+}
+
+TEST(SpatialIndex, KNearestEdgeCases) {
+  TorusSpace t(10.0, 10.0);
+  SpatialIndex index(t, {Point(1, 1), Point(2, 2)});
+  EXPECT_TRUE(index.k_nearest(Point(0, 0), 0).empty());
+  // k larger than the index: all positions, sorted.
+  const auto all = index.k_nearest(Point(1.0, 1.0), 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].index, 0u);
+  EXPECT_EQ(all[1].index, 1u);
+  // nearest() agrees with the first k_nearest entry.
+  const auto n = index.nearest(Point(1.9, 1.9));
+  EXPECT_EQ(n.index, 1u);
+}
+
+TEST(SpatialIndex, KNearestLinearFallbackMatchesBruteForce) {
+  EuclideanSpace e(2);
+  Rng rng(17);
+  std::vector<Point> positions;
+  for (int i = 0; i < 100; ++i)
+    positions.push_back(Point(rng.uniform_real(-5, 5),
+                              rng.uniform_real(-5, 5)));
+  SpatialIndex index(e, positions);
+  EXPECT_FALSE(index.grid_accelerated());
+  for (int q = 0; q < 50; ++q) {
+    const Point query(rng.uniform_real(-5, 5), rng.uniform_real(-5, 5));
+    expect_same_neighbors(index.k_nearest(query, 5),
+                          linear_k_nearest(e, positions, query, 5));
+  }
+}
+
+// ---- fallbacks & misc --------------------------------------------------------
+
+TEST(SpatialIndex, NonGriddedSpaceFallsBackToLinear) {
+  EuclideanSpace e(2);
+  SpatialIndex index(e, {Point(0, 0), Point(10, 0)});
+  EXPECT_FALSE(index.grid_accelerated());
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(4, 0)), 4.0);
+}
+
+TEST(SpatialIndex, RingWrapQueries) {
+  RingSpace r(100.0);
+  SpatialIndex index(r, {Point(10.0), Point(90.0)});
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(95.0)), 5.0);
+  EXPECT_DOUBLE_EQ(index.nearest_distance(Point(0.0)), 10.0);
+}
+
+TEST(SpatialIndex, EmptyIndexThrowsOnQuery) {
+  EuclideanSpace e(2);
+  SpatialIndex index(e, {});
+  EXPECT_TRUE(index.empty());
+  EXPECT_THROW(index.nearest_distance(Point(0, 0)), std::logic_error);
+  EXPECT_THROW(index.nearest(Point(0, 0)), std::logic_error);
+  EXPECT_TRUE(index.k_nearest(Point(0, 0), 3).empty());
+}
+
+TEST(SpatialIndex, SinglePointGrids) {
+  // n = 1 collapses the grid to one cell per axis on every geometry.
+  TorusSpace t(80.0, 40.0);
+  SpatialIndex it(t, {Point(12.0, 34.0)});
+  EXPECT_DOUBLE_EQ(it.nearest(Point(12.0, 34.0)).distance, 0.0);
+  Torus3dSpace t3(8.0, 8.0, 8.0);
+  SpatialIndex i3(t3, {Point(1.0, 2.0, 3.0)});
+  EXPECT_DOUBLE_EQ(i3.nearest_distance(Point(1.0, 2.0, 3.0)), 0.0);
+  RingSpace r(64.0);
+  SpatialIndex ir(r, {Point(63.0)});
+  EXPECT_DOUBLE_EQ(ir.nearest_distance(Point(0.0)), 1.0);
+}
+
+}  // namespace

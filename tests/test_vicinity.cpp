@@ -117,6 +117,51 @@ TEST(VicinitySubstrate, ReinjectionWorks) {
   EXPECT_LT(sim.homogeneity(), sim.reference_homogeneity());
 }
 
+TEST(Vicinity, PrunesDeadEntriesAfterCatastrophe) {
+  // Three-phase regression for the post-catastrophe starvation bug: before
+  // Vicinity pruned suspected entries on exchange, dead closest-ranked
+  // entries survived inside the capped view (min-age merges and age-0
+  // RPS-minted descriptors kept rejuvenating them without any contact), so
+  // closest_alive(p, ψ) returned too few candidates for migration/backup
+  // placement exactly when recovery needed them.
+  GridTorusShape shape(16, 8);
+  SimulationConfig config = vicinity_config(29);
+  config.polystyrene = false;
+  Simulation sim(shape, config);
+  const auto* vic = dynamic_cast<const poly::vicinity::VicinityProtocol*>(
+      &sim.topology());
+  ASSERT_NE(vic, nullptr);
+
+  // Phase 1: converge.
+  sim.run_rounds(20);
+
+  // Phase 2: catastrophe.  One round of exchanges must already flush the
+  // suspected-dead entries (pre-fix, ~13% of all view entries were still
+  // dead here — and they were the *closest-ranked* ones, aging out only
+  // over ~10 rounds) and every node must be able to name ψ alive closest
+  // peers for migration/backup placement.
+  const std::size_t crashed = sim.crash_failure_half();
+  sim.run_rounds(1);
+  std::size_t dead = 0;
+  std::size_t total = 0;
+  for (NodeId id : sim.network().alive_ids()) {
+    for (const auto& e : vic->view(id)) {
+      ++total;
+      if (!sim.network().alive(e.id)) ++dead;
+    }
+    EXPECT_EQ(vic->closest_alive(id, 5).size(), 5u) << "starved node " << id;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_LT(static_cast<double>(dead), 0.05 * static_cast<double>(total));
+  sim.run_rounds(7);
+
+  // Phase 3: re-injection still heals the overlay.
+  sim.reinject(crashed);
+  sim.run_rounds(12);
+  for (NodeId id : sim.network().alive_ids())
+    EXPECT_FALSE(sim.topology().closest_alive(id, 4).empty());
+}
+
 TEST(Vicinity, DeterministicGivenSeed) {
   GridTorusShape shape(8, 8);
   auto run = [&](std::uint64_t seed) {

@@ -267,11 +267,16 @@ void AsyncNode::step_tman() {
       tman_view_.push_back(TmanEntry{e.id, e.addr, pos_, 0});
     if (tman_view_.empty()) return;
   }
-  // Rank by distance to our position, pick among the ψ closest.
+  // Rank by distance to our position, pick among the ψ closest.  Ties on
+  // distance are broken by id: integer-grid shapes make equal distances
+  // common, and only a strict total order keeps the ranking reproducible
+  // across sort algorithms (and partial-selection conversions).
   std::sort(tman_view_.begin(), tman_view_.end(),
             [&](const TmanEntry& a, const TmanEntry& b) {
-              return space_->distance2(pos_, a.pos) <
-                     space_->distance2(pos_, b.pos);
+              const double da = space_->distance2(pos_, a.pos);
+              const double db = space_->distance2(pos_, b.pos);
+              if (da != db) return da < db;
+              return a.id < b.id;
             });
   const std::size_t horizon = std::min(cfg_.psi, tman_view_.size());
   const TmanEntry target = tman_view_[rng_.index(horizon)];
@@ -282,8 +287,10 @@ void AsyncNode::step_tman() {
   std::vector<TmanEntry> cand = tman_view_;
   std::sort(cand.begin(), cand.end(),
             [&](const TmanEntry& a, const TmanEntry& b) {
-              return space_->distance2(target.pos, a.pos) <
-                     space_->distance2(target.pos, b.pos);
+              const double da = space_->distance2(target.pos, a.pos);
+              const double db = space_->distance2(target.pos, b.pos);
+              if (da != db) return da < db;
+              return a.id < b.id;
             });
   for (const auto& e : cand) {
     if (buf.size() >= cfg_.tman_msg) break;
@@ -308,8 +315,10 @@ void AsyncNode::handle_tman(const Header& h,
     std::vector<TmanEntry> cand = tman_view_;
     std::sort(cand.begin(), cand.end(),
               [&](const TmanEntry& a, const TmanEntry& b) {
-                return space_->distance2(sender_pos, a.pos) <
-                       space_->distance2(sender_pos, b.pos);
+                const double da = space_->distance2(sender_pos, a.pos);
+                const double db = space_->distance2(sender_pos, b.pos);
+                if (da != db) return da < db;
+                return a.id < b.id;
               });
     for (const auto& e : cand) {
       if (reply.size() >= cfg_.tman_msg) break;
@@ -334,8 +343,10 @@ void AsyncNode::handle_tman(const Header& h,
   }
   std::sort(tman_view_.begin(), tman_view_.end(),
             [&](const TmanEntry& a, const TmanEntry& b) {
-              return space_->distance2(pos_, a.pos) <
-                     space_->distance2(pos_, b.pos);
+              const double da = space_->distance2(pos_, a.pos);
+              const double db = space_->distance2(pos_, b.pos);
+              if (da != db) return da < db;
+              return a.id < b.id;
             });
   if (tman_view_.size() > cfg_.tman_view) tman_view_.resize(cfg_.tman_view);
 }

@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
   constexpr std::size_t kConvergeRounds = 30;
   constexpr std::size_t kRecoverRounds = 40;
 
-  util::Table table({"nodes", "grid", "reliability", "homogeneity", "frames",
-                     "events", "events/s", "wall_s"});
+  util::Table table({"nodes", "grid", "reliability", "homogeneity",
+                     "proximity", "frames", "events", "events/s", "wall_s"});
   for (std::size_t n = 100; n <= opt.max_nodes; n *= 2) {
     const auto dims = bench::grid_for(n);
     shape::GridTorusShape shape(dims.nx, dims.ny);
@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
                    std::to_string(dims.nx) + "x" + std::to_string(dims.ny),
                    util::fmt(fleet.reliability(), 3),
                    util::fmt(fleet.homogeneity(), 3),
+                   util::fmt(fleet.proximity(), 3),
                    std::to_string(fleet.hub().frames_sent()),
                    std::to_string(fleet.engine().events_executed()),
                    util::fmt(wall > 0 ? events / wall : 0.0, 0),

@@ -7,8 +7,9 @@ namespace poly::engine {
 
 // ---- EngineTransport --------------------------------------------------------
 
-EngineTransport::EngineTransport(EngineHub* hub, net::Address address)
-    : hub_(hub), address_(std::move(address)) {}
+EngineTransport::EngineTransport(EngineHub* hub, net::Address address,
+                                 net::EndpointId id)
+    : hub_(hub), address_(std::move(address)), id_(id) {}
 
 EngineTransport::~EngineTransport() { shutdown(); }
 
@@ -19,17 +20,31 @@ void EngineTransport::set_handler(net::MessageHandler handler) {
 bool EngineTransport::send(const net::Address& to,
                            std::vector<std::uint8_t> payload) {
   if (stopped_) return false;
-  return hub_->send_from(address_, to, std::move(payload));
+  return hub_->send_from(id_, hub_->resolve(to), std::move(payload));
+}
+
+bool EngineTransport::send(net::EndpointId to,
+                           std::vector<std::uint8_t> payload) {
+  if (stopped_) return false;
+  return hub_->send_from(id_, to, std::move(payload));
+}
+
+net::EndpointId EngineTransport::resolve(const net::Address& to) const {
+  return hub_->resolve(to);
+}
+
+std::vector<std::uint8_t> EngineTransport::acquire_buffer() {
+  return hub_->acquire_buffer();
 }
 
 void EngineTransport::shutdown() {
   if (stopped_) return;
   stopped_ = true;
-  hub_->unregister(address_);
+  hub_->unregister(id_);
 }
 
-void EngineTransport::dispatch(net::Message msg) {
-  if (!stopped_ && handler_) handler_(std::move(msg));
+void EngineTransport::dispatch(net::Message& msg) {
+  if (!stopped_ && handler_) handler_(msg);
 }
 
 // ---- EngineHub --------------------------------------------------------------
@@ -41,56 +56,93 @@ EngineHub::EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link)
 
 std::unique_ptr<EngineTransport> EngineHub::make_endpoint(
     const net::Address& address) {
-  if (endpoints_.count(address))
+  if (by_name_.count(address))
     throw std::invalid_argument("EngineHub: duplicate address " + address);
-  auto ep =
-      std::unique_ptr<EngineTransport>(new EngineTransport(this, address));
-  endpoints_[address] = ep.get();
+  const auto id = static_cast<net::EndpointId>(endpoints_.size());
+  auto ep = std::unique_ptr<EngineTransport>(
+      new EngineTransport(this, address, id));
+  endpoints_.push_back(ep.get());
+  names_.push_back(address);
+  clamp_keys_.emplace_back();
+  by_name_.emplace(address, id);
   return ep;
 }
 
 bool EngineHub::reachable(const net::Address& address) const {
-  return endpoints_.count(address) > 0;
+  return by_name_.count(address) > 0;
 }
 
-void EngineHub::unregister(const net::Address& address) {
-  if (endpoints_.erase(address) == 0) return;
+net::EndpointId EngineHub::resolve(const net::Address& address) const {
+  const auto it = by_name_.find(address);
+  return it == by_name_.end() ? net::kInvalidEndpointId : it->second;
+}
+
+std::vector<std::uint8_t> EngineHub::acquire_buffer() {
+  if (pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(pool_.back());
+  pool_.pop_back();
+  return buf;
+}
+
+void EngineHub::release_buffer(std::vector<std::uint8_t> buf) {
+  if (buf.capacity() == 0 || pool_.size() >= kPoolCap) return;
+  buf.clear();
+  pool_.push_back(std::move(buf));
+}
+
+void EngineHub::unregister(net::EndpointId id) {
+  if (id >= endpoints_.size() || endpoints_[id] == nullptr) return;
+  endpoints_[id] = nullptr;
+  by_name_.erase(names_[id]);
   // Drop the dead endpoint's FIFO-clamp entries: it can never send or
   // receive again, and long churn scenarios would otherwise accumulate
-  // clamp state for every node that ever lived.
-  for (auto it = fifo_clamp_.begin(); it != fifo_clamp_.end();) {
-    const std::string& key = it->first;
-    const auto sep = key.find('\n');
-    const bool is_from = key.compare(0, sep, address) == 0;
-    const bool is_to =
-        key.compare(sep + 1, std::string::npos, address) == 0;
-    it = (is_from || is_to) ? fifo_clamp_.erase(it) : ++it;
-  }
+  // clamp state for every node that ever lived.  The per-endpoint key
+  // index makes this O(degree); the partner's index keeps a stale key,
+  // erased as a cheap no-op when the partner dies.
+  for (const std::uint64_t key : clamp_keys_[id]) fifo_clamp_.erase(key);
+  clamp_keys_[id] = {};
 }
 
-bool EngineHub::send_from(const net::Address& from, const net::Address& to,
+bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
                           std::vector<std::uint8_t> payload) {
-  if (!endpoints_.count(to)) return false;  // contact failure
+  if (to >= endpoints_.size() || endpoints_[to] == nullptr) {
+    release_buffer(std::move(payload));
+    return false;  // contact failure
+  }
   ++sent_;
   if (link_->drop(rng_)) {
     ++dropped_;
+    release_buffer(std::move(payload));
     return true;  // accepted, lost in flight
   }
   SimTime at = engine_.now() + link_->latency(payload.size(), rng_);
   if (link_->may_reorder()) {
-    SimTime& last = fifo_clamp_[from + '\n' + to];
-    if (at < last) at = last;  // keep per-pair FIFO under jitter
-    last = at;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(from) << 32) | to;
+    auto [it, inserted] = fifo_clamp_.try_emplace(key, at);
+    if (inserted) {
+      clamp_keys_[from].push_back(key);
+      clamp_keys_[to].push_back(key);
+    } else {
+      if (at < it->second) at = it->second;  // keep per-pair FIFO
+      it->second = at;
+    }
   }
-  engine_.schedule_at(
-      at, [this, to, msg = net::Message{from, std::move(payload)}]() mutable {
-        // Route at delivery time: the receiver may have crashed in between.
-        auto it = endpoints_.find(to);
-        if (it == endpoints_.end()) return;
-        ++delivered_;
-        it->second->dispatch(std::move(msg));
-      });
+  engine_.schedule_at(at, Delivery{this, from, to, std::move(payload)});
   return true;
+}
+
+void EngineHub::deliver(net::EndpointId from, net::EndpointId to,
+                        std::vector<std::uint8_t> payload) {
+  // Route at delivery time: the receiver may have crashed in between.
+  EngineTransport* ep = endpoints_[to];
+  if (ep != nullptr) {
+    ++delivered_;
+    net::Message msg{names_[from], std::move(payload), from};
+    ep->dispatch(msg);
+    payload = std::move(msg.payload);  // reclaim unless the handler kept it
+  }
+  release_buffer(std::move(payload));
 }
 
 }  // namespace poly::engine

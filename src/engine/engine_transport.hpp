@@ -7,6 +7,21 @@
 // threads, no mailboxes: handlers run inline in the engine loop, in
 // deterministic timestamp order.
 //
+// The hub is built for the 100k-node steady state, where every protocol
+// message passes through it:
+//
+//   * addresses are interned at registration into dense EndpointIds; the
+//     endpoint table is a flat vector and the per-send path does no string
+//     hashing or copying (protocol layers cache resolve()d ids);
+//   * per-pair FIFO clamps (jittered links only) key on the id pair, and
+//     each endpoint indexes the clamp entries it participates in, so a
+//     crash cleans up in O(degree), not O(table);
+//   * payload vectors come from a hub pool: encode writes into a recycled
+//     buffer, and after delivery (or a drop) the buffer returns to the
+//     pool — zero steady-state allocation per message;
+//   * the delivery closure (hub pointer + two ids + the pooled vector)
+//     fits EventFn's inline storage, so scheduling doesn't allocate.
+//
 // Semantics match the live transports where it matters to the protocol:
 //   * send() returns false when the destination is not (or no longer)
 //     registered — peers observe crashes as contact failures;
@@ -17,12 +32,15 @@
 //
 // Lifetime: the hub must outlive the engine's pending delivery events (in
 // practice: destroy the engine first, or simply stop running it).
+// Endpoint ids are never reused; names of dead endpoints may be
+// re-registered (the name then maps to a fresh id).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/event_engine.hpp"
 #include "engine/link_model.hpp"
@@ -42,16 +60,23 @@ class EngineTransport final : public net::Transport {
   void set_handler(net::MessageHandler handler) override;
   bool send(const net::Address& to,
             std::vector<std::uint8_t> payload) override;
+  bool send(net::EndpointId to, std::vector<std::uint8_t> payload) override;
+  net::EndpointId resolve(const net::Address& to) const override;
+  std::vector<std::uint8_t> acquire_buffer() override;
   void shutdown() override;
+
+  /// This endpoint's interned id within its hub.
+  net::EndpointId endpoint_id() const noexcept { return id_; }
 
  private:
   friend class EngineHub;
-  EngineTransport(EngineHub* hub, net::Address address);
+  EngineTransport(EngineHub* hub, net::Address address, net::EndpointId id);
 
-  void dispatch(net::Message msg);
+  void dispatch(net::Message& msg);
 
   EngineHub* hub_;
   net::Address address_;
+  net::EndpointId id_;
   net::MessageHandler handler_;
   bool stopped_ = false;
 };
@@ -66,11 +91,15 @@ class EngineHub {
   EngineHub(const EngineHub&) = delete;
   EngineHub& operator=(const EngineHub&) = delete;
 
-  /// Creates and registers an endpoint with a unique address.
+  /// Creates and registers an endpoint with a unique (among live
+  /// endpoints) address, interned as the next dense EndpointId.
   std::unique_ptr<EngineTransport> make_endpoint(const net::Address& address);
 
   /// True if the address is currently registered (alive).
   bool reachable(const net::Address& address) const;
+
+  /// The live endpoint id for an address (kInvalidEndpointId when absent).
+  net::EndpointId resolve(const net::Address& address) const;
 
   EventEngine& engine() noexcept { return engine_; }
 
@@ -79,20 +108,52 @@ class EngineHub {
   std::uint64_t frames_delivered() const noexcept { return delivered_; }
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
 
+  // Buffer pool (shared by endpoint encode paths and delivery events).
+  std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buf);
+
  private:
   friend class EngineTransport;
 
-  bool send_from(const net::Address& from, const net::Address& to,
+  /// Pool cap: bounds retained capacity to the scenario's in-flight
+  /// high-water mark (beyond it, buffers are simply freed).
+  static constexpr std::size_t kPoolCap = 1u << 16;
+
+  bool send_from(net::EndpointId from, net::EndpointId to,
                  std::vector<std::uint8_t> payload);
-  void unregister(const net::Address& address);
+  void deliver(net::EndpointId from, net::EndpointId to,
+               std::vector<std::uint8_t> payload);
+  void unregister(net::EndpointId id);
+
+  /// The scheduled delivery: sized to fit EventFn's inline storage.
+  struct Delivery {
+    EngineHub* hub;
+    net::EndpointId from;
+    net::EndpointId to;
+    std::vector<std::uint8_t> payload;
+    void operator()() { hub->deliver(from, to, std::move(payload)); }
+  };
 
   EventEngine& engine_;
   std::unique_ptr<LinkModel> link_;
   util::Rng rng_;  // link randomness, split off the engine stream
-  std::unordered_map<net::Address, EngineTransport*> endpoints_;
-  /// Last scheduled delivery per "from\nto" pair; populated only when the
-  /// link model can reorder (fixed-latency runs keep this empty).
-  std::unordered_map<std::string, SimTime> fifo_clamp_;
+
+  /// Flat endpoint table indexed by EndpointId; null = dead.  names_ keeps
+  /// every endpoint's address forever (frames in flight from a crashed
+  /// sender still carry its name).
+  std::vector<EngineTransport*> endpoints_;
+  std::vector<net::Address> names_;
+  std::unordered_map<net::Address, net::EndpointId> by_name_;  // live only
+
+  /// Last scheduled delivery per (from, to) id pair; populated only when
+  /// the link model can reorder (fixed-latency runs keep this empty).
+  /// clamp_keys_[id] lists the keys id participates in, so unregister
+  /// erases exactly its own entries.
+  std::unordered_map<std::uint64_t, SimTime> fifo_clamp_;
+  std::vector<std::vector<std::uint64_t>> clamp_keys_;
+
+  std::vector<std::vector<std::uint8_t>> pool_;
+
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -141,4 +141,8 @@ double EventCluster::reliability() const {
   return net::fleet_reliability(points_, alive_states());
 }
 
+double EventCluster::proximity(std::size_t k) const {
+  return net::fleet_proximity(*space_, alive_states(), k);
+}
+
 }  // namespace poly::engine

@@ -91,6 +91,8 @@ class EventCluster {
 
   double homogeneity() const;
   double reliability() const;
+  /// Geometric proximity (SpatialIndex k-NN over alive positions).
+  double proximity(std::size_t k = 4) const;
 
  private:
   std::size_t add_node(std::optional<space::DataPoint> initial);

@@ -87,6 +87,33 @@ double proximity(const sim::Network& net, const space::MetricSpace& space,
   return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
 }
 
+double proximity(const space::MetricSpace& space,
+                 std::span<const space::Point> positions, std::size_t k) {
+  if (positions.size() < 2 || k == 0) return 0.0;
+  const space::SpatialIndex index(
+      space, std::vector<space::Point>(positions.begin(), positions.end()));
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    // k+1 nearest, dropping the query position itself (co-located other
+    // nodes legitimately count at distance 0).
+    const auto nn = index.k_nearest(positions[i], k + 1);
+    double s = 0.0;
+    std::size_t m = 0;
+    for (const auto& nb : nn) {
+      if (nb.index == i) continue;
+      if (m >= k) break;
+      s += nb.distance;
+      ++m;
+    }
+    if (m > 0) {
+      sum += s / static_cast<double>(m);
+      ++counted;
+    }
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
 double avg_points_per_node(
     const sim::Network& net,
     const std::function<std::size_t(sim::NodeId)>& stored_points) {

@@ -50,10 +50,22 @@ double reliability(const sim::Network& net,
 
 /// Proximity (lower is better): mean over alive nodes of the mean distance
 /// to their k closest alive topology neighbours (nodes with empty
-/// neighbourhoods are skipped).
+/// neighbourhoods are skipped).  This is the paper's metric: it measures
+/// the neighbourhoods the *topology layer* actually constructed, so it
+/// must read the per-node views, not ground truth.
 double proximity(const sim::Network& net, const space::MetricSpace& space,
                  const topo::TopologyConstruction& topology,
                  std::size_t k = 4);
+
+/// Geometric proximity: mean over `positions` of the mean distance to the
+/// k nearest *other* positions, answered by one shared
+/// space::SpatialIndex::k_nearest pass — O(1) amortized per node instead
+/// of per-node-times-view recomputation.  This is the topology-independent
+/// lower bound of the view-based proximity (they coincide once gossip has
+/// converged); the live fleets use it as their snapshot-scale
+/// neighbourhood-quality diagnostic, where no topology object exists.
+double proximity(const space::MetricSpace& space,
+                 std::span<const space::Point> positions, std::size_t k = 4);
 
 /// Mean number of data points stored per alive node (guests + ghosts),
 /// supplied by a per-node storage callback.

@@ -92,7 +92,7 @@ void InProcTransport::pump() {
       inbox_.pop_front();
       handler = handler_;  // copy under lock; invoke outside it
     }
-    handler(std::move(msg));
+    handler(msg);  // transport keeps ownership; handlers move if needed
   }
 }
 

@@ -55,17 +55,20 @@ void encode_peers(util::ByteWriter& w, const std::vector<WirePeer>& peers) {
   }
 }
 
-std::vector<WirePeer> decode_peers(util::ByteReader& r) {
+void decode_peers_into(util::ByteReader& r, std::vector<WirePeer>& out) {
   const std::uint32_t n = checked_length(r);
-  std::vector<WirePeer> out;
-  out.reserve(n);
+  out.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    WirePeer p;
+    WirePeer& p = out[i];
     p.id = r.u64();
-    p.addr = r.str();
+    r.str_into(p.addr);
     p.age = r.u32();
-    out.push_back(std::move(p));
   }
+}
+
+std::vector<WirePeer> decode_peers(util::ByteReader& r) {
+  std::vector<WirePeer> out;
+  decode_peers_into(r, out);
   return out;
 }
 
@@ -80,18 +83,22 @@ void encode_descriptors(util::ByteWriter& w,
   }
 }
 
-std::vector<WireDescriptor> decode_descriptors(util::ByteReader& r) {
+void decode_descriptors_into(util::ByteReader& r,
+                             std::vector<WireDescriptor>& out) {
   const std::uint32_t n = checked_length(r);
-  std::vector<WireDescriptor> out;
-  out.reserve(n);
+  out.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    WireDescriptor d;
+    WireDescriptor& d = out[i];
     d.id = r.u64();
-    d.addr = r.str();
+    r.str_into(d.addr);
     d.pos = decode_point(r);
     d.version = r.u64();
-    out.push_back(std::move(d));
   }
+}
+
+std::vector<WireDescriptor> decode_descriptors(util::ByteReader& r) {
+  std::vector<WireDescriptor> out;
+  decode_descriptors_into(r, out);
   return out;
 }
 
@@ -103,59 +110,88 @@ void encode_points(util::ByteWriter& w, const std::vector<WirePoint>& points) {
   }
 }
 
-std::vector<WirePoint> decode_points(util::ByteReader& r) {
+void decode_points_into(util::ByteReader& r, std::vector<WirePoint>& out) {
   const std::uint32_t n = checked_length(r);
-  std::vector<WirePoint> out;
-  out.reserve(n);
+  out.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    WirePoint p;
+    WirePoint& p = out[i];
     p.id = r.u64();
     p.pos = decode_point(r);
-    out.push_back(p);
   }
+}
+
+std::vector<WirePoint> decode_points(util::ByteReader& r) {
+  std::vector<WirePoint> out;
+  decode_points_into(r, out);
   return out;
+}
+
+void encode_rps(util::ByteWriter& w, const Header& h,
+                const std::vector<WirePeer>& peers) {
+  encode_header(w, h);
+  encode_peers(w, peers);
 }
 
 std::vector<std::uint8_t> encode_rps(const Header& h,
                                      const std::vector<WirePeer>& peers) {
   util::ByteWriter w;
-  encode_header(w, h);
-  encode_peers(w, peers);
+  encode_rps(w, h, peers);
   return w.take();
+}
+
+void encode_tman(util::ByteWriter& w, const Header& h,
+                 const std::vector<WireDescriptor>& descriptors) {
+  encode_header(w, h);
+  encode_descriptors(w, descriptors);
 }
 
 std::vector<std::uint8_t> encode_tman(
     const Header& h, const std::vector<WireDescriptor>& descriptors) {
   util::ByteWriter w;
-  encode_header(w, h);
-  encode_descriptors(w, descriptors);
+  encode_tman(w, h, descriptors);
   return w.take();
+}
+
+void encode_backup_push(util::ByteWriter& w, const Header& h,
+                        const std::vector<WirePoint>& guests) {
+  encode_header(w, h);
+  encode_points(w, guests);
 }
 
 std::vector<std::uint8_t> encode_backup_push(
     const Header& h, const std::vector<WirePoint>& guests) {
   util::ByteWriter w;
-  encode_header(w, h);
-  encode_points(w, guests);
+  encode_backup_push(w, h, guests);
   return w.take();
+}
+
+void encode_migrate_req(util::ByteWriter& w, const Header& h,
+                        const space::Point& pos,
+                        const std::vector<WirePoint>& guests) {
+  encode_header(w, h);
+  encode_point(w, pos);
+  encode_points(w, guests);
 }
 
 std::vector<std::uint8_t> encode_migrate_req(
     const Header& h, const space::Point& pos,
     const std::vector<WirePoint>& guests) {
   util::ByteWriter w;
-  encode_header(w, h);
-  encode_point(w, pos);
-  encode_points(w, guests);
+  encode_migrate_req(w, h, pos, guests);
   return w.take();
+}
+
+void encode_migrate_resp(util::ByteWriter& w, const Header& h, bool accepted,
+                         const std::vector<WirePoint>& guests) {
+  encode_header(w, h);
+  w.u8(accepted ? 1 : 0);
+  encode_points(w, guests);
 }
 
 std::vector<std::uint8_t> encode_migrate_resp(
     const Header& h, bool accepted, const std::vector<WirePoint>& guests) {
   util::ByteWriter w;
-  encode_header(w, h);
-  w.u8(accepted ? 1 : 0);
-  encode_points(w, guests);
+  encode_migrate_resp(w, h, accepted, guests);
   return w.take();
 }
 

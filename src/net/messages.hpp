@@ -78,25 +78,40 @@ void encode_descriptors(util::ByteWriter& w,
                         const std::vector<WireDescriptor>& descriptors);
 void encode_points(util::ByteWriter& w, const std::vector<WirePoint>& points);
 
+// Whole-frame encoders come in two forms: in-place (write into a caller
+// ByteWriter — the hot path, which encodes into a pooled buffer) and
+// allocating convenience wrappers.
+
 /// RPS shuffle request/response: header + peer list.
+void encode_rps(util::ByteWriter& w, const Header& h,
+                const std::vector<WirePeer>& peers);
 std::vector<std::uint8_t> encode_rps(const Header& h,
                                      const std::vector<WirePeer>& peers);
 
 /// T-Man request/response: header + descriptor list (sender's own
 /// descriptor travels in the header's addr + the first list entry).
+void encode_tman(util::ByteWriter& w, const Header& h,
+                 const std::vector<WireDescriptor>& descriptors);
 std::vector<std::uint8_t> encode_tman(
     const Header& h, const std::vector<WireDescriptor>& descriptors);
 
 /// Backup push: header + the origin's full guest set.
+void encode_backup_push(util::ByteWriter& w, const Header& h,
+                        const std::vector<WirePoint>& guests);
 std::vector<std::uint8_t> encode_backup_push(
     const Header& h, const std::vector<WirePoint>& guests);
 
 /// Migration request: header + initiator position + guests.
+void encode_migrate_req(util::ByteWriter& w, const Header& h,
+                        const space::Point& pos,
+                        const std::vector<WirePoint>& guests);
 std::vector<std::uint8_t> encode_migrate_req(
     const Header& h, const space::Point& pos,
     const std::vector<WirePoint>& guests);
 
 /// Migration response: header + accepted + the initiator's new guests.
+void encode_migrate_resp(util::ByteWriter& w, const Header& h, bool accepted,
+                         const std::vector<WirePoint>& guests);
 std::vector<std::uint8_t> encode_migrate_resp(
     const Header& h, bool accepted, const std::vector<WirePoint>& guests);
 
@@ -107,6 +122,15 @@ Header decode_header(util::ByteReader& r);
 std::vector<WirePeer> decode_peers(util::ByteReader& r);
 std::vector<WireDescriptor> decode_descriptors(util::ByteReader& r);
 std::vector<WirePoint> decode_points(util::ByteReader& r);
+
+// In-place decoders (clear + fill `out`): the hot path decodes every
+// message into per-node scratch vectors, so steady-state receive does not
+// allocate once the scratch capacity reaches the message-size high-water
+// mark.
+void decode_peers_into(util::ByteReader& r, std::vector<WirePeer>& out);
+void decode_descriptors_into(util::ByteReader& r,
+                             std::vector<WireDescriptor>& out);
+void decode_points_into(util::ByteReader& r, std::vector<WirePoint>& out);
 
 /// Peeks the message type of a raw frame (throws CodecError when empty).
 MsgType peek_type(const std::vector<std::uint8_t>& frame);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/fleet_metrics.hpp"
+#include "util/topk.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "space/medoid.hpp"
@@ -13,19 +14,24 @@ namespace poly::net {
 
 namespace {
 
-core::PointSet to_point_set(const std::vector<WirePoint>& wire) {
-  core::PointSet out;
+void to_point_set_into(const std::vector<WirePoint>& wire,
+                       core::PointSet& out) {
+  out.clear();
   out.reserve(wire.size());
   for (const auto& p : wire) out.push_back({p.id, p.pos});
   core::normalize(out);
+}
+
+core::PointSet to_point_set(const std::vector<WirePoint>& wire) {
+  core::PointSet out;
+  to_point_set_into(wire, out);
   return out;
 }
 
-std::vector<WirePoint> to_wire(const core::PointSet& set) {
-  std::vector<WirePoint> out;
-  out.reserve(set.size());
-  for (const auto& p : set) out.push_back({p.id, p.pos});
-  return out;
+void to_wire_into(const core::PointSet& set, std::vector<WirePoint>& out) {
+  out.resize(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i)
+    out[i] = WirePoint{set[i].id, set[i].pos};
 }
 
 }  // namespace
@@ -40,13 +46,14 @@ AsyncNode::AsyncNode(LiveNodeId id,
     : id_(id),
       space_(std::move(space)),
       transport_(std::move(transport)),
+      addr_(transport_->address()),
       cfg_(config),
       rng_(seed) {
   if (initial) {
     guests_.push_back(*initial);
     pos_ = initial->pos;
   }
-  transport_->set_handler([this](Message msg) { on_message(std::move(msg)); });
+  transport_->set_handler([this](Message& msg) { on_message(msg); });
 }
 
 AsyncNode::~AsyncNode() {
@@ -58,7 +65,6 @@ void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
   std::lock_guard<std::mutex> lk(state_mu_);
   for (const auto& s : seeds) {
     if (s.id == id_) continue;
-    addresses_[s.id] = s.addr;
     if (rps_view_.size() < cfg_.rps_view)
       rps_view_.push_back(RpsEntry{s.id, s.addr, 0});
   }
@@ -135,16 +141,46 @@ void AsyncNode::on_tick() {
 }
 
 Header AsyncNode::header(MsgType type) const {
-  return Header{type, id_, transport_->address()};
+  return Header{type, id_, addr_};
 }
 
-std::vector<WirePoint> AsyncNode::wire_guests() const {
-  return to_wire(guests_);
+const std::vector<WirePoint>& AsyncNode::wire_guests() const {
+  to_wire_into(guests_, wire_guests_);
+  return wire_guests_;
+}
+
+bool AsyncNode::send_reply(const Header& h, std::vector<std::uint8_t> frame) {
+  if (reply_ep_ != kInvalidEndpointId && reply_from_ != nullptr &&
+      *reply_from_ == h.sender_addr) {
+    if (transport_->send(reply_ep_, std::move(frame))) return true;
+    peer_unreachable(h.sender);
+    return false;
+  }
+  return send_to(h.sender, h.sender_addr, std::move(frame));
 }
 
 bool AsyncNode::send_to(LiveNodeId peer, const Address& addr,
                         std::vector<std::uint8_t> frame) {
-  if (!transport_->send(addr, std::move(frame))) {
+  bool ok;
+  auto it = endpoint_cache_.find(peer);
+  if (it == endpoint_cache_.end()) {
+    const EndpointId ep = transport_->resolve(addr);
+    if (ep != kInvalidEndpointId) {
+      // Bound the cache: under heavy churn, peers that age out of the
+      // views without a failed send would otherwise leak entries for the
+      // node's lifetime.  A full reset is safe — entries re-resolve on
+      // the next send — and amortizes to O(1).
+      if (endpoint_cache_.size() >= kEndpointCacheCap)
+        endpoint_cache_.clear();
+      it = endpoint_cache_.emplace(peer, ep).first;
+    }
+  }
+  if (it != endpoint_cache_.end()) {
+    ok = transport_->send(it->second, std::move(frame));
+  } else {
+    ok = transport_->send(addr, std::move(frame));
+  }
+  if (!ok) {
     peer_unreachable(peer);
     return false;
   }
@@ -152,6 +188,7 @@ bool AsyncNode::send_to(LiveNodeId peer, const Address& addr,
 }
 
 void AsyncNode::peer_unreachable(LiveNodeId peer) {
+  endpoint_cache_.erase(peer);
   std::erase_if(rps_view_, [peer](const RpsEntry& e) { return e.id == peer; });
   std::erase_if(tman_view_,
                 [peer](const TmanEntry& e) { return e.id == peer; });
@@ -164,34 +201,46 @@ void AsyncNode::peer_unreachable(LiveNodeId peer) {
 
 // ---- message dispatch --------------------------------------------------------
 
-void AsyncNode::on_message(Message msg) {
+void AsyncNode::on_message(Message& msg) {
+  // One lock for decode + dispatch: the scratch buffers are state, and the
+  // handlers run under the same acquisition (they no longer lock).
+  std::lock_guard<std::mutex> lk(state_mu_);
+  reply_ep_ = msg.from_ep;
+  reply_from_ = &msg.from;
   try {
     util::ByteReader r(msg.payload);
     const Header h = decode_header(r);
     switch (h.type) {
       case MsgType::kRpsShuffleReq:
-        handle_rps(h, decode_peers(r), /*is_req=*/true);
+        decode_peers_into(r, in_peers_);
+        handle_rps(h, in_peers_, /*is_req=*/true);
         break;
       case MsgType::kRpsShuffleResp:
-        handle_rps(h, decode_peers(r), /*is_req=*/false);
+        decode_peers_into(r, in_peers_);
+        handle_rps(h, in_peers_, /*is_req=*/false);
         break;
       case MsgType::kTmanReq:
-        handle_tman(h, decode_descriptors(r), /*is_req=*/true);
+        decode_descriptors_into(r, in_descriptors_);
+        handle_tman(h, in_descriptors_, /*is_req=*/true);
         break;
       case MsgType::kTmanResp:
-        handle_tman(h, decode_descriptors(r), /*is_req=*/false);
+        decode_descriptors_into(r, in_descriptors_);
+        handle_tman(h, in_descriptors_, /*is_req=*/false);
         break;
       case MsgType::kBackupPush:
-        handle_backup_push(h, decode_points(r));
+        decode_points_into(r, in_points_);
+        handle_backup_push(h, in_points_);
         break;
       case MsgType::kMigrateReq: {
         const space::Point pos = decode_point(r);
-        handle_migrate_req(h, pos, decode_points(r));
+        decode_points_into(r, in_points_);
+        handle_migrate_req(h, pos, in_points_);
         break;
       }
       case MsgType::kMigrateResp: {
         const bool accepted = r.u8() != 0;
-        handle_migrate_resp(h, accepted, decode_points(r));
+        decode_points_into(r, in_points_);
+        handle_migrate_resp(h, accepted, in_points_);
         break;
       }
     }
@@ -199,6 +248,8 @@ void AsyncNode::on_message(Message msg) {
     util::log_warn(std::string("AsyncNode: dropping malformed frame: ") +
                    e.what());
   }
+  reply_ep_ = kInvalidEndpointId;
+  reply_from_ = nullptr;
 }
 
 // ---- RPS --------------------------------------------------------------------
@@ -212,35 +263,38 @@ void AsyncNode::step_rps() {
   const RpsEntry target = *oldest;
   rps_view_.erase(oldest);  // swap semantics, as in Cyclon
 
-  std::vector<WirePeer> buf{{id_, transport_->address(), 0}};
-  for (std::size_t i :
-       rng_.sample_indices(rps_view_.size(),
-                           std::min(cfg_.rps_shuffle - 1, rps_view_.size())))
-    buf.push_back({rps_view_[i].id, rps_view_[i].addr, rps_view_[i].age});
+  out_peers_.clear();
+  out_peers_.push_back(WirePeer{id_, addr_, 0});
+  rng_.sample_indices_into(rps_view_.size(),
+                           std::min(cfg_.rps_shuffle - 1, rps_view_.size()),
+                           sample_scratch_);
+  for (std::size_t i : sample_scratch_)
+    out_peers_.push_back(
+        {rps_view_[i].id, rps_view_[i].addr, rps_view_[i].age});
 
-  send_to(target.id, target.addr,
-          encode_rps(header(MsgType::kRpsShuffleReq), buf));
+  util::ByteWriter w = frame_writer();
+  encode_rps(w, header(MsgType::kRpsShuffleReq), out_peers_);
+  send_to(target.id, target.addr, w.take());
 }
 
-void AsyncNode::handle_rps(const Header& h, std::vector<WirePeer> peers,
+void AsyncNode::handle_rps(const Header& h, const std::vector<WirePeer>& peers,
                            bool is_req) {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  addresses_[h.sender] = h.sender_addr;
   if (is_req) {
     // Reply with a random sample of our view before merging.
-    std::vector<WirePeer> reply;
-    for (std::size_t i :
-         rng_.sample_indices(rps_view_.size(),
-                             std::min(cfg_.rps_shuffle, rps_view_.size())))
-      reply.push_back({rps_view_[i].id, rps_view_[i].addr,
-                       rps_view_[i].age});
-    send_to(h.sender, h.sender_addr,
-            encode_rps(header(MsgType::kRpsShuffleResp), reply));
+    out_peers_.clear();
+    rng_.sample_indices_into(rps_view_.size(),
+                             std::min(cfg_.rps_shuffle, rps_view_.size()),
+                             sample_scratch_);
+    for (std::size_t i : sample_scratch_)
+      out_peers_.push_back({rps_view_[i].id, rps_view_[i].addr,
+                            rps_view_[i].age});
+    util::ByteWriter w = frame_writer();
+    encode_rps(w, header(MsgType::kRpsShuffleResp), out_peers_);
+    send_reply(h, w.take());
   }
   // Merge: drop self/duplicates, cap by replacing the oldest entries.
   for (const auto& p : peers) {
     if (p.id == id_) continue;
-    addresses_[p.id] = p.addr;
     auto it = std::find_if(rps_view_.begin(), rps_view_.end(),
                            [&](const RpsEntry& e) { return e.id == p.id; });
     if (it != rps_view_.end()) {
@@ -260,78 +314,80 @@ void AsyncNode::handle_rps(const Header& h, std::vector<WirePeer> peers,
 
 // ---- T-Man -------------------------------------------------------------------
 
+void AsyncNode::rank_closest(std::vector<TmanEntry>& entries,
+                             const space::Point& origin,
+                             std::size_t keep) const {
+  // Member scratch keeps the per-tick/per-message ranking allocation-free;
+  // the (key, id) comparator makes the order strictly total, so the
+  // partial selection is element-for-element identical to a full sort +
+  // truncate.
+  util::keep_closest_sorted(
+      entries, keep,
+      [&](const TmanEntry& e) { return space_->distance2(origin, e.pos); },
+      [](const TmanEntry& e) { return e.id; }, rank_scratch_, rank_tmp_);
+}
+
 void AsyncNode::step_tman() {
   if (tman_view_.empty()) {
     // Seed the topology view from the peer-sampling view.
     for (const auto& e : rps_view_)
       tman_view_.push_back(TmanEntry{e.id, e.addr, pos_, 0});
     if (tman_view_.empty()) return;
+    tman_ranked_ = false;
   }
-  // Rank by distance to our position, pick among the ψ closest.  Ties on
-  // distance are broken by id: integer-grid shapes make equal distances
-  // common, and only a strict total order keeps the ranking reproducible
-  // across sort algorithms (and partial-selection conversions).
-  std::sort(tman_view_.begin(), tman_view_.end(),
-            [&](const TmanEntry& a, const TmanEntry& b) {
-              const double da = space_->distance2(pos_, a.pos);
-              const double db = space_->distance2(pos_, b.pos);
-              if (da != db) return da < db;
-              return a.id < b.id;
-            });
+  // Rank by distance to our position, pick among the ψ closest.  Skipped
+  // when the view is already ranked for the current position (no merge and
+  // no reprojection since the last rank): re-sorting a sorted view is the
+  // identity, so the skip is bit-identical and saves the dominant ranking
+  // cost in converged fleets.
+  if (!tman_ranked_) {
+    rank_closest(tman_view_, pos_, tman_view_.size());
+    tman_ranked_ = true;
+  }
   const std::size_t horizon = std::min(cfg_.psi, tman_view_.size());
   const TmanEntry target = tman_view_[rng_.index(horizon)];
 
-  std::vector<WireDescriptor> buf{
-      {id_, transport_->address(), pos_, pos_version_}};
-  // Entries closest to the target, capped at tman_msg.
-  std::vector<TmanEntry> cand = tman_view_;
-  std::sort(cand.begin(), cand.end(),
-            [&](const TmanEntry& a, const TmanEntry& b) {
-              const double da = space_->distance2(target.pos, a.pos);
-              const double db = space_->distance2(target.pos, b.pos);
-              if (da != db) return da < db;
-              return a.id < b.id;
-            });
-  for (const auto& e : cand) {
-    if (buf.size() >= cfg_.tman_msg) break;
+  out_descriptors_.clear();
+  out_descriptors_.push_back(WireDescriptor{id_, addr_, pos_, pos_version_});
+  // Entries closest to the target, capped at tman_msg.  The take loop
+  // below skips at most one entry (the target itself), so a ranked prefix
+  // of tman_msg is always enough.
+  tman_cand_ = tman_view_;
+  rank_closest(tman_cand_, target.pos, cfg_.tman_msg);
+  for (const auto& e : tman_cand_) {
+    if (out_descriptors_.size() >= cfg_.tman_msg) break;
     if (e.id == target.id) continue;
-    buf.push_back({e.id, e.addr, e.pos, e.version});
+    out_descriptors_.push_back({e.id, e.addr, e.pos, e.version});
   }
-  send_to(target.id, target.addr,
-          encode_tman(header(MsgType::kTmanReq), buf));
+  util::ByteWriter w = frame_writer();
+  encode_tman(w, header(MsgType::kTmanReq), out_descriptors_);
+  send_to(target.id, target.addr, w.take());
 }
 
 void AsyncNode::handle_tman(const Header& h,
-                            std::vector<WireDescriptor> descriptors,
+                            const std::vector<WireDescriptor>& descriptors,
                             bool is_req) {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  addresses_[h.sender] = h.sender_addr;
   if (is_req) {
     // Symmetric reply: our descriptor + entries closest to the sender.
     const space::Point sender_pos =
         descriptors.empty() ? pos_ : descriptors.front().pos;
-    std::vector<WireDescriptor> reply{
-        {id_, transport_->address(), pos_, pos_version_}};
-    std::vector<TmanEntry> cand = tman_view_;
-    std::sort(cand.begin(), cand.end(),
-              [&](const TmanEntry& a, const TmanEntry& b) {
-                const double da = space_->distance2(sender_pos, a.pos);
-                const double db = space_->distance2(sender_pos, b.pos);
-                if (da != db) return da < db;
-                return a.id < b.id;
-              });
-    for (const auto& e : cand) {
-      if (reply.size() >= cfg_.tman_msg) break;
+    out_descriptors_.clear();
+    out_descriptors_.push_back(
+        WireDescriptor{id_, addr_, pos_, pos_version_});
+    tman_cand_ = tman_view_;
+    rank_closest(tman_cand_, sender_pos, cfg_.tman_msg);
+    for (const auto& e : tman_cand_) {
+      if (out_descriptors_.size() >= cfg_.tman_msg) break;
       if (e.id == h.sender) continue;
-      reply.push_back({e.id, e.addr, e.pos, e.version});
+      out_descriptors_.push_back({e.id, e.addr, e.pos, e.version});
     }
-    send_to(h.sender, h.sender_addr,
-            encode_tman(header(MsgType::kTmanResp), reply));
+    util::ByteWriter w = frame_writer();
+    encode_tman(w, header(MsgType::kTmanResp), out_descriptors_);
+    send_reply(h, w.take());
   }
   // Merge: dedup by id keeping the freshest version, rank, truncate.
   for (const auto& d : descriptors) {
     if (d.id == id_) continue;
-    addresses_[d.id] = d.addr;
     auto it = std::find_if(tman_view_.begin(), tman_view_.end(),
                            [&](const TmanEntry& e) { return e.id == d.id; });
     if (it != tman_view_.end()) {
@@ -341,14 +397,10 @@ void AsyncNode::handle_tman(const Header& h,
       tman_view_.push_back(TmanEntry{d.id, d.addr, d.pos, d.version});
     }
   }
-  std::sort(tman_view_.begin(), tman_view_.end(),
-            [&](const TmanEntry& a, const TmanEntry& b) {
-              const double da = space_->distance2(pos_, a.pos);
-              const double db = space_->distance2(pos_, b.pos);
-              if (da != db) return da < db;
-              return a.id < b.id;
-            });
-  if (tman_view_.size() > cfg_.tman_view) tman_view_.resize(cfg_.tman_view);
+  // Rank-and-truncate in one step: only the kept view-cap prefix is
+  // ever ordered.
+  rank_closest(tman_view_, pos_, cfg_.tman_view);
+  tman_ranked_ = true;
 }
 
 // ---- Backup & recovery ----------------------------------------------------------
@@ -366,20 +418,30 @@ void AsyncNode::step_backup() {
     backups_.push_back(BackupTarget{cand.id, cand.addr});
   }
   // Push guests (full copy; doubles as the origin's heartbeat).  Iterate
-  // over a copy: send failures mutate backups_ via peer_unreachable.
-  const auto targets = backups_;
-  const auto frame_guests = wire_guests();
-  for (const auto& b : targets)
-    send_to(b.id, b.addr,
-            encode_backup_push(header(MsgType::kBackupPush), frame_guests));
+  // over a scratch copy: send failures mutate backups_ via
+  // peer_unreachable.
+  backup_targets_ = backups_;
+  // Every target gets the identical frame: encode once into the scratch,
+  // then byte-copy per target instead of re-encoding field by field.
+  util::ByteWriter master(std::move(frame_scratch_));
+  encode_backup_push(master, header(MsgType::kBackupPush), wire_guests());
+  frame_scratch_ = master.take();
+  for (const auto& b : backup_targets_) {
+    util::ByteWriter w = frame_writer();
+    w.bytes(frame_scratch_.data(), frame_scratch_.size());
+    send_to(b.id, b.addr, w.take());
+  }
 }
 
 void AsyncNode::handle_backup_push(const Header& h,
-                                   std::vector<WirePoint> guests) {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  addresses_[h.sender] = h.sender_addr;
-  auto& slot = ghosts_[h.sender];
-  slot.points = to_point_set(guests);
+                                   const std::vector<WirePoint>& guests) {
+  auto it = std::lower_bound(
+      ghosts_.begin(), ghosts_.end(), h.sender,
+      [](const auto& e, LiveNodeId id) { return e.first < id; });
+  if (it == ghosts_.end() || it->first != h.sender)
+    it = ghosts_.insert(it, {h.sender, GhostEntry{}});
+  GhostEntry& slot = it->second;
+  to_point_set_into(guests, slot.points);
   slot.addr = h.sender_addr;
   slot.last_push = clock_now();
 }
@@ -391,7 +453,7 @@ void AsyncNode::step_recovery() {
   for (auto it = ghosts_.begin(); it != ghosts_.end();) {
     if (now - it->second.last_push > cfg_.origin_timeout) {
       guests_ = core::union_by_id(guests_, it->second.points);
-      it = ghosts_.erase(it);
+      it = ghosts_.erase(it);  // ascending-id order, as with the old map
       changed = true;
     } else {
       ++it;
@@ -427,23 +489,22 @@ void AsyncNode::step_migration() {
   migrating_ = true;
   migrate_partner_ = qid;
   migrate_ticks_left_ = 4;
-  if (!send_to(qid, qaddr,
-               encode_migrate_req(header(MsgType::kMigrateReq), pos_,
-                                  wire_guests()))) {
+  util::ByteWriter w = frame_writer();
+  encode_migrate_req(w, header(MsgType::kMigrateReq), pos_, wire_guests());
+  if (!send_to(qid, qaddr, w.take())) {
     migrating_ = false;
   }
 }
 
 void AsyncNode::handle_migrate_req(const Header& h,
                                    const space::Point& initiator_pos,
-                                   std::vector<WirePoint> guests) {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  addresses_[h.sender] = h.sender_addr;
+                                   const std::vector<WirePoint>& guests) {
   if (migrating_) {
     // Busy: our guests are frozen by our own outstanding exchange.
-    send_to(h.sender, h.sender_addr,
-            encode_migrate_resp(header(MsgType::kMigrateResp),
-                                /*accepted=*/false, {}));
+    util::ByteWriter w = frame_writer();
+    encode_migrate_resp(w, header(MsgType::kMigrateResp),
+                        /*accepted=*/false, {});
+    send_reply(h, w.take());
     return;
   }
   // Pool and split: we keep for_q, the initiator gets for_p back.
@@ -453,14 +514,15 @@ void AsyncNode::handle_migrate_req(const Header& h,
                             *space_, rng_);
   guests_ = std::move(result.for_q);
   reproject();
-  send_to(h.sender, h.sender_addr,
-          encode_migrate_resp(header(MsgType::kMigrateResp),
-                              /*accepted=*/true, to_wire(result.for_p)));
+  to_wire_into(result.for_p, out_points_);
+  util::ByteWriter w = frame_writer();
+  encode_migrate_resp(w, header(MsgType::kMigrateResp),
+                      /*accepted=*/true, out_points_);
+  send_reply(h, w.take());
 }
 
 void AsyncNode::handle_migrate_resp(const Header& h, bool accepted,
-                                    std::vector<WirePoint> guests) {
-  std::lock_guard<std::mutex> lk(state_mu_);
+                                    const std::vector<WirePoint>& guests) {
   if (!migrating_ || h.sender != migrate_partner_) return;  // stale reply
   migrating_ = false;
   if (!accepted) return;  // partner was busy; keep our guests
@@ -474,6 +536,7 @@ void AsyncNode::reproject() {
   if (m == pos_) return;
   pos_ = m;
   ++pos_version_;
+  tman_ranked_ = false;  // the view's ranking criterion just moved
 }
 
 // ---- inspection --------------------------------------------------------------------
@@ -602,6 +665,10 @@ double LiveCluster::homogeneity() const {
 
 double LiveCluster::reliability() const {
   return fleet_reliability(points_, alive_states());
+}
+
+double LiveCluster::proximity(std::size_t k) const {
+  return fleet_proximity(*space_, alive_states(), k);
 }
 
 std::size_t LiveCluster::alive_count() const {

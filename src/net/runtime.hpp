@@ -27,6 +27,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/point_set.hpp"
@@ -35,6 +36,7 @@
 #include "net/transport.hpp"
 #include "space/metric_space.hpp"
 #include "util/rng.hpp"
+#include "util/topk.hpp"
 
 namespace poly::net {
 
@@ -122,16 +124,29 @@ class AsyncNode {
   void tick_loop();
   void on_tick();
 
-  // Message handling (transport pump thread).
-  void on_message(Message msg);
-  void handle_rps(const Header& h, std::vector<WirePeer> peers, bool is_req);
-  void handle_tman(const Header& h, std::vector<WireDescriptor> descriptors,
+  // Message handling (transport pump thread).  on_message takes state_mu_
+  // and decodes into the scratch buffers; the handle_* methods run with
+  // the lock held and read the decoded scratch.
+  void on_message(Message& msg);
+  void handle_rps(const Header& h, const std::vector<WirePeer>& peers,
+                  bool is_req);
+  void handle_tman(const Header& h,
+                   const std::vector<WireDescriptor>& descriptors,
                    bool is_req);
-  void handle_backup_push(const Header& h, std::vector<WirePoint> guests);
+  void handle_backup_push(const Header& h,
+                          const std::vector<WirePoint>& guests);
   void handle_migrate_req(const Header& h, const space::Point& initiator_pos,
-                          std::vector<WirePoint> guests);
+                          const std::vector<WirePoint>& guests);
   void handle_migrate_resp(const Header& h, bool accepted,
-                           std::vector<WirePoint> guests);
+                           const std::vector<WirePoint>& guests);
+
+  /// Reduces `entries` to the `keep` entries closest to `origin`, sorted
+  /// ascending with id tie-breaks.  Ids are unique within a view, so the
+  /// order is strictly total and the partial selection is element-for-
+  /// element identical to a full sort + truncate.
+  struct TmanEntry;
+  void rank_closest(std::vector<TmanEntry>& entries, const space::Point& origin,
+                    std::size_t keep) const;
 
   // Protocol steps (called with state_mu_ held unless noted).
   void step_rps();
@@ -142,16 +157,28 @@ class AsyncNode {
   void reproject();
 
   /// Marks a peer dead after a contact failure: purges it from views,
-  /// backups, and (if it was a ghost origin) triggers recovery.
+  /// backups, the endpoint cache, and (if it was a ghost origin) triggers
+  /// recovery.
   void peer_unreachable(LiveNodeId peer);
 
   /// Sends a frame; on failure marks the peer unreachable.  Caller must
-  /// hold state_mu_ (it is released around the transport call).
+  /// hold state_mu_.  Prefers the transport's interned-id fast path
+  /// (resolved once per peer and cached); falls back to string sends on
+  /// transports without interning.
   bool send_to(LiveNodeId peer, const Address& addr,
                std::vector<std::uint8_t> frame);
 
+  /// Sends a reply to the sender of the message currently being handled.
+  /// Uses the delivering transport's interned sender id when the header's
+  /// advertised address matches the transport-level source (always true
+  /// in-tree), avoiding a per-reply by-name lookup.
+  bool send_reply(const Header& h, std::vector<std::uint8_t> frame);
+
+  /// A ByteWriter over a transport-pooled buffer (the frame-encode path).
+  util::ByteWriter frame_writer() { return util::ByteWriter(transport_->acquire_buffer()); }
+
   Header header(MsgType type) const;
-  std::vector<WirePoint> wire_guests() const;
+  const std::vector<WirePoint>& wire_guests() const;
 
   /// Current time per the injected clock (manual mode) or steady_clock.
   std::chrono::steady_clock::time_point clock_now() const {
@@ -161,6 +188,7 @@ class AsyncNode {
   const LiveNodeId id_;
   std::shared_ptr<const space::MetricSpace> space_;
   std::unique_ptr<Transport> transport_;
+  Address addr_;  // cached transport_->address()
   AsyncConfig cfg_;
   bool manual_ = false;
   ClockFn clock_;
@@ -184,6 +212,10 @@ class AsyncNode {
     std::uint64_t version;
   };
   std::vector<TmanEntry> tman_view_;
+  /// True while tman_view_ is sorted by (distance to pos_, id) — set by
+  /// the rank sites, cleared when pos_ moves or unranked entries appear.
+  /// Lets step_tman skip the per-tick re-rank (a no-op on a sorted view).
+  bool tman_ranked_ = false;
   space::Point pos_;
   std::uint64_t pos_version_ = 1;
 
@@ -194,7 +226,11 @@ class AsyncNode {
     Address addr;
     std::chrono::steady_clock::time_point last_push;
   };
-  std::map<LiveNodeId, GhostEntry> ghosts_;  // keyed by origin
+  /// Ghost sets keyed by origin, as a flat vector sorted by origin id: a
+  /// node holds K-ish entries, so one cache block beats a tree walk per
+  /// backup push, and the ascending iteration order (and thus recovery
+  /// merge order) is exactly the std::map order it replaces.
+  std::vector<std::pair<LiveNodeId, GhostEntry>> ghosts_;
   struct BackupTarget {
     LiveNodeId id;
     Address addr;
@@ -206,8 +242,38 @@ class AsyncNode {
   LiveNodeId migrate_partner_ = 0;
   int migrate_ticks_left_ = 0;  // timeout countdown
 
-  // Address book: last known address per peer id.
-  std::map<LiveNodeId, Address> addresses_;
+  // Reply fast path: the interned sender id and transport-level source
+  // address of the message currently in on_message (null outside it).
+  EndpointId reply_ep_ = kInvalidEndpointId;
+  const Address* reply_from_ = nullptr;
+
+  // Interned-endpoint cache: peer id -> transport endpoint id, filled on
+  // first send, invalidated when the peer becomes unreachable, and reset
+  // wholesale at the cap (churned-out peers never fail a send, so without
+  // the bound the cache would grow with every peer ever contacted).  Peer
+  // ids are never reused by the clusters, so a cached id is never stale
+  // in the dangerous direction (it can only point at a dead endpoint,
+  // where send fails exactly like the string path would).
+  static constexpr std::size_t kEndpointCacheCap = 256;
+  std::unordered_map<LiveNodeId, EndpointId> endpoint_cache_;
+
+  // Scratch buffers (guarded by state_mu_): decoded incoming lists and
+  // outgoing list/frame staging.  Steady-state ticks and receives reuse
+  // their capacity instead of allocating per message.
+  std::vector<WirePeer> in_peers_;
+  std::vector<WireDescriptor> in_descriptors_;
+  std::vector<WirePoint> in_points_;
+  std::vector<WirePeer> out_peers_;
+  std::vector<WireDescriptor> out_descriptors_;
+  std::vector<WirePoint> out_points_;
+  mutable std::vector<WirePoint> wire_guests_;  // wire_guests() staging
+  std::vector<TmanEntry> tman_cand_;            // buffer-build candidates
+  std::vector<std::size_t> sample_scratch_;     // rng sample staging
+  std::vector<BackupTarget> backup_targets_;    // step_backup staging
+  std::vector<std::uint8_t> frame_scratch_;     // one-encode backup frame
+  // rank_closest staging (mutable: ranking is logically const).
+  mutable util::KeepClosestScratch rank_scratch_;
+  mutable std::vector<TmanEntry> rank_tmp_;
 
   // Lifecycle.
   std::thread ticker_;
@@ -250,6 +316,9 @@ class LiveCluster {
 
   /// Fraction of original points hosted by at least one alive node.
   double reliability() const;
+
+  /// Geometric proximity (SpatialIndex k-NN over alive node positions).
+  double proximity(std::size_t k = 4) const;
 
   std::size_t alive_count() const;
 

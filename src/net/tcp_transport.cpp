@@ -117,8 +117,10 @@ void TcpTransport::read_loop(int fd) {
       std::lock_guard<std::mutex> lk(handler_mu_);
       handler = handler_;
     }
-    if (handler && !stopped_.load())
-      handler(Message{std::move(from), std::move(payload)});
+    if (handler && !stopped_.load()) {
+      Message msg{std::move(from), std::move(payload)};
+      handler(msg);
+    }
   }
   // The fd is closed by shutdown() after the join: closing it here could
   // race with shutdown()'s ::shutdown(fd) against a reused descriptor.

@@ -3,14 +3,24 @@
 // The paper assumes "message-passing nodes that communicate over reliable
 // channels (e.g. TCP)" (§III-A) but evaluates in a round-based simulator.
 // This module supplies the real substrate: an address-based transport with
-// reliable in-order delivery per sender-receiver pair.  Two implementations:
+// reliable in-order delivery per sender-receiver pair.  Implementations:
 //
 //   * InProcTransport — thread-safe mailboxes inside one process; used by
 //     the async runtime tests and the live_async example.
 //   * TcpTransport    — length-prefixed frames over localhost TCP sockets.
+//   * EngineTransport — deterministic virtual-time delivery over the
+//     discrete-event kernel (engine/engine_transport.hpp).
 //
 // Delivery is callback-based: the transport invokes the registered handler
 // on its own thread(s); handlers must be thread-safe.
+//
+// Interned addressing (the engine hot path): string addresses are the
+// portable identity, but hashing one per send is measurable at 100k-node
+// scale, so a transport may intern addresses into dense `EndpointId`s.
+// `resolve()` maps an address to its id once; `send(EndpointId, ...)` then
+// skips the by-name lookup.  Ids are stable for the lifetime of the
+// network and never reused, so a cached id either reaches the same
+// endpoint or fails like any send to a crashed peer.
 #pragma once
 
 #include <cstdint>
@@ -24,14 +34,26 @@ namespace poly::net {
 /// for TcpTransport a "host:port" string.
 using Address = std::string;
 
+/// Dense interned form of an Address (transports that support it).
+using EndpointId = std::uint32_t;
+inline constexpr EndpointId kInvalidEndpointId = 0xffffffffu;
+
 /// A received datagram-style message (framing is the transport's job).
 struct Message {
   Address from;
   std::vector<std::uint8_t> payload;
+  /// Interned id of `from` on the receiving transport, when the transport
+  /// knows it (engine hub deliveries); kInvalidEndpointId otherwise.
+  /// Receivers can reply through it without a by-name lookup.
+  EndpointId from_ep = kInvalidEndpointId;
 };
 
-/// Handler invoked on message arrival (on a transport thread).
-using MessageHandler = std::function<void(Message)>;
+/// Handler invoked on message arrival (on a transport thread).  The
+/// transport retains ownership of the message: handlers read it in place
+/// and move from `payload` only if they need to keep the bytes.  This lets
+/// pooling transports recycle the payload buffer after the handler
+/// returns instead of allocating one per message.
+using MessageHandler = std::function<void(Message&)>;
 
 /// Abstract reliable point-to-point transport.
 class Transport {
@@ -49,6 +71,28 @@ class Transport {
   /// unreachable (unknown address, connection refused, peer closed).
   /// Reliable transports never silently drop an accepted message.
   virtual bool send(const Address& to, std::vector<std::uint8_t> payload) = 0;
+
+  /// Interns `to` into a dense endpoint id, when this transport supports
+  /// interned addressing and the address is currently registered.
+  /// Default: unsupported (kInvalidEndpointId) — callers fall back to
+  /// string sends.
+  virtual EndpointId resolve(const Address& to) const {
+    (void)to;
+    return kInvalidEndpointId;
+  }
+
+  /// Sends to an interned endpoint id previously returned by resolve().
+  /// Same semantics as the string overload; default: unsupported (false).
+  virtual bool send(EndpointId to, std::vector<std::uint8_t> payload) {
+    (void)to;
+    (void)payload;
+    return false;
+  }
+
+  /// A payload buffer to encode the next frame into — recycled from the
+  /// transport's pool when it keeps one (empty, but typically with the
+  /// capacity of a previous same-sized frame).  Default: a fresh vector.
+  virtual std::vector<std::uint8_t> acquire_buffer() { return {}; }
 
   /// Stops delivering messages and releases resources.  Idempotent.
   virtual void shutdown() = 0;

@@ -24,6 +24,16 @@ class CodecError : public std::runtime_error {
 /// Append-only little-endian byte buffer writer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Encodes into `backing` (cleared, capacity kept) — the pooled-buffer
+  /// path: pass a recycled vector, take() the frame, and the capacity
+  /// survives the round trip instead of being reallocated per message.
+  explicit ByteWriter(std::vector<std::uint8_t> backing) noexcept
+      : buf_(std::move(backing)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append(&v, sizeof v); }
   void u32(std::uint32_t v) { append(&v, sizeof v); }
@@ -67,6 +77,15 @@ class ByteReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  /// Reads a string into `s` (reusing its capacity) — the scratch-decode
+  /// path of the message layer.
+  void str_into(std::string& s) {
+    const std::uint32_t n = u32();
+    require(n);
+    s.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
   }
 
   std::size_t remaining() const noexcept { return size_ - pos_; }

@@ -88,27 +88,47 @@ Rng Rng::split() noexcept {
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   std::vector<std::size_t> out;
-  if (n == 0) return out;
+  sample_indices_into(n, k, out);
+  return out;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) {
+  out.clear();
+  if (n == 0) return;
   if (k >= n) {
     out.resize(n);
     for (std::size_t i = 0; i < n; ++i) out[i] = i;
     shuffle(out);
-    return out;
+    return;
   }
   if (k > n / 3) {
     // Partial Fisher–Yates over an index vector.
-    std::vector<std::size_t> idx(n);
-    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
       const std::size_t j = i + index(n - i);
-      std::swap(idx[i], idx[j]);
+      std::swap(out[i], out[j]);
     }
-    idx.resize(k);
-    return idx;
+    out.resize(k);
+    return;
   }
   // Floyd's algorithm: k draws, each guaranteed to add one new element.
-  std::unordered_set<std::size_t> seen;
+  // The membership set is exactly the elements emitted so far, so for the
+  // small k of the gossip layers a linear scan over `out` replaces the
+  // hash set; large k keeps the set.  Both accept/reject identically, so
+  // the drawn stream (and thus determinism) is unchanged.
   out.reserve(k);
+  if (k <= 64) {
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
+      const bool fresh =
+          std::find(out.begin(), out.end(), t) == out.end();
+      out.push_back(fresh ? t : j);
+    }
+    return;
+  }
+  std::unordered_set<std::size_t> seen;
   for (std::size_t j = n - k; j < n; ++j) {
     const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
     if (seen.insert(t).second) {
@@ -118,7 +138,6 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
       out.push_back(j);
     }
   }
-  return out;
 }
 
 }  // namespace poly::util

@@ -77,6 +77,13 @@ class Rng {
   /// [0, n) in shuffled order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// sample_indices into a caller-owned vector (cleared, capacity kept):
+  /// the per-tick gossip paths call this with a scratch buffer so the
+  /// steady state does not allocate.  Draws the exact same stream as
+  /// sample_indices, so results are identical for identical state.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out);
+
   /// Samples `k` distinct elements from `v` without replacement.
   template <typename T>
   std::vector<T> sample(const std::vector<T>& v, std::size_t k) {

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace poly::util {
@@ -30,31 +31,47 @@ void keep_smallest_sorted(std::vector<T>& v, std::size_t keep, Cmp cmp) {
   std::sort(v.begin(), v.end(), cmp);
 }
 
+/// Reusable staging for the allocation-free keep_closest_sorted overload
+/// (per-tick hot paths keep one per call site).
+struct KeepClosestScratch {
+  std::vector<std::pair<double, std::uint32_t>> keys;  // (key, index)
+};
+
 /// The gossip-layer instantiation: reduces `v` to its `keep` entries with
 /// the smallest `key_of(entry)` (ties broken by ascending `id_of(entry)`,
 /// which is what makes the order total over unique-id pools), sorted.
 /// Keys are computed once per entry — re-evaluating the metric inside the
-/// comparator is the dominant ranking cost at 50k-node scale.
+/// comparator is the dominant ranking cost at 50k-node scale.  This
+/// overload stages through caller-owned scratch, so steady-state callers
+/// allocate nothing; `tmp` receives the discarded entries.
+template <typename T, typename KeyOf, typename IdOf>
+void keep_closest_sorted(std::vector<T>& v, std::size_t keep, KeyOf&& key_of,
+                         IdOf&& id_of, KeepClosestScratch& scratch,
+                         std::vector<T>& tmp) {
+  auto& keys = scratch.keys;
+  keys.clear();
+  keys.reserve(v.size());
+  for (std::uint32_t i = 0; i < v.size(); ++i)
+    keys.emplace_back(key_of(v[i]), i);
+  keep_smallest_sorted(keys, std::min(keep, keys.size()),
+                       [&](const std::pair<double, std::uint32_t>& a,
+                           const std::pair<double, std::uint32_t>& b) {
+                         if (a.first != b.first) return a.first < b.first;
+                         return id_of(v[a.second]) < id_of(v[b.second]);
+                       });
+  tmp.clear();
+  tmp.reserve(keys.size());
+  for (const auto& [key, idx] : keys) tmp.push_back(std::move(v[idx]));
+  v.swap(tmp);
+}
+
+/// Allocating convenience wrapper over the scratch overload.
 template <typename T, typename KeyOf, typename IdOf>
 void keep_closest_sorted(std::vector<T>& v, std::size_t keep, KeyOf&& key_of,
                          IdOf&& id_of) {
-  struct Keyed {
-    double key;
-    std::uint32_t idx;
-  };
-  std::vector<Keyed> keys;
-  keys.reserve(v.size());
-  for (std::uint32_t i = 0; i < v.size(); ++i)
-    keys.push_back({key_of(v[i]), i});
-  keep_smallest_sorted(keys, std::min(keep, keys.size()),
-                       [&](const Keyed& a, const Keyed& b) {
-                         if (a.key != b.key) return a.key < b.key;
-                         return id_of(v[a.idx]) < id_of(v[b.idx]);
-                       });
-  std::vector<T> kept;
-  kept.reserve(keys.size());
-  for (const auto& k : keys) kept.push_back(v[k.idx]);
-  v.swap(kept);
+  KeepClosestScratch scratch;
+  std::vector<T> tmp;
+  keep_closest_sorted(v, keep, key_of, id_of, scratch, tmp);
 }
 
 }  // namespace poly::util

@@ -1,0 +1,294 @@
+// Scheduler-specific tests for the timer-wheel kernel: a property test
+// driving random schedule/cancel/run_until sequences against a naive
+// reference queue (the execution order and counts must match exactly),
+// plus directed tests for the wheel's windowing — slot wrap-around,
+// level-boundary cascades, the beyond-horizon overflow heap, and
+// generation-tagged cancellation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/event_engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using poly::engine::EventEngine;
+using poly::engine::EventId;
+using poly::engine::SimTime;
+
+// ---- naive reference queue --------------------------------------------------
+
+/// The semantics the kernel must match, implemented the obvious way: a
+/// flat vector scanned for the (time, insertion-sequence) minimum.
+class RefEngine {
+ public:
+  SimTime now() const { return now_; }
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return events_.size(); }
+
+  EventId schedule_at(SimTime at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    events_.push_back(Ev{at, next_seq_, std::move(fn)});
+    return next_seq_++;
+  }
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    if (delay < SimTime::zero()) delay = SimTime::zero();
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  void cancel(EventId id) {
+    std::erase_if(events_, [id](const Ev& e) { return e.seq == id; });
+  }
+  bool step() {
+    const auto it = next();
+    if (it == events_.end()) return false;
+    Ev ev = std::move(*it);
+    events_.erase(it);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  std::size_t run_until(SimTime t) {
+    std::size_t n = 0;
+    for (;;) {
+      const auto it = next();
+      if (it == events_.end() || it->at > t) break;
+      step();
+      ++n;
+    }
+    if (now_ < t) now_ = t;
+    return n;
+  }
+
+ private:
+  struct Ev {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::vector<Ev>::iterator next() {
+    return std::min_element(events_.begin(), events_.end(),
+                            [](const Ev& a, const Ev& b) {
+                              if (a.at != b.at) return a.at < b.at;
+                              return a.seq < b.seq;
+                            });
+  }
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::vector<Ev> events_;
+};
+
+// ---- property test ----------------------------------------------------------
+
+/// Drives the kernel and the reference through the same randomized op
+/// sequence; handlers record labels (and sometimes schedule follow-ups),
+/// and the recorded execution orders must be identical.
+TEST(SchedulerProperty, MatchesNaiveReferenceQueue) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EventEngine engine(seed);
+    RefEngine ref;
+    poly::util::Rng rng(seed * 7919);
+
+    std::vector<int> got_engine;
+    std::vector<int> got_ref;
+    std::vector<EventId> live_engine;
+    std::vector<EventId> live_ref;
+    int next_label = 0;
+
+    // Delays span sub-tick (< 2^16 ns), multi-slot, level-1/2 windows and
+    // the beyond-horizon overflow, so every placement path is exercised.
+    auto random_delay = [&]() -> SimTime {
+      switch (rng.index(6)) {
+        case 0: return SimTime{rng.uniform_i64(0, 1 << 14)};
+        case 1: return SimTime{rng.uniform_i64(0, 1 << 20)};
+        case 2: return SimTime{rng.uniform_i64(0, 1ll << 26)};
+        case 3: return SimTime{rng.uniform_i64(0, 1ll << 32)};
+        case 4: return SimTime{rng.uniform_i64(0, 1ll << 36)};  // > horizon
+        default: return SimTime{rng.uniform_i64(0, 100)};
+      }
+    };
+
+    // A fraction of handlers schedule one follow-up; the follow-up's delay
+    // derives from the label so both sides schedule identically.
+    auto make_fn = [](auto& eng, std::vector<int>& log, int label,
+                      auto&& self) -> std::function<void()> {
+      return [&eng, &log, label, &self]() {
+        log.push_back(label);
+        // Only original events (labels < 1000000) spawn one follow-up, so
+        // chains terminate and the drain at the end is bounded.
+        if (label % 5 == 0 && label < 1000000)
+          eng.schedule_after(SimTime{(label * 37) % 100000},
+                             self(eng, log, label + 1000000, self));
+      };
+    };
+    auto fn_for = [&](auto& eng, std::vector<int>& log, int label) {
+      return make_fn(eng, log, label, make_fn);
+    };
+
+    for (int op = 0; op < 3000; ++op) {
+      switch (rng.index(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+        case 4: {  // schedule a pair of identical events
+          const int label = next_label++;
+          const SimTime d = random_delay();
+          live_engine.push_back(
+              engine.schedule_after(d, fn_for(engine, got_engine, label)));
+          live_ref.push_back(
+              ref.schedule_after(d, fn_for(ref, got_ref, label)));
+          break;
+        }
+        case 5: {  // cancel a random previously returned id (maybe stale)
+          if (live_engine.empty()) break;
+          const std::size_t i = rng.index(live_engine.size());
+          engine.cancel(live_engine[i]);
+          ref.cancel(live_ref[i]);
+          break;
+        }
+        case 6: {  // absolute-time schedule, possibly in the past
+          const int label = next_label++;
+          const SimTime at =
+              engine.now() + SimTime{rng.uniform_i64(-5000, 5000)};
+          live_engine.push_back(
+              engine.schedule_at(at, fn_for(engine, got_engine, label)));
+          live_ref.push_back(
+              ref.schedule_at(at, fn_for(ref, got_ref, label)));
+          break;
+        }
+        case 7: {  // run a window
+          const SimTime t = engine.now() + random_delay();
+          const std::size_t a = engine.run_until(t);
+          const std::size_t b = ref.run_until(t);
+          ASSERT_EQ(a, b) << "seed " << seed << " op " << op;
+          ASSERT_EQ(engine.now(), ref.now());
+          break;
+        }
+        case 8: {  // single step
+          ASSERT_EQ(engine.step(), ref.step());
+          break;
+        }
+        default: {  // let time pass without executing (tiny window)
+          const SimTime d{rng.uniform_i64(0, 50)};
+          engine.run_until(engine.now() + d);
+          ref.run_until(ref.now() + d);
+          break;
+        }
+      }
+      ASSERT_EQ(engine.pending(), ref.pending())
+          << "seed " << seed << " op " << op;
+    }
+    // Drain whatever remains (follow-ups terminate: labels >= 1000000
+    // never hit label % 5 == 0 for long chains only when... they do — so
+    // drain through a bounded window instead of run()).
+    const SimTime end = engine.now() + SimTime{1ll << 38};
+    engine.run_until(end);
+    ref.run_until(end);
+    EXPECT_EQ(got_engine, got_ref) << "seed " << seed;
+    EXPECT_EQ(engine.events_executed(), ref.events_executed());
+    EXPECT_EQ(engine.now(), ref.now());
+  }
+}
+
+// ---- directed wheel tests ---------------------------------------------------
+
+TEST(SchedulerWheel, SlotWrapAroundAcrossWindows) {
+  // Events one level-0 window (64 ticks = 2^22 ns) apart land in the same
+  // slot index of successive windows; they must still fire in time order.
+  EventEngine engine(1);
+  std::vector<int> order;
+  constexpr std::int64_t kWindow = 1ll << 22;  // 64 ticks
+  for (int i = 7; i >= 0; --i)
+    engine.schedule_at(SimTime{i * kWindow + 5}, [&order, i] {
+      order.push_back(i);
+    });
+  EXPECT_EQ(engine.run(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerWheel, LevelBoundaryCascades) {
+  // Straddle level-1 (2^28 ns) and level-2 (2^34 ns) window boundaries:
+  // events parked in higher levels must cascade down and interleave
+  // correctly with later-scheduled nearby events.
+  EventEngine engine(1);
+  std::vector<int> order;
+  engine.schedule_at(SimTime{(1ll << 28) + 3}, [&] { order.push_back(2); });
+  engine.schedule_at(SimTime{(1ll << 34) + 9}, [&] { order.push_back(4); });
+  engine.schedule_at(SimTime{1}, [&] {
+    order.push_back(0);
+    // Scheduled mid-run, between the two parked events.
+    engine.schedule_at(SimTime{(1ll << 28) + 2}, [&] { order.push_back(1); });
+    engine.schedule_at(SimTime{(1ll << 34) + 2}, [&] { order.push_back(3); });
+  });
+  EXPECT_EQ(engine.run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(engine.now(), SimTime{(1ll << 34) + 9});
+}
+
+TEST(SchedulerWheel, BeyondHorizonOverflowAndBack) {
+  // Delays past the wheel horizon (2^34 ns ~ 17 s) park in the overflow
+  // heap; they must fire in order once the clock gets there, and near
+  // events scheduled later must still fire first.
+  EventEngine engine(1);
+  std::vector<int> order;
+  engine.schedule_at(SimTime{3ll << 34}, [&] { order.push_back(3); });
+  engine.schedule_at(SimTime{2ll << 34}, [&] { order.push_back(2); });
+  const auto cancelled =
+      engine.schedule_at(SimTime{5ll << 34}, [&] { order.push_back(99); });
+  engine.schedule_at(SimTime{10}, [&] { order.push_back(0); });
+  EXPECT_EQ(engine.run_until(SimTime{1ll << 34}), 1u);  // only the near one
+  engine.schedule_at(SimTime{(2ll << 34) - 5}, [&] { order.push_back(1); });
+  engine.cancel(cancelled);
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SchedulerWheel, CancelIsGenerationTagged) {
+  // An id from an executed event must never cancel a later event that
+  // happens to reuse the same slab slot.
+  EventEngine engine(1);
+  int fired = 0;
+  const EventId first = engine.schedule_at(SimTime{10}, [&] { ++fired; });
+  EXPECT_EQ(engine.run(), 1u);
+  // The slab has exactly one free slot, so this reuses it.
+  engine.schedule_at(SimTime{20}, [&] { ++fired; });
+  engine.cancel(first);  // stale: executed long ago
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerWheel, CancelledFarEventsDoNotWakeTheWheel) {
+  EventEngine engine(1);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(engine.schedule_at(
+        SimTime{(i + 1) * (1ll << 30)}, [] { FAIL() << "cancelled event ran"; }));
+  for (EventId id : ids) engine.cancel(id);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(SchedulerWheel, RunUntilBoundaryWithinOneTick) {
+  // Sub-tick resolution: events 1 ns apart inside one wheel tick must
+  // respect an exact run_until boundary between them.
+  EventEngine engine(1);
+  std::vector<int> order;
+  engine.schedule_at(SimTime{1000}, [&] { order.push_back(0); });
+  engine.schedule_at(SimTime{1001}, [&] { order.push_back(1); });
+  EXPECT_EQ(engine.run_until(SimTime{1000}), 1u);
+  EXPECT_EQ(engine.now(), SimTime{1000});
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace

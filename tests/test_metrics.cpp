@@ -5,6 +5,7 @@
 // test_spatial_index.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "metrics/metrics.hpp"
@@ -164,6 +165,59 @@ TEST(Reliability, EmptyPointListIsOne) {
   h.add(Point(0, 0), {});
   std::vector<DataPoint> pts;
   EXPECT_DOUBLE_EQ(poly::metrics::reliability(h.net, pts, h.view()), 1.0);
+}
+
+// ---- geometric proximity ----------------------------------------------------
+
+TEST(SpatialProximity, UnitGridTorusIsExactlyOne) {
+  // On a unit-spaced grid torus every node's 4 nearest peers sit at
+  // distance exactly 1.
+  poly::shape::GridTorusShape shape(8, 8);
+  std::vector<poly::space::Point> positions;
+  for (const auto& p : shape.generate()) positions.push_back(p.pos);
+  EXPECT_DOUBLE_EQ(
+      poly::metrics::proximity(shape.space(), positions, 4), 1.0);
+}
+
+TEST(SpatialProximity, MatchesBruteForceOnRandomPositions) {
+  poly::space::TorusSpace space(10.0, 10.0);
+  poly::util::Rng rng(7);
+  std::vector<poly::space::Point> positions;
+  for (int i = 0; i < 60; ++i)
+    positions.push_back(Point(rng.uniform_real(0.0, 10.0),
+                              rng.uniform_real(0.0, 10.0)));
+  constexpr std::size_t k = 4;
+  // Brute force: per node, sort all other distances and average the k
+  // smallest.
+  double expect = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    std::vector<double> d;
+    for (std::size_t j = 0; j < positions.size(); ++j)
+      if (j != i) d.push_back(space.distance(positions[i], positions[j]));
+    std::sort(d.begin(), d.end());
+    double s = 0.0;
+    for (std::size_t m = 0; m < k; ++m) s += d[m];
+    expect += s / static_cast<double>(k);
+  }
+  expect /= static_cast<double>(positions.size());
+  EXPECT_DOUBLE_EQ(poly::metrics::proximity(space, positions, k), expect);
+}
+
+TEST(SpatialProximity, CoLocatedPeersCountAtDistanceZero) {
+  poly::space::RingSpace space(8.0);
+  const std::vector<poly::space::Point> positions{Point(1.0), Point(1.0),
+                                                  Point(3.0)};
+  // Node 0's nearest peer is co-located node 1 (distance 0), then node 2
+  // (distance 2); symmetric for node 1; node 2 sees both at distance 2.
+  const double expect = ((0.0 + 2.0) / 2 + (0.0 + 2.0) / 2 + 2.0) / 3.0;
+  EXPECT_DOUBLE_EQ(poly::metrics::proximity(space, positions, 2), expect);
+}
+
+TEST(SpatialProximity, DegenerateInputsAreZero) {
+  poly::space::RingSpace space(8.0);
+  EXPECT_DOUBLE_EQ(poly::metrics::proximity(space, {}, 4), 0.0);
+  const std::vector<poly::space::Point> one{Point(1.0)};
+  EXPECT_DOUBLE_EQ(poly::metrics::proximity(space, one, 4), 0.0);
 }
 
 // ---- avg_points_per_node ----------------------------------------------------------

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json records against a baseline snapshot.
+
+The bench binaries (bench::emit) write machine-readable JSON records;
+BENCH_baseline/ keeps a committed snapshot of the records the perf gate
+watches.  This tool fails (exit 1) when a current record's wall-clock
+regresses more than the allowed fraction against its baseline, and prints
+a per-bench comparison either way.
+
+Usage:
+  tools/bench_check.py --baseline BENCH_baseline --current . \
+      [--max-regression 0.25] [--name micro_engine_hotpath ...]
+
+Notes on methodology: wall-clock comparisons are only meaningful on
+comparable hardware.  The committed baseline records the machine that
+produced them (see BENCH_baseline/README.md); CI uses a loose threshold
+so it catches order-of-magnitude regressions (accidental O(n^2),
+debug-build benches) without flaking on runner variance.  To re-baseline,
+copy the BENCH_*.json artifacts of a trusted run over BENCH_baseline/.
+Python 3 standard library only.
+"""
+
+import argparse
+import contextlib
+import json
+import pathlib
+import signal
+import sys
+
+# Don't die with BrokenPipeError when output is piped into `head`.
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load(path: pathlib.Path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_map(record):
+    """Rows keyed by their leading label columns (workload/nodes-style)."""
+    headers = record.get("headers", [])
+    rows = {}
+    for row in record.get("rows", []):
+        # Key on every non-numeric leading cell plus the first numeric one
+        # (workload name + size column), which identifies a row across runs.
+        key_parts = []
+        for cell in row[:2]:
+            key_parts.append(str(cell))
+        rows[tuple(key_parts)] = dict(zip(headers, row))
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_baseline")
+    ap.add_argument("--current", default=".")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-clock increase (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--name",
+        action="append",
+        default=None,
+        help="bench name(s) to compare (default: every baseline record)",
+    )
+    args = ap.parse_args()
+
+    base_dir = pathlib.Path(args.baseline)
+    cur_dir = pathlib.Path(args.current)
+    names = args.name or [
+        p.name[len("BENCH_"):-len(".json")]
+        for p in sorted(base_dir.glob("BENCH_*.json"))
+    ]
+    if not names:
+        print(f"bench_check: no BENCH_*.json records under {base_dir}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in names:
+        base_path = base_dir / f"BENCH_{name}.json"
+        cur_path = cur_dir / f"BENCH_{name}.json"
+        if not cur_path.exists():
+            print(f"FAIL {name}: current record {cur_path} missing")
+            failed = True
+            continue
+        base = load(base_path)
+        cur = load(cur_path)
+
+        # Guard against apples-to-oranges: the gate only compares runs with
+        # identical workload parameters.
+        for knob in ("seed", "reps", "max_nodes"):
+            if base.get(knob) != cur.get(knob):
+                print(f"FAIL {name}: {knob} differs "
+                      f"(baseline {base.get(knob)}, current {cur.get(knob)}) "
+                      "— run the bench with the baseline's parameters")
+                failed = True
+                break
+        else:
+            bw = float(base["wall_seconds"])
+            cw = float(cur["wall_seconds"])
+            ratio = cw / bw if bw > 0 else float("inf")
+            limit = 1.0 + args.max_regression
+            verdict = "OK" if ratio <= limit else "FAIL"
+            print(f"{verdict} {name}: wall {bw:.3f}s -> {cw:.3f}s "
+                  f"({ratio:.2f}x, limit {limit:.2f}x)")
+            if verdict == "FAIL":
+                failed = True
+            # Informational: per-row throughput drift, when both sides
+            # carry recognizable throughput columns.
+            brows = row_map(base)
+            for key, brow in brows.items():
+                crow = row_map(cur).get(key)
+                if crow is None:
+                    continue
+                for col in ("events_per_s", "msgs_per_s", "events/s"):
+                    if col in brow and col in crow:
+                        try:
+                            b = float(brow[col])
+                            c = float(crow[col])
+                        except (TypeError, ValueError):
+                            continue
+                        if b > 0:
+                            print(f"     {'/'.join(key)} {col}: "
+                                  f"{b:.0f} -> {c:.0f} ({c / b:.2f}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

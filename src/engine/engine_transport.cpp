@@ -49,19 +49,23 @@ void EngineTransport::dispatch(net::Message& msg) {
 
 // ---- EngineHub --------------------------------------------------------------
 
-EngineHub::EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link)
+EngineHub::EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link,
+                     SimTime batch_window)
     : engine_(engine),
       link_(link ? std::move(link) : std::make_unique<ZeroLatency>()),
-      rng_(engine.split_rng()) {}
+      rng_(engine.split_rng()),
+      batch_window_(batch_window) {}
 
 std::unique_ptr<EngineTransport> EngineHub::make_endpoint(
     const net::Address& address) {
   if (by_name_.count(address))
     throw std::invalid_argument("EngineHub: duplicate address " + address);
-  const auto id = static_cast<net::EndpointId>(endpoints_.size());
+  const auto id = static_cast<net::EndpointId>(transports_.size());
   auto ep = std::unique_ptr<EngineTransport>(
       new EngineTransport(this, address, id));
-  endpoints_.push_back(ep.get());
+  transports_.push_back(ep.get());
+  marks_.emplace_back();
+  batches_.emplace_back();
   names_.push_back(address);
   clamp_keys_.emplace_back();
   by_name_.emplace(address, id);
@@ -91,21 +95,22 @@ void EngineHub::release_buffer(std::vector<std::uint8_t> buf) {
 }
 
 void EngineHub::unregister(net::EndpointId id) {
-  if (id >= endpoints_.size() || endpoints_[id] == nullptr) return;
-  endpoints_[id] = nullptr;
+  if (id >= transports_.size() || transports_[id] == nullptr) return;
+  transports_[id] = nullptr;
   by_name_.erase(names_[id]);
   // Drop the dead endpoint's FIFO-clamp entries: it can never send or
   // receive again, and long churn scenarios would otherwise accumulate
   // clamp state for every node that ever lived.  The per-endpoint key
   // index makes this O(degree); the partner's index keeps a stale key,
-  // erased as a cheap no-op when the partner dies.
+  // erased as a cheap no-op when the partner dies.  Open instants stay:
+  // their head events fire, see the dead transport, and discard.
   for (const std::uint64_t key : clamp_keys_[id]) fifo_clamp_.erase(key);
   clamp_keys_[id] = {};
 }
 
 bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
                           std::vector<std::uint8_t> payload) {
-  if (to >= endpoints_.size() || endpoints_[to] == nullptr) {
+  if (to >= transports_.size() || transports_[to] == nullptr) {
     release_buffer(std::move(payload));
     return false;  // contact failure
   }
@@ -116,6 +121,12 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
     return true;  // accepted, lost in flight
   }
   SimTime at = engine_.now() + link_->latency(payload.size(), rng_);
+  // Guard against a link model drawing a negative latency: the batching
+  // rendezvous identifies an instant by the head event's execution time,
+  // and schedule_at clamps past timestamps to now — a marker recorded
+  // under a past `at` would never be found again (leaking its slot and
+  // any parked followers).  Clamp here so marker and event always agree.
+  if (at < engine_.now()) at = engine_.now();
   if (link_->may_reorder()) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(from) << 32) | to;
@@ -128,14 +139,73 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
       it->second = at;
     }
   }
+  // Round the delivery up to the batch window so frames for this
+  // destination coalesce.  Monotone in `at`, so the per-pair FIFO the
+  // clamp just established survives the rounding.
+  if (batch_window_ > SimTime::zero()) {
+    const std::int64_t w = batch_window_.count();
+    at = SimTime{(at.count() + w - 1) / w * w};
+  }
+  // Follower?  The marks record is the whole cost of batching on the
+  // single-frame common path; the batch list is only consulted when the
+  // instant is already marked (or an overflow marker can exist at all).
+  OpenMarks& marks = marks_[to];
+  std::uint32_t inline_slot = kOpenInline;
+  for (std::uint16_t i = 0; i < marks.inline_count; ++i) {
+    if (marks.at[i] == at) {
+      inline_slot = i;
+      break;
+    }
+  }
+  // One scan serves both overflow-marker detection and follower
+  // insertion; the common fresh-instant case (no inline hit, no overflow
+  // markers) never touches the batch list.
+  Batch* open_batch = nullptr;  // the instant's batch, when one exists
+  if (inline_slot != kOpenInline || marks.overflow_count > 0) {
+    for (Batch& b : batches_[to]) {
+      if (b.at == at) {
+        open_batch = &b;
+        break;
+      }
+    }
+  }
+  if (inline_slot != kOpenInline || open_batch != nullptr) {
+    // Follower: park the frame; the instant's head event drains it after
+    // its own.
+    if (inline_slot != kOpenInline)
+      marks.follower_bits |= 1u << inline_slot;
+    if (open_batch != nullptr) {
+      open_batch->frames.push_back(PendingFrame{from, std::move(payload)});
+      return true;
+    }
+    Batch batch;
+    batch.at = at;
+    if (!frame_pool_.empty()) {
+      batch.frames = std::move(frame_pool_.back());
+      frame_pool_.pop_back();
+    }
+    batch.frames.push_back(PendingFrame{from, std::move(payload)});
+    batches_[to].push_back(std::move(batch));
+    return true;
+  }
+  // Head of a fresh instant: mark it and carry the frame inline in the
+  // delivery event (no batch structure touched until a follower shows up).
+  if (marks.inline_count < kOpenInline) {
+    marks.follower_bits &= ~(1u << marks.inline_count);
+    marks.at[marks.inline_count++] = at;
+  } else {
+    ++marks.overflow_count;
+    batches_[to].push_back(Batch{at, {}});  // overflow marker
+  }
   engine_.schedule_at(at, Delivery{this, from, to, std::move(payload)});
   return true;
 }
 
-void EngineHub::deliver(net::EndpointId from, net::EndpointId to,
-                        std::vector<std::uint8_t> payload) {
-  // Route at delivery time: the receiver may have crashed in between.
-  EngineTransport* ep = endpoints_[to];
+void EngineHub::deliver_one(net::EndpointId from, net::EndpointId to,
+                            std::vector<std::uint8_t>& payload) {
+  // Route at delivery time, per frame: the receiver may have crashed in
+  // between (or mid-batch, from its own handler).
+  EngineTransport* ep = transports_[to];
   if (ep != nullptr) {
     ++delivered_;
     net::Message msg{names_[from], std::move(payload), from};
@@ -143,6 +213,49 @@ void EngineHub::deliver(net::EndpointId from, net::EndpointId to,
     payload = std::move(msg.payload);  // reclaim unless the handler kept it
   }
   release_buffer(std::move(payload));
+}
+
+void EngineHub::deliver_head(net::EndpointId from, net::EndpointId to,
+                             std::vector<std::uint8_t> payload) {
+  deliver_one(from, to, payload);
+  // The head executes exactly at its timestamp, which identifies the
+  // instant: clear its open marker and drain any followers.  (Index the
+  // tables fresh after dispatch — a handler may have grown them.)
+  const SimTime at = engine_.now();
+  OpenMarks& marks = marks_[to];
+  bool was_inline = false;
+  bool has_followers = false;
+  for (std::uint16_t i = 0; i < marks.inline_count; ++i) {
+    if (marks.at[i] == at) {
+      was_inline = true;
+      has_followers = (marks.follower_bits >> i) & 1u;
+      // Swap-remove the marker, carrying the last slot's follower bit.
+      const std::uint16_t last = --marks.inline_count;
+      marks.at[i] = marks.at[last];
+      const std::uint32_t last_bit = (marks.follower_bits >> last) & 1u;
+      marks.follower_bits &= ~((1u << i) | (1u << last));
+      marks.follower_bits |= last_bit << i;
+      break;
+    }
+  }
+  if (was_inline && !has_followers) return;  // single-frame instant
+  std::vector<PendingFrame> frames;
+  {
+    std::vector<Batch>& batches = batches_[to];
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      if (batches[i].at == at) {
+        frames = std::move(batches[i].frames);
+        batches[i] = std::move(batches.back());
+        batches.pop_back();
+        break;
+      }
+    }
+  }
+  if (!was_inline) --marks.overflow_count;
+  for (PendingFrame& f : frames) deliver_one(f.from, to, f.payload);
+  frames.clear();
+  if (frames.capacity() > 0 && frame_pool_.size() < kFramePoolCap)
+    frame_pool_.push_back(std::move(frames));
 }
 
 }  // namespace poly::engine

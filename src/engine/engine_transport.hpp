@@ -11,11 +11,29 @@
 // message passes through it:
 //
 //   * addresses are interned at registration into dense EndpointIds; the
-//     endpoint table is a flat vector and the per-send path does no string
-//     hashing or copying (protocol layers cache resolve()d ids);
+//     endpoint table is flat and the per-send path does no string hashing
+//     or copying (protocol layers cache resolve()d ids);
+//   * each endpoint's hub-side state — transport pointer, name, FIFO-clamp
+//     keys, delivery-batching rendezvous — lives in type-segregated
+//     contiguous slabs indexed by EndpointId, split by access pattern so
+//     the per-send hot walk stays inside the two dense tables (transport
+//     pointers, 8 B/endpoint; open-instant marks, 32 B/endpoint) and the
+//     cold per-endpoint tables are only touched by the paths that need
+//     them;
 //   * per-pair FIFO clamps (jittered links only) key on the id pair, and
-//     each endpoint indexes the clamp entries it participates in, so a
-//     crash cleans up in O(degree), not O(table);
+//     each endpoint's slot indexes the clamp entries it participates in,
+//     so a crash cleans up in O(degree), not O(table);
+//   * same-destination deliveries are batched: the first frame due at a
+//     given (destination, instant) — optionally rounded up to a
+//     `batch_window` boundary, see the constructor — schedules one
+//     delivery event and travels inline in its closure (the PR-4 fast
+//     path, unchanged); any further frames for that instant coalesce
+//     into a per-destination Batch the head event drains right after its
+//     own frame.  The receiver's state stays cache-hot while its frames
+//     drain, the scheduler sees one event per instant instead of one per
+//     frame (reply bursts make multi-frame instants common), and the
+//     single-frame common case pays only an inline open-instant marker
+//     check on the slot it already touches;
 //   * payload vectors come from a hub pool: encode writes into a recycled
 //     buffer, and after delivery (or a drop) the buffer returns to the
 //     pool — zero steady-state allocation per message;
@@ -86,7 +104,18 @@ class EngineTransport final : public net::Transport {
 class EngineHub {
  public:
   /// `link` defaults to ZeroLatency.
-  EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link = nullptr);
+  ///
+  /// `batch_window > 0` turns on windowed delivery batching: every
+  /// delivery time is rounded *up* to the next multiple of the window, so
+  /// frames for one destination due within a window share a single flush
+  /// event.  The rounding is a monotone map of delivery times, so
+  /// per-pair FIFO survives; the cost is up to one window of extra
+  /// latency per frame.  With `batch_window == 0` (the default) delivery
+  /// times are exact and only frames with *identical* due times coalesce
+  /// (e.g. zero-latency hubs), which preserves the precise latency the
+  /// link model drew.
+  EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link = nullptr,
+            SimTime batch_window = SimTime::zero());
 
   EngineHub(const EngineHub&) = delete;
   EngineHub& operator=(const EngineHub&) = delete;
@@ -109,6 +138,16 @@ class EngineHub {
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
 
   // Buffer pool (shared by endpoint encode paths and delivery events).
+  //
+  // Ownership rule: a buffer leaves the pool via acquire_buffer(), is
+  // filled by the sender's encode path, and travels with the frame until
+  // the hub is done with it — after the receiving handler returns (or the
+  // frame is dropped / the receiver is gone), release_buffer() takes it
+  // back.  A handler that moves the payload out of its Message keeps the
+  // buffer; the hub then recycles nothing and the pool simply refills
+  // from later traffic.  Buffers are plain vectors: releasing a buffer
+  // the pool didn't hand out is fine, and the pool cap bounds retained
+  // capacity to the scenario's in-flight high-water mark.
   std::vector<std::uint8_t> acquire_buffer();
   void release_buffer(std::vector<std::uint8_t> buf);
 
@@ -118,41 +157,99 @@ class EngineHub {
   /// Pool cap: bounds retained capacity to the scenario's in-flight
   /// high-water mark (beyond it, buffers are simply freed).
   static constexpr std::size_t kPoolCap = 1u << 16;
+  /// Cap on recycled per-batch frame vectors (same idea as kPoolCap).
+  static constexpr std::size_t kFramePoolCap = 1u << 12;
 
-  bool send_from(net::EndpointId from, net::EndpointId to,
-                 std::vector<std::uint8_t> payload);
-  void deliver(net::EndpointId from, net::EndpointId to,
-               std::vector<std::uint8_t> payload);
-  void unregister(net::EndpointId id);
+  /// Inline open-instant markers per endpoint (overflow spills into the
+  /// endpoint's batch list as frame-less entries).
+  static constexpr std::uint32_t kOpenInline = 3;
 
-  /// The scheduled delivery: sized to fit EventFn's inline storage.
+  /// One follower frame parked in a destination batch.
+  struct PendingFrame {
+    net::EndpointId from;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Follower frames for one destination due at one instant, drained by
+  /// that instant's head delivery event in enqueue (= send) order.  An
+  /// entry with empty `frames` is an overflow open-instant marker.
+  struct Batch {
+    SimTime at{};
+    std::vector<PendingFrame> frames;
+  };
+
+  /// The delivery-batching rendezvous, one 32-byte record per endpoint:
+  /// `at[0..inline_count)` marks the instants with a scheduled head
+  /// delivery; bit i of `follower_bits` records that inline instant i has
+  /// follower frames parked in batches_[id]; `overflow_count` counts
+  /// additional marked instants parked in batches_[id] as frame-less
+  /// entries (only under pathological latency spreads).  Send and
+  /// deliver read exactly this record and transports_[id] on the
+  /// single-frame common path — batches_[id] stays untouched unless a
+  /// frame actually coalesces.
+  struct OpenMarks {
+    std::uint16_t inline_count = 0;
+    std::uint16_t overflow_count = 0;
+    std::uint32_t follower_bits = 0;
+    SimTime at[kOpenInline]{};
+  };
+
+  /// The scheduled head delivery: the instant's first frame, carried
+  /// inline.  Sized to exactly fit EventFn's inline storage; the event's
+  /// execution time identifies the instant to drain.
   struct Delivery {
     EngineHub* hub;
     net::EndpointId from;
     net::EndpointId to;
     std::vector<std::uint8_t> payload;
-    void operator()() { hub->deliver(from, to, std::move(payload)); }
+    void operator()() { hub->deliver_head(from, to, std::move(payload)); }
   };
+
+  bool send_from(net::EndpointId from, net::EndpointId to,
+                 std::vector<std::uint8_t> payload);
+  /// Delivers the head frame, clears the instant's open marker, and
+  /// drains any followers that coalesced at this instant.
+  void deliver_head(net::EndpointId from, net::EndpointId to,
+                    std::vector<std::uint8_t> payload);
+  /// Delivers one frame to `to` (routing at delivery time: the receiver
+  /// may be gone) and recycles the payload buffer.
+  void deliver_one(net::EndpointId from, net::EndpointId to,
+                   std::vector<std::uint8_t>& payload);
+  void unregister(net::EndpointId id);
 
   EventEngine& engine_;
   std::unique_ptr<LinkModel> link_;
   util::Rng rng_;  // link randomness, split off the engine stream
+  SimTime batch_window_;
 
-  /// Flat endpoint table indexed by EndpointId; null = dead.  names_ keeps
-  /// every endpoint's address forever (frames in flight from a crashed
-  /// sender still carry its name).
-  std::vector<EngineTransport*> endpoints_;
+  /// Per-endpoint state as type-segregated contiguous slabs, all indexed
+  /// by EndpointId.  Splitting by access pattern (instead of one big
+  /// per-endpoint record) keeps each path's working set dense: the
+  /// per-send dead-endpoint check walks an 8-byte-stride table, the
+  /// batching rendezvous a 32-byte-stride one, and the cold tables
+  /// (names, follower batches, clamp keys) are only pulled in by the
+  /// paths that need them.
+  ///
+  /// transports_[id] == nullptr marks a dead endpoint; names_ keeps every
+  /// endpoint's address forever (frames in flight from a crashed sender
+  /// still carry its name); clamp_keys_[id] lists the FIFO-clamp entries
+  /// id participates in, so unregister erases exactly its own entries;
+  /// batches_[id] holds id's follower frames per open instant (a handful
+  /// of entries, scanned linearly).
+  std::vector<EngineTransport*> transports_;
+  std::vector<OpenMarks> marks_;
+  std::vector<std::vector<Batch>> batches_;
   std::vector<net::Address> names_;
+  std::vector<std::vector<std::uint64_t>> clamp_keys_;
   std::unordered_map<net::Address, net::EndpointId> by_name_;  // live only
 
-  /// Last scheduled delivery per (from, to) id pair; populated only when
-  /// the link model can reorder (fixed-latency runs keep this empty).
-  /// clamp_keys_[id] lists the keys id participates in, so unregister
-  /// erases exactly its own entries.
+  /// Last scheduled (pre-rounding) delivery per (from, to) id pair;
+  /// populated only when the link model can reorder (fixed-latency runs
+  /// keep this empty).
   std::unordered_map<std::uint64_t, SimTime> fifo_clamp_;
-  std::vector<std::vector<std::uint64_t>> clamp_keys_;
 
   std::vector<std::vector<std::uint8_t>> pool_;
+  std::vector<std::vector<PendingFrame>> frame_pool_;
 
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

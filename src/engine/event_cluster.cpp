@@ -22,17 +22,21 @@ EventCluster::EventCluster(std::shared_ptr<const space::MetricSpace> space,
       cfg_(config),
       engine_(seed),
       hub_(std::make_unique<EngineHub>(
-          engine_, std::make_unique<UniformLatency>(
-                       cfg_.latency_min, cfg_.latency_max, cfg_.drop_rate))),
-      rng_(engine_.split_rng()),
-      points_(points) {
-  nodes_.reserve(points_.size());
-  for (const auto& dp : points_) add_node(dp);
+          engine_,
+          std::make_unique<UniformLatency>(cfg_.latency_min, cfg_.latency_max,
+                                           cfg_.drop_rate),
+          cfg_.delivery_batch_window)),
+      rng_(engine_.split_rng()) {
+  points_.reserve(points.size());
+  for (const auto& dp : points) {
+    points_.push_back(dp);
+    add_node(dp);
+  }
   // Bootstrap after all endpoints exist, so contact samples span the fleet.
   for (std::size_t i = 0; i < nodes_.size(); ++i) bootstrap_node(i);
   const SimTime period = tick_period(cfg_);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->start();
+    nodes_[i].start();
     // Random phase offset: nodes tick desynchronized, as live fleets do.
     schedule_tick(i, SimTime{rng_.uniform_i64(0, period.count() - 1)});
   }
@@ -42,33 +46,56 @@ EventCluster::~EventCluster() = default;
 
 std::size_t EventCluster::add_node(std::optional<space::DataPoint> initial) {
   const std::size_t idx = nodes_.size();
-  auto node = std::make_unique<net::AsyncNode>(
+  net::AsyncNode& node = nodes_.emplace_back(
       static_cast<net::LiveNodeId>(idx), space_,
       hub_->make_endpoint("node-" + std::to_string(idx)), std::move(initial),
       cfg_.node, engine_.split_rng().next_u64());
-  node->set_manual_drive([this] { return engine_.clock(); });
-  nodes_.push_back(std::move(node));
+  node.set_manual_drive([this] { return engine_.clock(); });
   crashed_.push_back(false);
+  pool_pos_.push_back(static_cast<std::uint32_t>(alive_pool_.size()));
+  alive_pool_.push_back(static_cast<std::uint32_t>(idx));
   return idx;
 }
 
+void EventCluster::pool_remove(std::size_t idx) {
+  const std::uint32_t pos = pool_pos_[idx];
+  if (pos == kNotInPool) return;
+  const std::uint32_t last = alive_pool_.back();
+  alive_pool_[pos] = last;
+  pool_pos_[last] = pos;
+  alive_pool_.pop_back();
+  pool_pos_[idx] = kNotInPool;
+}
+
 void EventCluster::bootstrap_node(std::size_t idx) {
-  std::vector<std::size_t> candidates;
-  candidates.reserve(nodes_.size());
-  for (std::size_t j = 0; j < nodes_.size(); ++j)
-    if (j != idx && !crashed_[j]) candidates.push_back(j);
-  std::vector<net::Seed> seeds;
-  for (std::size_t j : rng_.sample(
-           candidates, std::min(cfg_.node.rps_view, candidates.size())))
-    seeds.push_back(net::Seed{static_cast<net::LiveNodeId>(j),
-                              nodes_[j]->address()});
-  nodes_[idx]->bootstrap(seeds);
+  // Seeds come straight from the shared alive-id pool: the node's own slot
+  // is swapped to the back so the sample runs over the other alive ids,
+  // then sample_indices_into draws `rps_view` distinct slots — O(seeds)
+  // per node, against the O(n) per-node candidate-vector rebuild (O(n²)
+  // across a fleet bootstrap) this replaces.
+  const std::uint32_t self = pool_pos_[idx];
+  const std::uint32_t back = static_cast<std::uint32_t>(alive_pool_.size() - 1);
+  if (self != back) {
+    std::swap(alive_pool_[self], alive_pool_[back]);
+    pool_pos_[alive_pool_[self]] = self;
+    pool_pos_[alive_pool_[back]] = back;
+  }
+  const std::size_t others = alive_pool_.size() - 1;
+  rng_.sample_indices_into(others, std::min(cfg_.node.rps_view, others),
+                           sample_scratch_);
+  seed_scratch_.clear();
+  for (std::size_t slot : sample_scratch_) {
+    const std::uint32_t j = alive_pool_[slot];
+    seed_scratch_.push_back(net::Seed{static_cast<net::LiveNodeId>(j),
+                                      nodes_[j].address()});
+  }
+  nodes_[idx].bootstrap(seed_scratch_);
 }
 
 void EventCluster::schedule_tick(std::size_t idx, SimTime delay) {
   engine_.schedule_after(delay, [this, idx] {
     if (crashed_[idx]) return;  // stop rescheduling after a crash
-    nodes_[idx]->drive_tick();
+    nodes_[idx].drive_tick();
     schedule_tick(idx, tick_period(cfg_));
   });
 }
@@ -82,9 +109,7 @@ void EventCluster::run_rounds(std::size_t n) {
 }
 
 std::size_t EventCluster::alive_count() const {
-  std::size_t n = 0;
-  for (bool c : crashed_) n += c ? 0 : 1;
-  return n;
+  return alive_pool_.size();
 }
 
 std::size_t EventCluster::crash_region(
@@ -92,8 +117,9 @@ std::size_t EventCluster::crash_region(
   std::size_t crashed = 0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
     if (!crashed_[i] && pred(points_[i].pos)) {
-      nodes_[i]->crash();
+      nodes_[i].crash();
       crashed_[i] = true;
+      pool_remove(i);
       ++crashed;
     }
   }
@@ -101,14 +127,18 @@ std::size_t EventCluster::crash_region(
 }
 
 std::size_t EventCluster::crash_random(std::size_t count) {
-  std::vector<std::size_t> alive;
-  alive.reserve(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (!crashed_[i]) alive.push_back(i);
+  // Victims are drawn from the alive-id pool directly (no alive scan).
+  // Slots resolve to node ids *before* any crash: each pool_remove
+  // swap-removes and would invalidate later slot draws.
+  rng_.sample_indices_into(alive_pool_.size(),
+                           std::min(count, alive_pool_.size()),
+                           sample_scratch_);
+  for (std::size_t& slot : sample_scratch_) slot = alive_pool_[slot];
   std::size_t crashed = 0;
-  for (std::size_t i : rng_.sample(alive, std::min(count, alive.size()))) {
-    nodes_[i]->crash();
+  for (std::size_t i : sample_scratch_) {
+    nodes_[i].crash();
     crashed_[i] = true;
+    pool_remove(i);
     ++crashed;
   }
   return crashed;
@@ -118,18 +148,18 @@ std::size_t EventCluster::inject(const space::Point& pos) {
   const std::size_t idx = add_node(std::nullopt);
   points_.push_back({space::kInvalidPointId, pos});
   bootstrap_node(idx);
-  nodes_[idx]->start();
+  nodes_[idx].start();
   schedule_tick(idx, tick_period(cfg_) / 2);
   return idx;
 }
 
 std::vector<net::FleetNodeState> EventCluster::alive_states() const {
   std::vector<net::FleetNodeState> alive;
-  alive.reserve(nodes_.size());
+  alive.reserve(alive_pool_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     if (!crashed_[i])
-      alive.push_back(net::FleetNodeState{nodes_[i]->position(),
-                                          nodes_[i]->guests()});
+      alive.push_back(net::FleetNodeState{nodes_[i].position(),
+                                          nodes_[i].guests()});
   return alive;
 }
 

@@ -32,6 +32,7 @@
 #include "space/metric_space.hpp"
 #include "space/point.hpp"
 #include "util/rng.hpp"
+#include "util/slab.hpp"
 
 namespace poly::engine {
 
@@ -45,6 +46,14 @@ struct EventClusterConfig {
   SimTime latency_max{std::chrono::milliseconds(2)};
   /// Per-frame loss rate (degraded-network scenarios; 0 = reliable links).
   double drop_rate = 0.0;
+  /// Same-destination delivery batching window (see EngineHub): deliveries
+  /// due within one window coalesce into a single engine event, keeping
+  /// the destination node's state hot while its frames drain.  Delivery
+  /// times round *up* to window boundaries (a monotone map, so per-pair
+  /// FIFO is preserved) — the observed latency stretches by at most one
+  /// window.  The default is one timer-wheel tick (~65.5 us, ~3% of the
+  /// default 2 ms link latency); zero restores exact per-frame times.
+  SimTime delivery_batch_window{EventEngine::tick_duration()};
 };
 
 /// One node per data point, over an EngineHub, ticked by engine events.
@@ -72,7 +81,7 @@ class EventCluster {
   // ---- membership & churn -----------------------------------------------
 
   std::size_t size() const noexcept { return nodes_.size(); }
-  net::AsyncNode& node(std::size_t i) { return *nodes_[i]; }
+  net::AsyncNode& node(std::size_t i) { return nodes_[i]; }
   bool crashed(std::size_t i) const noexcept { return crashed_[i]; }
   std::size_t alive_count() const;
 
@@ -98,6 +107,8 @@ class EventCluster {
   std::size_t add_node(std::optional<space::DataPoint> initial);
   void bootstrap_node(std::size_t idx);
   void schedule_tick(std::size_t idx, SimTime delay);
+  /// Swap-removes node `idx` from the alive-id pool (no-op if absent).
+  void pool_remove(std::size_t idx);
   std::vector<net::FleetNodeState> alive_states() const;
 
   std::shared_ptr<const space::MetricSpace> space_;
@@ -106,8 +117,22 @@ class EventCluster {
   std::unique_ptr<EngineHub> hub_;
   util::Rng rng_;  // cluster-level draws: bootstrap samples, churn, jitter
   std::vector<space::DataPoint> points_;  // originals + injected sentinels
-  std::vector<std::unique_ptr<net::AsyncNode>> nodes_;
+  /// Nodes live in a chunked slab indexed by node id (== hub EndpointId
+  /// creation order): the per-delivery random-node walk lands in packed
+  /// storage instead of chasing one heap pointer per node.
+  util::ObjectSlab<net::AsyncNode> nodes_;
   std::vector<bool> crashed_;
+  /// The shared alive-id pool: every alive node id, in swap-remove order.
+  /// bootstrap_node samples seed ids straight from it (O(seeds) per node;
+  /// the old per-node rebuild of an all-alive candidate vector made fleet
+  /// bootstrap O(n²)), and crash_random draws victims from it without an
+  /// O(n) alive scan.  pool_pos_[id] is id's slot (kNotInPool if crashed).
+  std::vector<std::uint32_t> alive_pool_;
+  std::vector<std::uint32_t> pool_pos_;
+  static constexpr std::uint32_t kNotInPool = 0xffffffffu;
+  // Bootstrap/churn scratch: reused across calls, no steady allocation.
+  std::vector<std::size_t> sample_scratch_;
+  std::vector<net::Seed> seed_scratch_;
 };
 
 }  // namespace poly::engine

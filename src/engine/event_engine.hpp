@@ -49,15 +49,29 @@ namespace poly::engine {
 /// Virtual time: nanoseconds since the engine epoch (construction).
 using SimTime = std::chrono::nanoseconds;
 
-/// Identifier of a scheduled event (for cancellation): a slab slot index
-/// tagged with the slot's generation, so a stale id (executed or already
-/// cancelled, slot possibly reused) can never cancel a later event.
+/// Identifier of a scheduled event (for cancellation).
+///
+/// Layout: the low 32 bits are the event's slab slot index; the high 32
+/// bits are the slot's *generation* — a counter bumped every time the
+/// slot is freed (on execution or cancellation).  cancel() only acts when
+/// the id's generation matches the slot's current one, so a stale id —
+/// held after its event executed, double-cancelled, or outliving a slot
+/// reuse — can never cancel somebody else's later event.  Ids are plain
+/// values: copyable, comparable, safe to retain indefinitely.
 using EventId = std::uint64_t;
 
 /// The deterministic event loop: virtual clock + timer wheel + RNG streams.
 class EventEngine {
  public:
   explicit EventEngine(std::uint64_t seed);
+
+  /// Duration of one timer-wheel tick (the scheduler's bucketing quantum,
+  /// 2^16 ns ~ 65.5 us).  Consumers that want to align with the wheel —
+  /// e.g. EngineHub's delivery batch window — should derive from this
+  /// instead of hardcoding the geometry.
+  static constexpr SimTime tick_duration() noexcept {
+    return SimTime{1ll << kTickBits};
+  }
 
   EventEngine(const EventEngine&) = delete;
   EventEngine& operator=(const EventEngine&) = delete;
@@ -81,14 +95,25 @@ class EventEngine {
   /// Schedules `fn` at absolute virtual time `at` (clamped to now: an event
   /// scheduled in the past fires at the current time, after already-queued
   /// events with the same timestamp).  Returns an id usable with cancel().
+  ///
+  /// Horizon: the wheel covers ~17 virtual seconds of lookahead
+  /// (3 levels × 64 slots × 2^16 ns).  Events beyond the horizon are
+  /// valid — they park in an overflow heap and migrate into the wheel as
+  /// the cursor approaches, preserving exact (timestamp, insertion
+  /// sequence) order; only their scheduling cost degrades from O(1) to
+  /// O(log overflow).  Protocol workloads (tick periods and link
+  /// latencies in the milliseconds) never reach the overflow.
   EventId schedule_at(SimTime at, EventFn fn);
 
-  /// Schedules `fn` after `delay` (>= 0) of virtual time.
+  /// Schedules `fn` after `delay` (>= 0) of virtual time.  Same horizon /
+  /// overflow behavior as schedule_at.
   EventId schedule_after(SimTime delay, EventFn fn);
 
-  /// Cancels a pending event in O(1) (the slab node is marked and its
-  /// wheel slot reaped lazily).  Cancelling an already-executed or
-  /// already-cancelled id is a no-op.
+  /// Cancels a pending event in O(1): the id's generation tag is checked
+  /// against the slot (see EventId), the slab node is marked cancelled,
+  /// and its wheel slot reaps it lazily when the cursor passes.
+  /// Cancelling an already-executed, already-cancelled, or otherwise
+  /// stale id is a safe no-op.
   void cancel(EventId id);
 
   // ---- execution ---------------------------------------------------------

@@ -17,6 +17,14 @@
 namespace poly::engine {
 
 /// Move-only type-erased `void()` callable with inline storage.
+///
+/// Ownership: EventFn owns its callable outright — inline captures are
+/// destroyed in place, heap fallbacks are deleted — and the engine
+/// destroys the callable right after execution (or on cancellation
+/// reap), so a closure's captured resources (e.g. a pooled payload
+/// vector) live exactly until the event runs or dies.  Inline-eligible
+/// callables must be nothrow-move-constructible (moving an EventFn
+/// relocates the capture); anything else goes to the heap.
 class EventFn {
  public:
   /// Inline capacity: sized exactly for the engine transport's delivery

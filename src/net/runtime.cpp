@@ -510,8 +510,10 @@ void AsyncNode::handle_migrate_req(const Header& h,
   // Pool and split: we keep for_q, the initiator gets for_p back.
   const core::PointSet pool =
       core::union_by_id(to_point_set(guests), guests_);
+  core::SplitConfig split_cfg;
+  split_cfg.medoid_exact_threshold = cfg_.medoid_exact_threshold;
   auto result = core::split(cfg_.split_kind, pool, initiator_pos, pos_,
-                            *space_, rng_);
+                            *space_, rng_, split_cfg);
   guests_ = std::move(result.for_q);
   reproject();
   to_wire_into(result.for_p, out_points_);
@@ -532,7 +534,10 @@ void AsyncNode::handle_migrate_resp(const Header& h, bool accepted,
 
 void AsyncNode::reproject() {
   if (guests_.empty()) return;
-  const space::Point m = space::medoid(guests_, *space_);
+  // Threshold-routed: exact medoid at steady-state guest-set sizes, the
+  // sampled/grid-assisted variant on oversized post-catastrophe pools.
+  const space::Point m =
+      space::medoid(guests_, *space_, rng_, cfg_.medoid_exact_threshold);
   if (m == pos_) return;
   pos_ = m;
   ++pos_version_;

@@ -34,6 +34,7 @@
 #include "core/split.hpp"
 #include "net/messages.hpp"
 #include "net/transport.hpp"
+#include "space/medoid.hpp"
 #include "space/metric_space.hpp"
 #include "util/rng.hpp"
 #include "util/topk.hpp"
@@ -53,6 +54,10 @@ struct AsyncConfig {
   std::size_t psi = 3;
   std::size_t replication = 2;                 ///< K
   core::SplitKind split_kind = core::SplitKind::kAdvanced;
+  /// Guest sets up to this size reproject through the exact O(n²) medoid;
+  /// larger ones (post-catastrophe pools) use the sampled /
+  /// SpatialIndex-assisted variant.  Mirrors SplitConfig's threshold.
+  std::size_t medoid_exact_threshold = space::kMedoidExactThreshold;
   /// An origin that has not pushed a backup within this window is presumed
   /// dead (heartbeat timeout of the §III-A failure detector).
   std::chrono::milliseconds origin_timeout{400};

@@ -1,6 +1,10 @@
 #include "space/medoid.hpp"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "space/spatial_index.hpp"
 
 namespace poly::space {
 
@@ -46,6 +50,78 @@ std::size_t medoid_index(std::span<const DataPoint> points,
 
 Point medoid(std::span<const DataPoint> points, const MetricSpace& space) {
   return points[medoid_index(points, space)].pos;
+}
+
+std::size_t sampled_medoid_index(std::span<const DataPoint> points,
+                                 const MetricSpace& space, util::Rng& rng,
+                                 const SampledMedoidConfig& cfg) {
+  const std::size_t n = points.size();
+  if (n == 0) throw std::invalid_argument("sampled_medoid of empty set");
+  // A zero candidate or reference budget cannot score anything — fall
+  // back to the exact search rather than returning a bogus index.
+  if (n <= cfg.candidates || cfg.candidates == 0 || cfg.references == 0)
+    return medoid_index(points, space);
+
+  // Every candidate is scored against the same fixed reference sample, so
+  // the comparison is consistent across candidates and the winner is the
+  // argmin of one well-defined estimator.
+  const std::vector<std::size_t> refs =
+      rng.sample_indices(n, std::min(cfg.references, n));
+  const std::vector<std::size_t> cands =
+      rng.sample_indices(n, std::min(cfg.candidates, n));
+
+  std::size_t best = n;
+  double best_cost = 0.0;
+  auto consider = [&](std::size_t i) {
+    double cost = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t r : refs) {
+      if (r == i) continue;
+      cost += space.distance2(points[i].pos, points[r].pos);
+      ++counted;
+    }
+    // Mean, not sum: a candidate that is itself a reference skips its
+    // zero self-term, so a raw sum would discount in-sample candidates
+    // by ~1/references regardless of quality.
+    if (counted > 0) cost /= static_cast<double>(counted);
+    // Strict (cost, index) ordering: re-scoring an index is a no-op and
+    // the result never depends on the candidate enumeration order.
+    if (best == n || cost < best_cost || (cost == best_cost && i < best)) {
+      best = i;
+      best_cost = cost;
+    }
+  };
+  for (std::size_t i : cands) consider(i);
+
+  if (cfg.refine_k > 0) {
+    // Grid-assisted refinement: the true medoid of a clustered set is a
+    // near neighbour of any low-cost point, so score the best candidate's
+    // k-NN too.  SpatialIndex is grid-accelerated on the wrapping spaces
+    // and exact everywhere, so the walk is deterministic.
+    std::vector<Point> positions;
+    positions.reserve(n);
+    for (const auto& dp : points) positions.push_back(dp.pos);
+    const SpatialIndex index(space, std::move(positions));
+    for (const auto& nb :
+         index.k_nearest(points[best].pos, cfg.refine_k + 1)) {
+      if (nb.index != best) consider(nb.index);
+    }
+  }
+  return best;
+}
+
+std::size_t medoid_index(std::span<const DataPoint> points,
+                         const MetricSpace& space, util::Rng& rng,
+                         std::size_t exact_threshold,
+                         const SampledMedoidConfig& cfg) {
+  if (points.size() <= exact_threshold) return medoid_index(points, space);
+  return sampled_medoid_index(points, space, rng, cfg);
+}
+
+Point medoid(std::span<const DataPoint> points, const MetricSpace& space,
+             util::Rng& rng, std::size_t exact_threshold,
+             const SampledMedoidConfig& cfg) {
+  return points[medoid_index(points, space, rng, exact_threshold, cfg)].pos;
 }
 
 double sum_squared_to(const Point& center, std::span<const DataPoint> points,

@@ -193,6 +193,78 @@ TEST(EngineTransport, JitteredLatencyPreservesPerPairFifo) {
   for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
 }
 
+TEST(EngineTransport, SameInstantFramesCoalesceAndKeepSendOrder) {
+  // Several senders hit one destination at the same instant: the first
+  // frame's head event drains the followers, in global send order.
+  EventEngine engine(1);
+  EngineHub hub(engine,
+                std::make_unique<poly::engine::FixedLatency>(SimTime{2ms}));
+  auto d = hub.make_endpoint("d");
+  std::vector<std::unique_ptr<poly::engine::EngineTransport>> senders;
+  for (int i = 0; i < 6; ++i)
+    senders.push_back(hub.make_endpoint("s" + std::to_string(i)));
+  std::vector<std::uint8_t> got;
+  d->set_handler([&](poly::net::Message m) {
+    EXPECT_EQ(engine.now(), SimTime{2ms});  // one instant for all six
+    got.push_back(m.payload.at(0));
+  });
+  for (std::uint8_t i = 0; i < 6; ++i)
+    ASSERT_TRUE(senders[i]->send("d", {i}));
+  engine.run();
+  ASSERT_EQ(got.size(), 6u);
+  for (std::uint8_t i = 0; i < 6; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(hub.frames_delivered(), 6u);
+}
+
+TEST(EngineTransport, BatchWindowRoundsDeliveryUpToBoundary) {
+  EventEngine engine(1);
+  // 2.5 ms latency, 1 ms batch window: delivery rounds up to the next
+  // window boundary (3 ms), not the raw latency instant.
+  EngineHub hub(engine,
+                std::make_unique<poly::engine::FixedLatency>(
+                    SimTime{std::chrono::microseconds(2500)}),
+                /*batch_window=*/SimTime{1ms});
+  auto a = hub.make_endpoint("a");
+  auto b = hub.make_endpoint("b");
+  int delivered = 0;
+  b->set_handler([&](poly::net::Message) {
+    ++delivered;
+    EXPECT_EQ(engine.now(), SimTime{3ms});  // 2.5 ms rounded up to 3 ms
+  });
+  ASSERT_TRUE(a->send("b", {1}));
+  engine.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(EngineTransport, ManyOpenInstantsOverflowTheInlineMarkers) {
+  // More concurrent open instants per destination than the inline marker
+  // capacity (3): later instants take the overflow path, and every frame
+  // still arrives exactly once, in timestamp order, with followers on an
+  // overflowed instant drained by its head.
+  EventEngine engine(1);
+  EngineHub hub(engine,
+                std::make_unique<poly::engine::FixedLatency>(SimTime{20ms}));
+  auto d = hub.make_endpoint("d");
+  auto s = hub.make_endpoint("s");
+  auto s2 = hub.make_endpoint("s2");
+  std::vector<std::uint8_t> got;
+  d->set_handler(
+      [&](poly::net::Message m) { got.push_back(m.payload.at(0)); });
+  // Open six distinct instants (sends staggered 1 ms apart), the last one
+  // with a follower from a second sender.
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    engine.schedule_at(SimTime{1ms} * i, [&, i] {
+      ASSERT_TRUE(s->send("d", {i}));
+      if (i == 5) ASSERT_TRUE(s2->send("d", {std::uint8_t{100}}));
+    });
+  }
+  engine.run();
+  ASSERT_EQ(got.size(), 7u);
+  for (std::uint8_t i = 0; i < 6; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(got[6], 100);  // follower right after its head
+  EXPECT_EQ(hub.frames_delivered(), 7u);
+}
+
 TEST(EngineTransport, DropModelLosesFramesSilently) {
   EventEngine engine(3);
   EngineHub hub(engine, std::make_unique<UniformLatency>(

@@ -10,6 +10,7 @@
 
 #include "util/codec.hpp"
 #include "util/rng.hpp"
+#include "util/slab.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -384,6 +385,40 @@ TEST(Codec, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 16u);
   r.u64();
   EXPECT_EQ(r.remaining(), 8u);
+}
+
+// ---- ObjectSlab ------------------------------------------------------------
+
+TEST(ObjectSlab, IndexesAcrossChunks) {
+  poly::util::ObjectSlab<int, 4> slab;  // tiny chunks to force several
+  for (int i = 0; i < 19; ++i) slab.emplace_back(i * 3);
+  ASSERT_EQ(slab.size(), 19u);
+  for (int i = 0; i < 19; ++i) EXPECT_EQ(slab[i], i * 3);
+}
+
+TEST(ObjectSlab, AddressesAreStableAcrossGrowth) {
+  poly::util::ObjectSlab<std::uint64_t, 2> slab;
+  std::uint64_t* first = &slab.emplace_back(7u);
+  for (std::uint64_t i = 0; i < 100; ++i) slab.emplace_back(i);
+  EXPECT_EQ(first, &slab[0]);  // chunks never move, unlike vector growth
+  EXPECT_EQ(*first, 7u);
+}
+
+TEST(ObjectSlab, HoldsNonMovableObjectsAndDestroysThem) {
+  struct Pinned {
+    explicit Pinned(int* counter) : counter_(counter) { ++*counter_; }
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    ~Pinned() { --*counter_; }
+    int* counter_;
+  };
+  int alive = 0;
+  {
+    poly::util::ObjectSlab<Pinned, 3> slab;
+    for (int i = 0; i < 10; ++i) slab.emplace_back(&alive);
+    EXPECT_EQ(alive, 10);
+  }
+  EXPECT_EQ(alive, 0);  // every element destroyed on slab destruction
 }
 
 }  // namespace

@@ -113,8 +113,9 @@ def main() -> int:
             # Informational: per-row throughput drift, when both sides
             # carry recognizable throughput columns.
             brows = row_map(base)
+            crows = row_map(cur)
             for key, brow in brows.items():
-                crow = row_map(cur).get(key)
+                crow = crows.get(key)
                 if crow is None:
                     continue
                 for col in ("events_per_s", "msgs_per_s", "events/s"):

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Link-check the repo's markdown files.
+
+Validates every inline markdown link `[text](target)` in the given files
+(or the repo's standard doc set when none are given):
+
+  * relative file targets must exist on disk (checked against the file's
+    directory, with a repo-root fallback for badge-style paths);
+  * `#fragment` targets must match a heading anchor in the target file
+    (GitHub slugification: lowercase, spaces to dashes, punctuation
+    dropped);
+  * absolute http(s)/mailto links are *not* fetched — CI must not flake
+    on the network — but obviously malformed ones (no host) fail.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed).  Python 3 standard library only.
+
+Usage:
+  tools/check_markdown_links.py [FILE.md ...]
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target stops at the first unbalanced ')'; good enough
+# for the repo's links (no nested parens in URLs in-tree).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+DEFAULT_DOCS = [
+    "README.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "ISSUE.md",
+    "BENCH_baseline/README.md",
+]
+
+
+def repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading→anchor slug: strip punctuation, lowercase,
+    spaces to dashes.  Markdown emphasis/code markers are dropped."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    out = []
+    for ch in text.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+        # other punctuation: dropped
+    return "".join(out)
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    anchors = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(md: pathlib.Path, root: pathlib.Path) -> list:
+    errors = []
+    in_code = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            where = f"{md}:{lineno}"
+            if target.startswith(("http://", "https://")):
+                if not re.match(r"https?://[^/]+", target):
+                    errors.append(f"{where}: malformed URL {target!r}")
+                continue
+            if target.startswith("mailto:"):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                candidate = (md.parent / path_part).resolve()
+                if not candidate.exists():
+                    candidate = (root / path_part).resolve()
+                if not candidate.exists():
+                    errors.append(f"{where}: broken link {target!r} "
+                                  f"(no such file {path_part!r})")
+                    continue
+                anchor_file = candidate
+            else:
+                anchor_file = md
+            if fragment:
+                if (anchor_file.is_file()
+                        and anchor_file.suffix.lower() == ".md"):
+                    if fragment.lower() not in anchors_of(anchor_file):
+                        errors.append(
+                            f"{where}: broken anchor {target!r} "
+                            f"(no heading #{fragment} in {anchor_file.name})")
+                # non-markdown fragments (e.g. source line anchors): skip
+    return errors
+
+
+def main() -> int:
+    root = repo_root()
+    if len(sys.argv) > 1:
+        files = [pathlib.Path(a) for a in sys.argv[1:]]
+    else:
+        files = [root / d for d in DEFAULT_DOCS]
+        files += sorted((root / "docs").glob("**/*.md"))
+    missing = [f for f in files if not f.exists()]
+    for f in missing:
+        print(f"check_markdown_links: no such file {f}", file=sys.stderr)
+    errors = []
+    for f in files:
+        if f.exists():
+            errors.extend(check_file(f, root))
+    for e in errors:
+        print(e)
+    if not errors and not missing:
+        print(f"check_markdown_links: {len(files)} file(s), all links OK")
+    return 1 if (errors or missing) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

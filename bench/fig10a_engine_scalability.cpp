@@ -11,19 +11,106 @@
 //
 //   fig10a_engine_scalability                    # sweep to --max-nodes
 //   fig10a_engine_scalability --max-nodes 102400 # the 100k-node point
+//   fig10a_engine_scalability --steady 1000000   # steady-state, exact size
+//
+// `--steady N` replaces the crash/recover sweep with a single fleet of
+// exactly N nodes (any N — the grid picks N's largest divisor <= sqrt(N),
+// so 1,000,000 runs as 1000x1000 rather than rounding to a power-of-two
+// size): converge, then measure steady rounds, reporting throughput and
+// the bytes/node memory audit.  This is the scale-ceiling record: the
+// JSON lands in BENCH_fig10a_engine_scalability_<N>.json.
 //
 // Engine runs are deterministic given --seed, so reps default to 1.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common.hpp"
 #include "engine/event_cluster.hpp"
 #include "shape/grid_torus.hpp"
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Exact grid for any node count: the largest divisor of n that is
+/// <= sqrt(n), paired with n / d (so nx * ny == n, as square as n allows;
+/// primes degrade to 1 x n).
+poly::bench::GridDims exact_grid(std::size_t n) {
+  std::size_t best = 1;
+  for (std::size_t d = 1; d * d <= n; ++d)
+    if (n % d == 0) best = d;
+  return {static_cast<unsigned>(best), static_cast<unsigned>(n / best)};
+}
+
+/// One fleet at exactly `n` nodes: converge, then measured steady rounds.
+int run_steady(std::size_t n, const poly::bench::BenchOptions& opt) {
+  using namespace poly;
+  constexpr std::size_t kWarmupRounds = 10;
+  constexpr std::size_t kMeasureRounds = 5;
+  const auto dims = exact_grid(n);
+  std::printf("  steady mode: %zu nodes as %ux%u\n", n, dims.nx, dims.ny);
+  shape::GridTorusShape shape(dims.nx, dims.ny);
+  engine::EventClusterConfig cfg;
+  cfg.node.replication = 4;
+  const auto points = shape.generate();
+  const auto c0 = std::chrono::steady_clock::now();
+  engine::EventCluster fleet(shape.space_ptr(), points, cfg, opt.seed);
+  const double ctor_wall = seconds_since(c0);
+  std::printf("  fleet_ctor: %.2fs (%.0f nodes/s)\n", ctor_wall,
+              ctor_wall > 0 ? n / ctor_wall : 0.0);
+  fleet.run_rounds(kWarmupRounds);
+  std::printf("  warmup done (%zu rounds)\n", kWarmupRounds);
+
+  const std::uint64_t ev0 = fleet.engine().events_executed();
+  const std::uint64_t fr0 = fleet.hub().frames_sent();
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.run_rounds(kMeasureRounds);
+  const double wall = seconds_since(t0);
+  const double events =
+      static_cast<double>(fleet.engine().events_executed() - ev0);
+  const double msgs = static_cast<double>(fleet.hub().frames_sent() - fr0);
+  const auto m = fleet.memory_breakdown();
+
+  util::Table table({"nodes", "grid", "ctor_s", "events", "msgs", "wall_s",
+                     "events_per_s", "msgs_per_s", "mem_bytes_per_node",
+                     "arena_reserved", "total_bytes"});
+  table.add_row({std::to_string(n),
+                 std::to_string(dims.nx) + "x" + std::to_string(dims.ny),
+                 util::fmt(ctor_wall, 2), util::fmt(events, 0),
+                 util::fmt(msgs, 0), util::fmt(wall, 3),
+                 util::fmt(wall > 0 ? events / wall : 0.0, 0),
+                 util::fmt(wall > 0 ? msgs / wall : 0.0, 0),
+                 std::to_string(fleet.mem_bytes_per_node()),
+                 std::to_string(m.arena_reserved),
+                 std::to_string(m.total())});
+  std::puts("");
+  bench::emit(table, opt,
+              "fig10a_engine_scalability_" + std::to_string(n));
+  std::printf("\n%zu nodes steady: %.0f events/s, %.0f msgs/s, %zu B/node "
+              "(%.2f GB total state)\n",
+              n, wall > 0 ? events / wall : 0.0,
+              wall > 0 ? msgs / wall : 0.0, fleet.mem_bytes_per_node(),
+              static_cast<double>(m.total()) / (1024.0 * 1024.0 * 1024.0));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace poly;
   using namespace std::chrono_literals;
   const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/1);
+  // Own argv scan: --steady is this bench's flag, not a BenchOptions knob.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steady") == 0 && i + 1 < argc)
+      return run_steady(std::strtoull(argv[i + 1], nullptr, 10), opt);
+  }
   std::printf(
       "Event-engine scalability: live protocol, half-torus crash "
       "(seed %llu)\n\n",

@@ -111,8 +111,12 @@ int main(int argc, char** argv) {
       "Engine hot path: scheduler + transport throughput (seed %llu)\n\n",
       static_cast<unsigned long long>(opt.seed));
 
+  // mem_bytes_per_node is the fleet state-memory audit (arena + node slab +
+  // heap-backed state + hub tables, divided by fleet size); kernel rows
+  // have no fleet and report 0.  The column is gated tighter than the
+  // wall-clock columns in CI — memory is deterministic, timing is not.
   util::Table table({"workload", "nodes", "events", "msgs", "wall_s",
-                     "events_per_s", "msgs_per_s"});
+                     "events_per_s", "msgs_per_s", "mem_bytes_per_node"});
 
   // ---- kernel workloads ----------------------------------------------------
   {
@@ -123,7 +127,7 @@ int main(int argc, char** argv) {
     table.add_row({"kernel_steady", std::to_string(timers),
                    std::to_string(executed), "0",
                    util::fmt(static_cast<double>(total) / eps, 2),
-                   util::fmt(eps, 0), "0"});
+                   util::fmt(eps, 0), "0", "0"});
     std::printf("  kernel_steady: %.0f events/s (%zu timers)\n", eps, timers);
   }
   {
@@ -132,7 +136,7 @@ int main(int argc, char** argv) {
     const double ops = kernel_cancel(total, opt.seed, &executed);
     table.add_row({"kernel_cancel", "0", std::to_string(executed), "0",
                    util::fmt(static_cast<double>(2 * total) / ops, 2),
-                   util::fmt(ops, 0), "0"});
+                   util::fmt(ops, 0), "0", "0"});
     std::printf("  kernel_cancel: %.0f schedule+cancel ops/s\n", ops);
   }
 
@@ -162,7 +166,7 @@ int main(int argc, char** argv) {
     // their event/message units (zero here) rather than smuggling a
     // nodes/s figure under the wrong header.
     table.add_row({"fleet_ctor", std::to_string(n), "0", "0",
-                   util::fmt(ctor_wall, 3), "0", "0"});
+                   util::fmt(ctor_wall, 3), "0", "0", "0"});
     std::printf("  fleet_ctor:   %zu nodes in %.3f s (%.0f nodes/s)\n", n,
                 ctor_wall, ctor_wall > 0 ? n / ctor_wall : 0.0);
     fleet.run_rounds(kWarmupRounds);
@@ -184,13 +188,16 @@ int main(int argc, char** argv) {
         msgs = static_cast<double>(fleet.hub().frames_sent() - fr0);
       }
     }
+    const std::size_t bpn = fleet.mem_bytes_per_node();
     table.add_row({"fleet_steady", std::to_string(n),
                    util::fmt(events, 0), util::fmt(msgs, 0),
                    util::fmt(wall, 3),
                    util::fmt(wall > 0 ? events / wall : 0.0, 0),
-                   util::fmt(wall > 0 ? msgs / wall : 0.0, 0)});
-    std::printf("  fleet_steady: %zu nodes, %.0f events/s, %.0f msgs/s\n", n,
-                wall > 0 ? events / wall : 0.0, wall > 0 ? msgs / wall : 0.0);
+                   util::fmt(wall > 0 ? msgs / wall : 0.0, 0),
+                   std::to_string(bpn)});
+    std::printf(
+        "  fleet_steady: %zu nodes, %.0f events/s, %.0f msgs/s, %zu B/node\n",
+        n, wall > 0 ? events / wall : 0.0, wall > 0 ? msgs / wall : 0.0, bpn);
   }
 
   std::puts("");

@@ -151,6 +151,12 @@ class EngineHub {
   std::vector<std::uint8_t> acquire_buffer();
   void release_buffer(std::vector<std::uint8_t> buf);
 
+  /// Approximate heap bytes retained by the hub: the per-endpoint tables,
+  /// name strings, batching state, FIFO clamps and both buffer pools
+  /// (capacities, i.e. the retained footprint).  One line of the fleet
+  /// memory audit (EventCluster::memory_breakdown).
+  std::size_t approx_bytes() const;
+
  private:
   friend class EngineTransport;
 

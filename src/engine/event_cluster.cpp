@@ -27,6 +27,7 @@ EventCluster::EventCluster(std::shared_ptr<const space::MetricSpace> space,
                                            cfg_.drop_rate),
           cfg_.delivery_batch_window)),
       rng_(engine_.split_rng()) {
+  scratch_.bind(arena_, cfg_.node);
   points_.reserve(points.size());
   for (const auto& dp : points) {
     points_.push_back(dp);
@@ -49,7 +50,7 @@ std::size_t EventCluster::add_node(std::optional<space::DataPoint> initial) {
   net::AsyncNode& node = nodes_.emplace_back(
       static_cast<net::LiveNodeId>(idx), space_,
       hub_->make_endpoint("node-" + std::to_string(idx)), std::move(initial),
-      cfg_.node, engine_.split_rng().next_u64());
+      cfg_.node, engine_.split_rng().next_u64(), &arena_, &scratch_);
   node.set_manual_drive([this] { return engine_.clock(); });
   crashed_.push_back(false);
   pool_pos_.push_back(static_cast<std::uint32_t>(alive_pool_.size()));
@@ -173,6 +174,21 @@ double EventCluster::reliability() const {
 
 double EventCluster::proximity(std::size_t k) const {
   return net::fleet_proximity(*space_, alive_states(), k);
+}
+
+MemoryBreakdown EventCluster::memory_breakdown() const {
+  MemoryBreakdown m;
+  m.arena_used = arena_.bytes_used();
+  m.arena_reserved = arena_.bytes_reserved();
+  m.node_objects = nodes_.reserved_bytes();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    m.state_heap += nodes_[i].state_heap_bytes();
+  m.hub_bytes = hub_->approx_bytes();
+  return m;
+}
+
+std::size_t EventCluster::mem_bytes_per_node() const {
+  return nodes_.empty() ? 0 : memory_breakdown().total() / nodes_.size();
 }
 
 }  // namespace poly::engine

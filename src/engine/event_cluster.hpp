@@ -31,6 +31,7 @@
 #include "net/runtime.hpp"
 #include "space/metric_space.hpp"
 #include "space/point.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/slab.hpp"
 
@@ -54,6 +55,20 @@ struct EventClusterConfig {
   /// window.  The default is one timer-wheel tick (~65.5 us, ~3% of the
   /// default 2 ms link latency); zero restores exact per-frame times.
   SimTime delivery_batch_window{EventEngine::tick_duration()};
+};
+
+/// The fleet's state-memory audit, from exact byte counters (arena and
+/// slab) plus capacity sums for the heap-backed parts.  Deterministic for
+/// a given (points, config, seed) trajectory.
+struct MemoryBreakdown {
+  std::size_t arena_used = 0;      ///< view storage handed out (exact)
+  std::size_t arena_reserved = 0;  ///< arena chunk footprint (exact)
+  std::size_t node_objects = 0;    ///< AsyncNode slab chunks (exact)
+  std::size_t state_heap = 0;      ///< guest sets + ghost PointSets
+  std::size_t hub_bytes = 0;       ///< EngineHub tables, pools, batches
+  std::size_t total() const noexcept {
+    return arena_reserved + node_objects + state_heap + hub_bytes;
+  }
 };
 
 /// One node per data point, over an EngineHub, ticked by engine events.
@@ -103,6 +118,14 @@ class EventCluster {
   /// Geometric proximity (SpatialIndex k-NN over alive positions).
   double proximity(std::size_t k = 4) const;
 
+  // ---- memory audit ------------------------------------------------------
+
+  /// Itemized fleet memory (see MemoryBreakdown).  O(n): sums the per-node
+  /// heap-backed state under each node's lock.
+  MemoryBreakdown memory_breakdown() const;
+  /// memory_breakdown().total() / size() — the bench/CI gating figure.
+  std::size_t mem_bytes_per_node() const;
+
  private:
   std::size_t add_node(std::optional<space::DataPoint> initial);
   void bootstrap_node(std::size_t idx);
@@ -117,6 +140,13 @@ class EventCluster {
   std::unique_ptr<EngineHub> hub_;
   util::Rng rng_;  // cluster-level draws: bootstrap samples, churn, jitter
   std::vector<space::DataPoint> points_;  // originals + injected sentinels
+  /// Every node's view storage is carved from this arena (4 MB chunks:
+  /// ~1300 nodes per chunk at the default config's ~3.2 KB/node), and all
+  /// nodes share one scratch — the engine drives them from one thread.
+  /// Declared before nodes_ so the nodes (whose views point into the
+  /// arena) are destroyed first.
+  util::Arena arena_{std::size_t{4} << 20};
+  net::AsyncScratch scratch_;
   /// Nodes live in a chunked slab indexed by node id (== hub EndpointId
   /// creation order): the per-delivery random-node walk lands in packed
   /// storage instead of chasing one heap pointer per node.

@@ -34,7 +34,26 @@ void to_wire_into(const core::PointSet& set, std::vector<WirePoint>& out) {
     out[i] = WirePoint{set[i].id, set[i].pos};
 }
 
+/// First index with the strictly greatest age (what std::max_element
+/// returned over the AoS view this SoA layout replaces).
+std::size_t oldest_index(const util::ArenaVec<PeerHot>& hot) {
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < hot.size(); ++i)
+    if (hot[i].age > hot[oldest].age) oldest = i;
+  return oldest;
+}
+
 }  // namespace
+
+// ---- AsyncScratch -----------------------------------------------------------
+
+void AsyncScratch::bind(util::Arena& arena, const AsyncConfig& cfg) {
+  const std::uint32_t phys = tman_phys_cap(cfg);
+  tman_cand.bind(arena, phys);
+  rank_tmp.bind(arena, phys);
+  backup_targets.bind(arena, static_cast<std::uint32_t>(cfg.replication));
+  mig_candidates.bind(arena, static_cast<std::uint32_t>(cfg.psi + 1));
+}
 
 // ---- AsyncNode --------------------------------------------------------------
 
@@ -42,13 +61,30 @@ AsyncNode::AsyncNode(LiveNodeId id,
                      std::shared_ptr<const space::MetricSpace> space,
                      std::unique_ptr<Transport> transport,
                      std::optional<space::DataPoint> initial,
-                     AsyncConfig config, std::uint64_t seed)
+                     AsyncConfig config, std::uint64_t seed,
+                     util::Arena* arena, AsyncScratch* scratch)
     : id_(id),
       space_(std::move(space)),
       transport_(std::move(transport)),
       addr_(transport_->address()),
       cfg_(config),
-      rng_(seed) {
+      rng_(seed),
+      own_arena_(arena == nullptr
+                     ? std::make_unique<util::Arena>(std::size_t{4} << 10)
+                     : nullptr),
+      arena_(arena != nullptr ? arena : own_arena_.get()),
+      scratch_(scratch) {
+  if (scratch_ == nullptr) {
+    own_scratch_ = std::make_unique<AsyncScratch>();
+    own_scratch_->bind(*arena_, cfg_);
+    scratch_ = own_scratch_.get();
+  }
+  rps_view_.bind(*arena_, static_cast<std::uint32_t>(cfg_.rps_view));
+  tman_view_.bind(*arena_, tman_phys_cap(cfg_));
+  backups_.bind(*arena_, static_cast<std::uint32_t>(cfg_.replication));
+  ghosts_.bind(*arena_, static_cast<std::uint32_t>(cfg_.replication + 2));
+  ep_cache_.bind(*arena_, kEpCacheSlots);
+  ep_cache_.resize(kEpCacheSlots);  // value-init: every slot invalid
   if (initial) {
     guests_.push_back(*initial);
     pos_ = initial->pos;
@@ -66,7 +102,7 @@ void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
   for (const auto& s : seeds) {
     if (s.id == id_) continue;
     if (rps_view_.size() < cfg_.rps_view)
-      rps_view_.push_back(RpsEntry{s.id, s.addr, 0});
+      rps_view_.push_back(PeerHot{s.id, 0}, s.addr);
   }
 }
 
@@ -145,8 +181,8 @@ Header AsyncNode::header(MsgType type) const {
 }
 
 const std::vector<WirePoint>& AsyncNode::wire_guests() const {
-  to_wire_into(guests_, wire_guests_);
-  return wire_guests_;
+  to_wire_into(guests_, scratch_->wire_guests);
+  return scratch_->wire_guests;
 }
 
 bool AsyncNode::send_reply(const Header& h, std::vector<std::uint8_t> frame) {
@@ -159,26 +195,23 @@ bool AsyncNode::send_reply(const Header& h, std::vector<std::uint8_t> frame) {
   return send_to(h.sender, h.sender_addr, std::move(frame));
 }
 
-bool AsyncNode::send_to(LiveNodeId peer, const Address& addr,
+bool AsyncNode::send_to(LiveNodeId peer, std::string_view addr,
                         std::vector<std::uint8_t> frame) {
   bool ok;
-  auto it = endpoint_cache_.find(peer);
-  if (it == endpoint_cache_.end()) {
-    const EndpointId ep = transport_->resolve(addr);
-    if (ep != kInvalidEndpointId) {
-      // Bound the cache: under heavy churn, peers that age out of the
-      // views without a failed send would otherwise leak entries for the
-      // node's lifetime.  A full reset is safe — entries re-resolve on
-      // the next send — and amortizes to O(1).
-      if (endpoint_cache_.size() >= kEndpointCacheCap)
-        endpoint_cache_.clear();
-      it = endpoint_cache_.emplace(peer, ep).first;
-    }
-  }
-  if (it != endpoint_cache_.end()) {
-    ok = transport_->send(it->second, std::move(frame));
+  EpCacheSlot& slot = ep_cache_[peer & (kEpCacheSlots - 1)];
+  if (slot.ep != kInvalidEndpointId && slot.id == peer) {
+    ok = transport_->send(slot.ep, std::move(frame));
   } else {
-    ok = transport_->send(addr, std::move(frame));
+    // Miss (or collision eviction): resolve by name once and take the
+    // slot.  The Address string only materializes on this path.
+    const Address a(addr);
+    const EndpointId ep = transport_->resolve(a);
+    if (ep != kInvalidEndpointId) {
+      slot = EpCacheSlot{peer, ep};
+      ok = transport_->send(ep, std::move(frame));
+    } else {
+      ok = transport_->send(a, std::move(frame));
+    }
   }
   if (!ok) {
     peer_unreachable(peer);
@@ -188,12 +221,11 @@ bool AsyncNode::send_to(LiveNodeId peer, const Address& addr,
 }
 
 void AsyncNode::peer_unreachable(LiveNodeId peer) {
-  endpoint_cache_.erase(peer);
-  std::erase_if(rps_view_, [peer](const RpsEntry& e) { return e.id == peer; });
-  std::erase_if(tman_view_,
-                [peer](const TmanEntry& e) { return e.id == peer; });
-  std::erase_if(backups_,
-                [peer](const BackupTarget& b) { return b.id == peer; });
+  EpCacheSlot& slot = ep_cache_[peer & (kEpCacheSlots - 1)];
+  if (slot.id == peer) slot.ep = kInvalidEndpointId;
+  rps_view_.erase_if([peer](const PeerHot& e) { return e.id == peer; });
+  tman_view_.erase_if([peer](const DescriptorHot& e) { return e.id == peer; });
+  backups_.erase_if([peer](const PeerHot& b) { return b.id == peer; });
   if (migrating_ && migrate_partner_ == peer) {
     migrating_ = false;  // exchange aborted; our guests were never released
   }
@@ -202,8 +234,8 @@ void AsyncNode::peer_unreachable(LiveNodeId peer) {
 // ---- message dispatch --------------------------------------------------------
 
 void AsyncNode::on_message(Message& msg) {
-  // One lock for decode + dispatch: the scratch buffers are state, and the
-  // handlers run under the same acquisition (they no longer lock).
+  // One lock for decode + dispatch: the scratch buffers are shared state,
+  // and the handlers run under the same acquisition (they do not lock).
   std::lock_guard<std::mutex> lk(state_mu_);
   reply_ep_ = msg.from_ep;
   reply_from_ = &msg.from;
@@ -212,35 +244,35 @@ void AsyncNode::on_message(Message& msg) {
     const Header h = decode_header(r);
     switch (h.type) {
       case MsgType::kRpsShuffleReq:
-        decode_peers_into(r, in_peers_);
-        handle_rps(h, in_peers_, /*is_req=*/true);
+        decode_peers_into(r, scratch_->in_peers);
+        handle_rps(h, scratch_->in_peers, /*is_req=*/true);
         break;
       case MsgType::kRpsShuffleResp:
-        decode_peers_into(r, in_peers_);
-        handle_rps(h, in_peers_, /*is_req=*/false);
+        decode_peers_into(r, scratch_->in_peers);
+        handle_rps(h, scratch_->in_peers, /*is_req=*/false);
         break;
       case MsgType::kTmanReq:
-        decode_descriptors_into(r, in_descriptors_);
-        handle_tman(h, in_descriptors_, /*is_req=*/true);
+        decode_descriptors_into(r, scratch_->in_descriptors);
+        handle_tman(h, scratch_->in_descriptors, /*is_req=*/true);
         break;
       case MsgType::kTmanResp:
-        decode_descriptors_into(r, in_descriptors_);
-        handle_tman(h, in_descriptors_, /*is_req=*/false);
+        decode_descriptors_into(r, scratch_->in_descriptors);
+        handle_tman(h, scratch_->in_descriptors, /*is_req=*/false);
         break;
       case MsgType::kBackupPush:
-        decode_points_into(r, in_points_);
-        handle_backup_push(h, in_points_);
+        decode_points_into(r, scratch_->in_points);
+        handle_backup_push(h, scratch_->in_points);
         break;
       case MsgType::kMigrateReq: {
         const space::Point pos = decode_point(r);
-        decode_points_into(r, in_points_);
-        handle_migrate_req(h, pos, in_points_);
+        decode_points_into(r, scratch_->in_points);
+        handle_migrate_req(h, pos, scratch_->in_points);
         break;
       }
       case MsgType::kMigrateResp: {
         const bool accepted = r.u8() != 0;
-        decode_points_into(r, in_points_);
-        handle_migrate_resp(h, accepted, in_points_);
+        decode_points_into(r, scratch_->in_points);
+        handle_migrate_resp(h, accepted, scratch_->in_points);
         break;
       }
     }
@@ -256,82 +288,99 @@ void AsyncNode::on_message(Message& msg) {
 
 void AsyncNode::step_rps() {
   if (rps_view_.empty()) return;
-  for (auto& e : rps_view_) ++e.age;
-  auto oldest = std::max_element(
-      rps_view_.begin(), rps_view_.end(),
-      [](const RpsEntry& a, const RpsEntry& b) { return a.age < b.age; });
-  const RpsEntry target = *oldest;
+  for (auto& e : rps_view_.hot) ++e.age;
+  const std::size_t oldest = oldest_index(rps_view_.hot);
+  const PeerHot target = rps_view_.hot[oldest];
+  const InlineAddr target_addr = rps_view_.names[oldest];
   rps_view_.erase(oldest);  // swap semantics, as in Cyclon
 
-  out_peers_.clear();
-  out_peers_.push_back(WirePeer{id_, addr_, 0});
+  auto& out = scratch_->out_peers;
+  out.clear();
+  out.push_back(WirePeer{id_, addr_, 0});
   rng_.sample_indices_into(rps_view_.size(),
                            std::min(cfg_.rps_shuffle - 1, rps_view_.size()),
-                           sample_scratch_);
-  for (std::size_t i : sample_scratch_)
-    out_peers_.push_back(
-        {rps_view_[i].id, rps_view_[i].addr, rps_view_[i].age});
+                           scratch_->samples);
+  for (std::size_t i : scratch_->samples)
+    out.push_back({rps_view_.hot[i].id, rps_view_.names[i].str(),
+                   rps_view_.hot[i].age});
 
   util::ByteWriter w = frame_writer();
-  encode_rps(w, header(MsgType::kRpsShuffleReq), out_peers_);
-  send_to(target.id, target.addr, w.take());
+  encode_rps(w, header(MsgType::kRpsShuffleReq), out);
+  send_to(target.id, target_addr.view(), w.take());
 }
 
 void AsyncNode::handle_rps(const Header& h, const std::vector<WirePeer>& peers,
                            bool is_req) {
   if (is_req) {
     // Reply with a random sample of our view before merging.
-    out_peers_.clear();
+    auto& out = scratch_->out_peers;
+    out.clear();
     rng_.sample_indices_into(rps_view_.size(),
                              std::min(cfg_.rps_shuffle, rps_view_.size()),
-                             sample_scratch_);
-    for (std::size_t i : sample_scratch_)
-      out_peers_.push_back({rps_view_[i].id, rps_view_[i].addr,
-                            rps_view_[i].age});
+                             scratch_->samples);
+    for (std::size_t i : scratch_->samples)
+      out.push_back({rps_view_.hot[i].id, rps_view_.names[i].str(),
+                     rps_view_.hot[i].age});
     util::ByteWriter w = frame_writer();
-    encode_rps(w, header(MsgType::kRpsShuffleResp), out_peers_);
+    encode_rps(w, header(MsgType::kRpsShuffleResp), out);
     send_reply(h, w.take());
   }
   // Merge: drop self/duplicates, cap by replacing the oldest entries.
+  // The view never exceeds cfg_.rps_view, whatever the frame carried.
   for (const auto& p : peers) {
     if (p.id == id_) continue;
-    auto it = std::find_if(rps_view_.begin(), rps_view_.end(),
-                           [&](const RpsEntry& e) { return e.id == p.id; });
-    if (it != rps_view_.end()) {
-      if (p.age < it->age) it->age = p.age;  // keep the fresher view
+    const std::size_t i = rps_view_.find(p.id);
+    if (i < rps_view_.size()) {
+      if (p.age < rps_view_.hot[i].age)
+        rps_view_.hot[i].age = p.age;  // keep the fresher view
       continue;
     }
     if (rps_view_.size() < cfg_.rps_view) {
-      rps_view_.push_back(RpsEntry{p.id, p.addr, p.age});
+      rps_view_.push_back(PeerHot{p.id, p.age}, p.addr);
     } else {
-      auto oldest = std::max_element(
-          rps_view_.begin(), rps_view_.end(),
-          [](const RpsEntry& a, const RpsEntry& b) { return a.age < b.age; });
-      if (oldest->age > p.age) *oldest = RpsEntry{p.id, p.addr, p.age};
+      const std::size_t oldest = oldest_index(rps_view_.hot);
+      if (rps_view_.hot[oldest].age > p.age) {
+        rps_view_.hot[oldest] = PeerHot{p.id, p.age};
+        rps_view_.names[oldest].assign(p.addr);
+      }
     }
   }
 }
 
 // ---- T-Man -------------------------------------------------------------------
 
-void AsyncNode::rank_closest(std::vector<TmanEntry>& entries,
-                             const space::Point& origin,
-                             std::size_t keep) const {
-  // Member scratch keeps the per-tick/per-message ranking allocation-free;
-  // the (key, id) comparator makes the order strictly total, so the
-  // partial selection is element-for-element identical to a full sort +
-  // truncate.
-  util::keep_closest_sorted(
-      entries, keep,
-      [&](const TmanEntry& e) { return space_->distance2(origin, e.pos); },
-      [](const TmanEntry& e) { return e.id; }, rank_scratch_, rank_tmp_);
+void AsyncNode::rank_closest(DescriptorList& entries,
+                             const space::Point& origin, std::size_t keep) {
+  // Keys are computed once over the hot array (the cold names are never
+  // read); the (key, id) comparator makes the order strictly total, so
+  // the partial selection is element-for-element identical to a full
+  // sort + truncate.  The gather copies hot+name pairs through rank_tmp
+  // and back — view storage never trades blocks with the scratch.
+  auto& keys = scratch_->rank_keys.keys;
+  keys.clear();
+  keys.reserve(entries.size());
+  for (std::uint32_t i = 0; i < entries.size(); ++i)
+    keys.emplace_back(space_->distance2(origin, entries.hot[i].pos), i);
+  util::keep_smallest_sorted(
+      keys, std::min(keep, keys.size()),
+      [&](const std::pair<double, std::uint32_t>& a,
+          const std::pair<double, std::uint32_t>& b) {
+        if (a.first != b.first) return a.first < b.first;
+        return entries.hot[a.second].id < entries.hot[b.second].id;
+      });
+  auto& tmp = scratch_->rank_tmp;
+  tmp.clear();
+  for (const auto& [key, idx] : keys)
+    tmp.push_back(entries.hot[idx], entries.names[idx]);
+  entries.assign(tmp);
 }
 
 void AsyncNode::step_tman() {
   if (tman_view_.empty()) {
     // Seed the topology view from the peer-sampling view.
-    for (const auto& e : rps_view_)
-      tman_view_.push_back(TmanEntry{e.id, e.addr, pos_, 0});
+    for (std::size_t i = 0; i < rps_view_.size(); ++i)
+      tman_view_.push_back(DescriptorHot{rps_view_.hot[i].id, 0, pos_},
+                           rps_view_.names[i]);
     if (tman_view_.empty()) return;
     tman_ranked_ = false;
   }
@@ -345,23 +394,28 @@ void AsyncNode::step_tman() {
     tman_ranked_ = true;
   }
   const std::size_t horizon = std::min(cfg_.psi, tman_view_.size());
-  const TmanEntry target = tman_view_[rng_.index(horizon)];
+  const std::size_t tidx = rng_.index(horizon);
+  const DescriptorHot target = tman_view_.hot[tidx];
+  const InlineAddr target_addr = tman_view_.names[tidx];
 
-  out_descriptors_.clear();
-  out_descriptors_.push_back(WireDescriptor{id_, addr_, pos_, pos_version_});
+  auto& out = scratch_->out_descriptors;
+  out.clear();
+  out.push_back(WireDescriptor{id_, addr_, pos_, pos_version_});
   // Entries closest to the target, capped at tman_msg.  The take loop
   // below skips at most one entry (the target itself), so a ranked prefix
   // of tman_msg is always enough.
-  tman_cand_ = tman_view_;
-  rank_closest(tman_cand_, target.pos, cfg_.tman_msg);
-  for (const auto& e : tman_cand_) {
-    if (out_descriptors_.size() >= cfg_.tman_msg) break;
-    if (e.id == target.id) continue;
-    out_descriptors_.push_back({e.id, e.addr, e.pos, e.version});
+  auto& cand = scratch_->tman_cand;
+  cand.assign(tman_view_);
+  rank_closest(cand, target.pos, cfg_.tman_msg);
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    if (out.size() >= cfg_.tman_msg) break;
+    if (cand.hot[i].id == target.id) continue;
+    out.push_back({cand.hot[i].id, cand.names[i].str(), cand.hot[i].pos,
+                   cand.hot[i].version});
   }
   util::ByteWriter w = frame_writer();
-  encode_tman(w, header(MsgType::kTmanReq), out_descriptors_);
-  send_to(target.id, target.addr, w.take());
+  encode_tman(w, header(MsgType::kTmanReq), out);
+  send_to(target.id, target_addr.view(), w.take());
 }
 
 void AsyncNode::handle_tman(const Header& h,
@@ -371,30 +425,44 @@ void AsyncNode::handle_tman(const Header& h,
     // Symmetric reply: our descriptor + entries closest to the sender.
     const space::Point sender_pos =
         descriptors.empty() ? pos_ : descriptors.front().pos;
-    out_descriptors_.clear();
-    out_descriptors_.push_back(
-        WireDescriptor{id_, addr_, pos_, pos_version_});
-    tman_cand_ = tman_view_;
-    rank_closest(tman_cand_, sender_pos, cfg_.tman_msg);
-    for (const auto& e : tman_cand_) {
-      if (out_descriptors_.size() >= cfg_.tman_msg) break;
-      if (e.id == h.sender) continue;
-      out_descriptors_.push_back({e.id, e.addr, e.pos, e.version});
+    auto& out = scratch_->out_descriptors;
+    out.clear();
+    out.push_back(WireDescriptor{id_, addr_, pos_, pos_version_});
+    auto& cand = scratch_->tman_cand;
+    cand.assign(tman_view_);
+    rank_closest(cand, sender_pos, cfg_.tman_msg);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (out.size() >= cfg_.tman_msg) break;
+      if (cand.hot[i].id == h.sender) continue;
+      out.push_back({cand.hot[i].id, cand.names[i].str(), cand.hot[i].pos,
+                     cand.hot[i].version});
     }
     util::ByteWriter w = frame_writer();
-    encode_tman(w, header(MsgType::kTmanResp), out_descriptors_);
+    encode_tman(w, header(MsgType::kTmanResp), out);
     send_reply(h, w.take());
   }
-  // Merge: dedup by id keeping the freshest version, rank, truncate.
+  // Merge: dedup by id keeping the freshest version, rank, truncate.  The
+  // view's physical cap is tman_view + tman_msg; an in-spec frame (at
+  // most tman_msg descriptors into a ranked view of at most tman_view)
+  // can never reach it, so the mid-merge rank-truncate below fires only
+  // on oversized/hostile frames.  When it does fire, correctness is
+  // unchanged: top-k selection over a strict total order is associative
+  // (top-k(top-k(A) ∪ B) == top-k(A ∪ B)), so truncating to the ranked
+  // view cap mid-merge keeps exactly the entries the unbounded merge
+  // would have kept.
+  const std::size_t phys = tman_phys_cap(cfg_);
   for (const auto& d : descriptors) {
     if (d.id == id_) continue;
-    auto it = std::find_if(tman_view_.begin(), tman_view_.end(),
-                           [&](const TmanEntry& e) { return e.id == d.id; });
-    if (it != tman_view_.end()) {
-      if (d.version > it->version)
-        *it = TmanEntry{d.id, d.addr, d.pos, d.version};
+    const std::size_t i = tman_view_.find(d.id);
+    if (i < tman_view_.size()) {
+      if (d.version > tman_view_.hot[i].version) {
+        tman_view_.hot[i] = DescriptorHot{d.id, d.version, d.pos};
+        tman_view_.names[i].assign(d.addr);
+      }
     } else {
-      tman_view_.push_back(TmanEntry{d.id, d.addr, d.pos, d.version});
+      if (tman_view_.size() >= phys)
+        rank_closest(tman_view_, pos_, cfg_.tman_view);
+      tman_view_.push_back(DescriptorHot{d.id, d.version, d.pos}, d.addr);
     }
   }
   // Rank-and-truncate in one step: only the kept view-cap prefix is
@@ -410,39 +478,34 @@ void AsyncNode::step_backup() {
   std::size_t attempts = 0;
   while (backups_.size() < cfg_.replication &&
          attempts++ < 4 * cfg_.replication && !rps_view_.empty()) {
-    const auto& cand = rps_view_[rng_.index(rps_view_.size())];
+    const std::size_t ci = rng_.index(rps_view_.size());
+    const PeerHot& cand = rps_view_.hot[ci];
     if (cand.id == id_) continue;
-    if (std::any_of(backups_.begin(), backups_.end(),
-                    [&](const BackupTarget& b) { return b.id == cand.id; }))
-      continue;
-    backups_.push_back(BackupTarget{cand.id, cand.addr});
+    if (backups_.find(cand.id) < backups_.size()) continue;
+    backups_.push_back(PeerHot{cand.id, 0}, rps_view_.names[ci]);
   }
   // Push guests (full copy; doubles as the origin's heartbeat).  Iterate
   // over a scratch copy: send failures mutate backups_ via
   // peer_unreachable.
-  backup_targets_ = backups_;
+  auto& targets = scratch_->backup_targets;
+  targets.assign(backups_);
   // Every target gets the identical frame: encode once into the scratch,
   // then byte-copy per target instead of re-encoding field by field.
-  util::ByteWriter master(std::move(frame_scratch_));
+  util::ByteWriter master(std::move(scratch_->frame));
   encode_backup_push(master, header(MsgType::kBackupPush), wire_guests());
-  frame_scratch_ = master.take();
-  for (const auto& b : backup_targets_) {
+  scratch_->frame = master.take();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     util::ByteWriter w = frame_writer();
-    w.bytes(frame_scratch_.data(), frame_scratch_.size());
-    send_to(b.id, b.addr, w.take());
+    w.bytes(scratch_->frame.data(), scratch_->frame.size());
+    send_to(targets.hot[i].id, targets.names[i].view(), w.take());
   }
 }
 
 void AsyncNode::handle_backup_push(const Header& h,
                                    const std::vector<WirePoint>& guests) {
-  auto it = std::lower_bound(
-      ghosts_.begin(), ghosts_.end(), h.sender,
-      [](const auto& e, LiveNodeId id) { return e.first < id; });
-  if (it == ghosts_.end() || it->first != h.sender)
-    it = ghosts_.insert(it, {h.sender, GhostEntry{}});
-  GhostEntry& slot = it->second;
+  GhostTable::Slot& slot = ghosts_.find_or_insert(h.sender);
   to_point_set_into(guests, slot.points);
-  slot.addr = h.sender_addr;
+  slot.addr.assign(h.sender_addr);
   slot.last_push = clock_now();
 }
 
@@ -450,13 +513,13 @@ void AsyncNode::step_recovery() {
   if (migrating_) return;  // guests frozen during an exchange
   const auto now = clock_now();
   bool changed = false;
-  for (auto it = ghosts_.begin(); it != ghosts_.end();) {
-    if (now - it->second.last_push > cfg_.origin_timeout) {
-      guests_ = core::union_by_id(guests_, it->second.points);
-      it = ghosts_.erase(it);  // ascending-id order, as with the old map
+  for (std::size_t i = 0; i < ghosts_.size();) {
+    if (now - ghosts_[i].last_push > cfg_.origin_timeout) {
+      guests_ = core::union_by_id(guests_, ghosts_[i].points);
+      ghosts_.erase(i);  // ascending-id order, as with the old map
       changed = true;
     } else {
-      ++it;
+      ++i;
     }
   }
   if (changed) reproject();
@@ -471,27 +534,29 @@ void AsyncNode::step_migration() {
   }
   // Candidates: ψ closest topology neighbours (view is kept ranked) plus
   // one random peer from the sampling view (Algorithm 3).
-  std::vector<std::pair<LiveNodeId, Address>> candidates;
-  for (const auto& e : tman_view_) {
+  auto& candidates = scratch_->mig_candidates;
+  candidates.clear();
+  for (std::size_t i = 0; i < tman_view_.size(); ++i) {
     if (candidates.size() >= cfg_.psi) break;
-    candidates.emplace_back(e.id, e.addr);
+    candidates.push_back({tman_view_.hot[i].id, tman_view_.names[i]});
   }
   if (!rps_view_.empty()) {
-    const auto& r = rps_view_[rng_.index(rps_view_.size())];
-    if (r.id != id_ &&
+    const std::size_t ri = rng_.index(rps_view_.size());
+    const LiveNodeId rid = rps_view_.hot[ri].id;
+    if (rid != id_ &&
         std::none_of(candidates.begin(), candidates.end(),
-                     [&](const auto& c) { return c.first == r.id; }))
-      candidates.emplace_back(r.id, r.addr);
+                     [&](const auto& c) { return c.id == rid; }))
+      candidates.push_back({rid, rps_view_.names[ri]});
   }
   if (candidates.empty() || guests_.empty()) return;
 
-  const auto& [qid, qaddr] = candidates[rng_.index(candidates.size())];
+  const auto& q = candidates[rng_.index(candidates.size())];
   migrating_ = true;
-  migrate_partner_ = qid;
+  migrate_partner_ = q.id;
   migrate_ticks_left_ = 4;
   util::ByteWriter w = frame_writer();
   encode_migrate_req(w, header(MsgType::kMigrateReq), pos_, wire_guests());
-  if (!send_to(qid, qaddr, w.take())) {
+  if (!send_to(q.id, q.addr.view(), w.take())) {
     migrating_ = false;
   }
 }
@@ -516,10 +581,10 @@ void AsyncNode::handle_migrate_req(const Header& h,
                             *space_, rng_, split_cfg);
   guests_ = std::move(result.for_q);
   reproject();
-  to_wire_into(result.for_p, out_points_);
+  to_wire_into(result.for_p, scratch_->out_points);
   util::ByteWriter w = frame_writer();
   encode_migrate_resp(w, header(MsgType::kMigrateResp),
-                      /*accepted=*/true, out_points_);
+                      /*accepted=*/true, scratch_->out_points);
   send_reply(h, w.take());
 }
 
@@ -559,13 +624,29 @@ core::PointSet AsyncNode::guests() const {
 std::size_t AsyncNode::ghost_point_count() const {
   std::lock_guard<std::mutex> lk(state_mu_);
   std::size_t n = 0;
-  for (const auto& [origin, entry] : ghosts_) n += entry.points.size();
+  for (std::size_t i = 0; i < ghosts_.size(); ++i)
+    n += ghosts_[i].points.size();
   return n;
 }
 
 std::size_t AsyncNode::tman_view_size() const {
   std::lock_guard<std::mutex> lk(state_mu_);
   return tman_view_.size();
+}
+
+std::size_t AsyncNode::rps_view_size() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return rps_view_.size();
+}
+
+std::size_t AsyncNode::backup_target_count() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return backups_.size();
+}
+
+std::size_t AsyncNode::state_heap_bytes() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return guests_.capacity() * sizeof(space::DataPoint) + ghosts_.heap_bytes();
 }
 
 // ---- LiveCluster ---------------------------------------------------------------------

@@ -18,24 +18,32 @@
 // crash-stop nodes the only anomaly a lost exchange can produce is a
 // duplicated data point — exactly what migration's union-by-id dedup
 // removes anyway.
+//
+// Memory layout (see docs/ARCHITECTURE.md, "Per-node memory layout"): a
+// node's protocol state — RPS/T-Man views, backup targets, ghost table,
+// endpoint cache — lives in util::Arena storage with caps derived from
+// AsyncConfig, hot/cold split per net/view_storage.hpp.  The call-scoped
+// working buffers live in an AsyncScratch that single-threaded drivers
+// (the engine fleets) share across every node, so the steady state holds
+// zero per-node heap vectors.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/point_set.hpp"
 #include "core/split.hpp"
 #include "net/messages.hpp"
 #include "net/transport.hpp"
+#include "net/view_storage.hpp"
 #include "space/medoid.hpp"
 #include "space/metric_space.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/topk.hpp"
 
@@ -63,10 +71,48 @@ struct AsyncConfig {
   std::chrono::milliseconds origin_timeout{400};
 };
 
+/// Physical capacity of the T-Man view storage: the ranked view plus one
+/// merge's worth of headroom.  handle_tman rank-truncates mid-merge at
+/// this bound, so in-spec gossip (<= tman_msg descriptors per frame)
+/// never hits it and oversized frames cannot grow the view past it.
+inline std::uint32_t tman_phys_cap(const AsyncConfig& cfg) {
+  const std::size_t phys = cfg.tman_view + cfg.tman_msg;
+  return static_cast<std::uint32_t>(
+      phys > cfg.tman_view + 1 ? phys : cfg.tman_view + 1);
+}
+
 /// A contactable peer: identity + transport address.
 struct Seed {
   LiveNodeId id;
   Address addr;
+};
+
+/// Call-scoped working buffers: decoded incoming lists, outgoing staging,
+/// rank/sample/frame scratch.  Nothing in here survives a protocol call,
+/// so a single instance can serve every node driven from one thread — the
+/// engine fleets share one per cluster (the per-node vectors this
+/// replaces dominated fleet memory).  Threaded fleets (LiveCluster) give
+/// each node a private one: a node's scratch use is guarded by its
+/// state_mu_, which cannot order accesses across nodes.
+///
+/// Must be bound to the same Arena as the views of the nodes that use it
+/// (rank staging copies view entries through rank_tmp/tman_cand).
+struct AsyncScratch {
+  std::vector<WirePeer> in_peers, out_peers;
+  std::vector<WireDescriptor> in_descriptors, out_descriptors;
+  std::vector<WirePoint> in_points, out_points, wire_guests;
+  std::vector<std::size_t> samples;      // rng sample staging
+  std::vector<std::uint8_t> frame;       // one-encode backup frame
+  util::KeepClosestScratch rank_keys;    // (distance, index) rank staging
+  DescriptorList tman_cand, rank_tmp;    // buffer-build + rank gather
+  PeerList backup_targets;               // step_backup staging
+  struct MigCandidate {
+    LiveNodeId id = 0;
+    InlineAddr addr;
+  };
+  util::ArenaVec<MigCandidate> mig_candidates;
+
+  void bind(util::Arena& arena, const AsyncConfig& cfg);
 };
 
 /// One live node.
@@ -74,10 +120,17 @@ class AsyncNode {
  public:
   /// `initial` is the node's original data point (nullopt for fresh nodes
   /// joining after a catastrophe, as in the paper's Phase 3).
+  ///
+  /// `arena`/`scratch` place the node's view storage and working buffers:
+  /// fleet owners pass a shared arena (and, when every node runs on one
+  /// thread, a shared scratch bound to that arena); by default the node
+  /// owns a private arena and scratch.  A non-null `scratch` must be
+  /// bound to `arena`.
   AsyncNode(LiveNodeId id, std::shared_ptr<const space::MetricSpace> space,
             std::unique_ptr<Transport> transport,
             std::optional<space::DataPoint> initial, AsyncConfig config,
-            std::uint64_t seed);
+            std::uint64_t seed, util::Arena* arena = nullptr,
+            AsyncScratch* scratch = nullptr);
   ~AsyncNode();
 
   AsyncNode(const AsyncNode&) = delete;
@@ -122,6 +175,12 @@ class AsyncNode {
   core::PointSet guests() const;
   std::size_t ghost_point_count() const;
   std::size_t tman_view_size() const;
+  std::size_t rps_view_size() const;
+  std::size_t backup_target_count() const;
+  /// Heap bytes owned by this node's state outside the arena: the guest
+  /// set plus the ghost tables' PointSets (the data plane; the control
+  /// plane — views, targets, cache — is all arena memory).
+  std::size_t state_heap_bytes() const;
   bool running() const;
 
  private:
@@ -148,10 +207,10 @@ class AsyncNode {
   /// Reduces `entries` to the `keep` entries closest to `origin`, sorted
   /// ascending with id tie-breaks.  Ids are unique within a view, so the
   /// order is strictly total and the partial selection is element-for-
-  /// element identical to a full sort + truncate.
-  struct TmanEntry;
-  void rank_closest(std::vector<TmanEntry>& entries, const space::Point& origin,
-                    std::size_t keep) const;
+  /// element identical to a full sort + truncate.  Stages through the
+  /// scratch (rank_keys + rank_tmp).
+  void rank_closest(DescriptorList& entries, const space::Point& origin,
+                    std::size_t keep);
 
   // Protocol steps (called with state_mu_ held unless noted).
   void step_rps();
@@ -167,10 +226,10 @@ class AsyncNode {
   void peer_unreachable(LiveNodeId peer);
 
   /// Sends a frame; on failure marks the peer unreachable.  Caller must
-  /// hold state_mu_.  Prefers the transport's interned-id fast path
-  /// (resolved once per peer and cached); falls back to string sends on
-  /// transports without interning.
-  bool send_to(LiveNodeId peer, const Address& addr,
+  /// hold state_mu_.  Prefers the transport's interned-id fast path (a
+  /// direct-mapped per-node cache, no per-send string work); falls back
+  /// to a by-name send on transports without interning.
+  bool send_to(LiveNodeId peer, std::string_view addr,
                std::vector<std::uint8_t> frame);
 
   /// Sends a reply to the sender of the message currently being handled.
@@ -201,22 +260,19 @@ class AsyncNode {
   mutable std::mutex state_mu_;
   util::Rng rng_;
 
-  // RPS state.
-  struct RpsEntry {
-    LiveNodeId id;
-    Address addr;
-    std::uint32_t age;
-  };
-  std::vector<RpsEntry> rps_view_;
+  // Storage placement: the arena all view storage is carved from, and the
+  // working buffers.  Shared-fleet nodes point at their cluster's; a
+  // standalone node owns private ones (own_*).
+  std::unique_ptr<util::Arena> own_arena_;
+  std::unique_ptr<AsyncScratch> own_scratch_;
+  util::Arena* arena_;
+  AsyncScratch* scratch_;
 
-  // T-Man state.
-  struct TmanEntry {
-    LiveNodeId id;
-    Address addr;
-    space::Point pos;
-    std::uint64_t version;
-  };
-  std::vector<TmanEntry> tman_view_;
+  // RPS state: Cyclon view, cap cfg_.rps_view.
+  PeerList rps_view_;
+
+  // T-Man state: ranked descriptor view, cap tman_phys_cap(cfg_).
+  DescriptorList tman_view_;
   /// True while tman_view_ is sorted by (distance to pos_, id) — set by
   /// the rank sites, cleared when pos_ moves or unranked entries appear.
   /// Lets step_tman skip the per-tick re-rank (a no-op on a sorted view).
@@ -226,21 +282,11 @@ class AsyncNode {
 
   // Polystyrene state.
   core::PointSet guests_;
-  struct GhostEntry {
-    core::PointSet points;
-    Address addr;
-    std::chrono::steady_clock::time_point last_push;
-  };
-  /// Ghost sets keyed by origin, as a flat vector sorted by origin id: a
-  /// node holds K-ish entries, so one cache block beats a tree walk per
-  /// backup push, and the ascending iteration order (and thus recovery
-  /// merge order) is exactly the std::map order it replaces.
-  std::vector<std::pair<LiveNodeId, GhostEntry>> ghosts_;
-  struct BackupTarget {
-    LiveNodeId id;
-    Address addr;
-  };
-  std::vector<BackupTarget> backups_;
+  /// Ghost sets keyed by origin id, ascending (the recovery merge order);
+  /// see GhostTable for the slot-recycling erase.
+  GhostTable ghosts_;
+  /// Backup targets, cap cfg_.replication (ages unused).
+  PeerList backups_;
 
   // Migration handshake.
   bool migrating_ = false;
@@ -252,33 +298,21 @@ class AsyncNode {
   EndpointId reply_ep_ = kInvalidEndpointId;
   const Address* reply_from_ = nullptr;
 
-  // Interned-endpoint cache: peer id -> transport endpoint id, filled on
-  // first send, invalidated when the peer becomes unreachable, and reset
-  // wholesale at the cap (churned-out peers never fail a send, so without
-  // the bound the cache would grow with every peer ever contacted).  Peer
-  // ids are never reused by the clusters, so a cached id is never stale
-  // in the dangerous direction (it can only point at a dead endpoint,
-  // where send fails exactly like the string path would).
-  static constexpr std::size_t kEndpointCacheCap = 256;
-  std::unordered_map<LiveNodeId, EndpointId> endpoint_cache_;
-
-  // Scratch buffers (guarded by state_mu_): decoded incoming lists and
-  // outgoing list/frame staging.  Steady-state ticks and receives reuse
-  // their capacity instead of allocating per message.
-  std::vector<WirePeer> in_peers_;
-  std::vector<WireDescriptor> in_descriptors_;
-  std::vector<WirePoint> in_points_;
-  std::vector<WirePeer> out_peers_;
-  std::vector<WireDescriptor> out_descriptors_;
-  std::vector<WirePoint> out_points_;
-  mutable std::vector<WirePoint> wire_guests_;  // wire_guests() staging
-  std::vector<TmanEntry> tman_cand_;            // buffer-build candidates
-  std::vector<std::size_t> sample_scratch_;     // rng sample staging
-  std::vector<BackupTarget> backup_targets_;    // step_backup staging
-  std::vector<std::uint8_t> frame_scratch_;     // one-encode backup frame
-  // rank_closest staging (mutable: ranking is logically const).
-  mutable util::KeepClosestScratch rank_scratch_;
-  mutable std::vector<TmanEntry> rank_tmp_;
+  // Interned-endpoint cache, direct-mapped by peer id: peer -> transport
+  // endpoint id, filled on first send, invalidated when the peer becomes
+  // unreachable, evicted by collision.  A node's per-tick contacts are a
+  // handful of stable ids (tman target, K backups, migration partner)
+  // plus one churning RPS target, so 32 slots cover the stable set; a
+  // collision just re-resolves.  Peer ids are never reused by the
+  // clusters, so a cached id is never stale in the dangerous direction
+  // (it can only point at a dead endpoint, where send fails exactly like
+  // the by-name path would).
+  struct EpCacheSlot {
+    LiveNodeId id = 0;
+    EndpointId ep = kInvalidEndpointId;
+  };
+  static constexpr std::size_t kEpCacheSlots = 32;
+  util::ArenaVec<EpCacheSlot> ep_cache_;
 
   // Lifecycle.
   std::thread ticker_;

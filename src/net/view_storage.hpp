@@ -1,0 +1,246 @@
+// Arena-backed per-node view storage for the live runtime.
+//
+// AsyncNode's protocol state is a handful of small bounded lists: the RPS
+// view (<= rps_view entries), the ranked T-Man view (<= tman_view), the
+// backup target list (<= K) and the ghost table (~K entries).  This module
+// gives them a hot/cold split over util::Arena storage:
+//
+//   * hot arrays hold exactly what the per-tick loops touch — ids, ages,
+//     versions, positions — as trivially copyable structs packed in arena
+//     memory (PeerHot 16 B, DescriptorHot 48 B);
+//   * cold arrays hold the transport names as fixed-capacity InlineAddr
+//     records, kept index-parallel to the hot array.  Ranking, merging and
+//     aging never read them; only the send path does.
+//
+// The caps come from AsyncConfig, so the entire view footprint is known at
+// node construction and carved from the cluster's arena in one pass —
+// zero per-node heap vectors in the steady state, and the arena's byte
+// counter *is* the fleet's state-memory audit.
+//
+// GhostTable is the one non-trivial container: ghost sets own heap-backed
+// PointSets.  Slots live in arena memory sorted by origin id (the
+// recovery merge order), and erase rotates the vacated slot to the spare
+// region instead of destroying it, so a reinserted origin reuses the
+// retired PointSet's capacity — backup churn stops allocating once the
+// fleet's high-water mark is reached.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string>
+#include <string_view>
+
+#include "core/point_set.hpp"
+#include "net/messages.hpp"
+#include "space/point.hpp"
+#include "util/arena.hpp"
+
+namespace poly::net {
+
+/// A transport address stored inline (no heap): covers the in-tree name
+/// schemes ("node-<id>", "ip:port") with room to spare.  Longer addresses
+/// are truncated — a documented limit of the arena-backed views, checked
+/// by the runtime when peers are admitted.
+struct InlineAddr {
+  static constexpr std::size_t kCap = 23;
+
+  std::uint8_t len = 0;
+  char buf[kCap] = {};
+
+  void assign(std::string_view s) {
+    len = static_cast<std::uint8_t>(s.size() < kCap ? s.size() : kCap);
+    std::memcpy(buf, s.data(), len);
+  }
+
+  std::string_view view() const noexcept { return {buf, len}; }
+  std::string str() const { return std::string(buf, len); }
+};
+static_assert(sizeof(InlineAddr) == 24, "InlineAddr layout drifted");
+
+/// Hot half of an RPS view entry: what aging, sampling and merge compare.
+struct PeerHot {
+  LiveNodeId id = 0;
+  std::uint32_t age = 0;
+};
+
+/// Hot half of a T-Man view entry: what ranking and merge compare.
+struct DescriptorHot {
+  LiveNodeId id = 0;
+  std::uint64_t version = 0;
+  space::Point pos;
+};
+
+/// An index-parallel (hot entries, cold names) pair over arena storage.
+/// Every mutation keeps the two arrays in lockstep.
+template <typename Hot>
+struct SoaList {
+  util::ArenaVec<Hot> hot;
+  util::ArenaVec<InlineAddr> names;
+
+  void bind(util::Arena& arena, std::uint32_t cap) {
+    hot.bind(arena, cap);
+    names.bind(arena, cap);
+  }
+
+  std::size_t size() const noexcept { return hot.size(); }
+  bool empty() const noexcept { return hot.empty(); }
+  void clear() noexcept {
+    hot.clear();
+    names.clear();
+  }
+
+  void push_back(const Hot& h, std::string_view addr) {
+    hot.push_back(h);
+    names.push_back(InlineAddr{});
+    names.back().assign(addr);
+  }
+
+  void push_back(const Hot& h, const InlineAddr& addr) {
+    hot.push_back(h);
+    names.push_back(addr);
+  }
+
+  void erase(std::size_t i) noexcept {
+    hot.erase(i);
+    names.erase(i);
+  }
+
+  /// Removes every entry whose hot half satisfies `pred` (order kept).
+  template <typename Pred>
+  void erase_if(Pred pred) noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (pred(hot[i])) continue;
+      if (out != i) {
+        hot[out] = hot[i];
+        names[out] = names[i];
+      }
+      ++out;
+    }
+    hot.resize(out);
+    names.resize(out);
+  }
+
+  /// Linear id lookup (views hold <= ~24 entries; a scan over 16-byte
+  /// strides beats any index).  Returns size() when absent.
+  std::size_t find(LiveNodeId id) const noexcept {
+    for (std::size_t i = 0; i < hot.size(); ++i)
+      if (hot[i].id == id) return i;
+    return hot.size();
+  }
+
+  void assign(const SoaList& o) {
+    hot.assign(o.hot);
+    names.assign(o.names);
+  }
+
+  void swap(SoaList& o) noexcept {
+    hot.swap(o.hot);
+    names.swap(o.names);
+  }
+};
+
+using PeerList = SoaList<PeerHot>;
+using DescriptorList = SoaList<DescriptorHot>;
+
+/// Ghost sets keyed by origin id, slots in arena memory sorted ascending
+/// by origin (the recovery merge order the old flat vector / std::map
+/// kept).  Erase parks the vacated slot — PointSet capacity intact — in
+/// the spare region past size(); the next insert rotates a spare back in,
+/// so churn recycles instead of reallocating.
+class GhostTable {
+ public:
+  struct Slot {
+    LiveNodeId origin = 0;
+    std::chrono::steady_clock::time_point last_push{};
+    InlineAddr addr;
+    core::PointSet points;
+  };
+
+  GhostTable() = default;
+  GhostTable(const GhostTable&) = delete;
+  GhostTable& operator=(const GhostTable&) = delete;
+  ~GhostTable() { destroy(); }
+
+  void bind(util::Arena& arena, std::uint32_t initial_cap) {
+    arena_ = &arena;
+    grow(initial_cap > 0 ? initial_cap : 1);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  Slot& operator[](std::size_t i) noexcept { return slots_[i]; }
+  const Slot& operator[](std::size_t i) const noexcept { return slots_[i]; }
+
+  /// The slot for `origin`, inserted in sorted position if absent.  The
+  /// caller owns resetting points/addr/last_push on a fresh slot (a
+  /// recycled slot may carry a retired origin's stale fields).
+  Slot& find_or_insert(LiveNodeId origin) {
+    const std::size_t pos = lower_bound(origin);
+    if (pos < size_ && slots_[pos].origin == origin) return slots_[pos];
+    if (size_ == cap_) grow(cap_ * 2);
+    // Rotate the first spare slot (index size_) into position: the spares
+    // hold retired PointSets whose capacity the new origin inherits.
+    std::rotate(slots_ + pos, slots_ + size_, slots_ + size_ + 1);
+    ++size_;
+    Slot& s = slots_[pos];
+    s.origin = origin;
+    return s;
+  }
+
+  /// Removes slot `i`, keeping sort order; the slot parks as a spare.
+  void erase(std::size_t i) noexcept {
+    std::rotate(slots_ + i, slots_ + i + 1, slots_ + size_);
+    --size_;
+  }
+
+  /// Heap bytes retained by the slots' PointSets (spares included): the
+  /// one part of ghost storage the arena counter cannot see, reported
+  /// separately by the bytes/node audit.
+  std::size_t heap_bytes() const noexcept {
+    std::size_t b = 0;
+    for (std::size_t i = 0; i < cap_; ++i)
+      b += slots_[i].points.capacity() * sizeof(space::DataPoint);
+    return b;
+  }
+
+ private:
+  std::size_t lower_bound(LiveNodeId origin) const noexcept {
+    std::size_t lo = 0, hi = size_;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (slots_[mid].origin < origin) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  }
+
+  void grow(std::uint32_t cap) {
+    Slot* fresh = static_cast<Slot*>(
+        arena_->allocate(sizeof(Slot) * cap, alignof(Slot)));
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      if (i < cap_)
+        ::new (static_cast<void*>(fresh + i)) Slot(std::move(slots_[i]));
+      else
+        ::new (static_cast<void*>(fresh + i)) Slot();
+    }
+    destroy();
+    slots_ = fresh;
+    cap_ = cap;
+  }
+
+  void destroy() noexcept {
+    for (std::uint32_t i = cap_; i > 0; --i) slots_[i - 1].~Slot();
+    slots_ = nullptr;  // memory stays in the arena
+  }
+
+  Slot* slots_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+  util::Arena* arena_ = nullptr;
+};
+
+}  // namespace poly::net

@@ -59,6 +59,12 @@ class ObjectSlab {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
+  /// Bytes held from the system: full chunks, occupied or not (the memory
+  /// audit's object-storage line).
+  std::size_t reserved_bytes() const noexcept {
+    return chunks_.size() * kChunkSize * sizeof(T);
+  }
+
   /// Destroys every element (reverse order) and releases the chunks.
   void clear() noexcept {
     while (size_ > 0) {

@@ -1,0 +1,109 @@
+// Fixed-seed trajectory pin: bit-exact regression guard for the engine
+// fleet.
+//
+// The determinism contract (docs/ARCHITECTURE.md) promises that an
+// EventCluster run is a pure function of (points, config, seed).  The
+// other engine tests check *internal* consistency (two runs of the same
+// binary agree); this one pins the trajectory against constants captured
+// from a trusted build, so a refactor that silently perturbs the RNG draw
+// sequence, message order, or ranking tie-breaks fails here even when it
+// stays self-consistent.  Counters (events executed, frames sent) are the
+// sharpest signal — any divergence in the message schedule shifts them —
+// and the fleet metrics are compared at 17 significant digits, i.e. to
+// the last bit of a double.
+//
+// If a PR changes these values *intentionally* (a documented RNG-sequence
+// change), follow the re-pin procedure in BENCH_baseline/README.md: rerun
+// with POLY_TRAJ_PRINT=1, paste the printed block, and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/event_cluster.hpp"
+#include "shape/grid_torus.hpp"
+
+namespace {
+
+using namespace poly;
+
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct Trajectory {
+  std::string reliability, homogeneity, proximity;
+  std::uint64_t events, frames;
+};
+
+void expect_traj(const Trajectory& got, const Trajectory& want,
+                 const char* tag) {
+  if (std::getenv("POLY_TRAJ_PRINT") != nullptr) {
+    std::printf("[traj] %s reliability=%s homogeneity=%s proximity=%s "
+                "events=%llu frames=%llu\n",
+                tag, got.reliability.c_str(), got.homogeneity.c_str(),
+                got.proximity.c_str(),
+                static_cast<unsigned long long>(got.events),
+                static_cast<unsigned long long>(got.frames));
+    return;
+  }
+  EXPECT_EQ(got.reliability, want.reliability) << tag;
+  EXPECT_EQ(got.homogeneity, want.homogeneity) << tag;
+  EXPECT_EQ(got.proximity, want.proximity) << tag;
+  EXPECT_EQ(got.events, want.events) << tag;
+  EXPECT_EQ(got.frames, want.frames) << tag;
+}
+
+Trajectory measure(engine::EventCluster& fleet) {
+  return Trajectory{g17(fleet.reliability()), g17(fleet.homogeneity()),
+                    g17(fleet.proximity()), fleet.engine().events_executed(),
+                    fleet.hub().frames_sent()};
+}
+
+// Reliable fixed-latency links, K=2: converge, crash the failure half,
+// recover.  The bread-and-butter configuration of every engine scenario.
+TEST(TrajectoryPin, FixedLatencyHalfCrash) {
+  shape::GridTorusShape shape(20, 10);
+  engine::EventClusterConfig cfg;  // defaults: 2 ms links, no drop, K=2
+  engine::EventCluster fleet(shape.space_ptr(), shape.generate(), cfg,
+                             /*seed=*/1);
+  fleet.run_rounds(25);
+  fleet.crash_region(
+      [&](const space::Point& p) { return shape.in_failure_half(p); });
+  fleet.run_rounds(30);
+
+  expect_traj(measure(fleet),
+              Trajectory{"0.83999999999999997", "0.58517528925361539",
+                         "1.2922046721220164", 50692, 60789},
+              "fixed/half-crash");
+}
+
+// Jittered lossy links, K=4: converge, uncorrelated churn, inject fresh
+// nodes, recover.  Exercises the FIFO-clamp path, drops, bootstrap-after-
+// churn and the inject path — the draws the half-crash case never makes.
+TEST(TrajectoryPin, JitteredChurnAndInject) {
+  using namespace std::chrono_literals;
+  shape::GridTorusShape shape(10, 10);
+  const auto points = shape.generate();
+  engine::EventClusterConfig cfg;
+  cfg.node.replication = 4;
+  cfg.latency_min = std::chrono::duration_cast<engine::SimTime>(1ms);
+  cfg.latency_max = std::chrono::duration_cast<engine::SimTime>(3ms);
+  cfg.drop_rate = 0.01;
+  engine::EventCluster fleet(shape.space_ptr(), points, cfg, /*seed=*/42);
+  fleet.run_rounds(20);
+  fleet.crash_random(30);
+  fleet.run_rounds(5);
+  for (std::size_t i = 0; i < 10; ++i) fleet.inject(points[i * 7].pos);
+  fleet.run_rounds(25);
+
+  expect_traj(measure(fleet),
+              Trajectory{"1", "0.33000000000000002",
+                         "0.99783955582844219", 42261, 40616},
+              "jitter/churn+inject");
+}
+
+}  // namespace

@@ -9,7 +9,17 @@ a per-bench comparison either way.
 
 Usage:
   tools/bench_check.py --baseline BENCH_baseline --current . \
-      [--max-regression 0.25] [--name micro_engine_hotpath ...]
+      [--max-regression 0.25] [--name micro_engine_hotpath ...] \
+      [--metric msgs_per_s:0.15] [--metric mem_bytes_per_node:0.02]
+
+Beyond the whole-record wall-clock gate, --metric COL:TOL gates an
+individual table column with its own tolerance, compared row by row
+(rows are matched on their leading workload/size cells).  Direction is
+inferred from the column name: throughput columns (ending `_per_s` or
+`/s`) must not *drop* more than TOL; every other column (wall_s,
+mem_bytes_per_node, ...) must not *rise* more than TOL.  This lets a
+deterministic memory column gate at a few percent while wall-clock keeps
+the loose machine-variance threshold.
 
 Notes on methodology: wall-clock comparisons are only meaningful on
 comparable hardware.  The committed baseline records the machine that
@@ -67,7 +77,29 @@ def main() -> int:
         default=None,
         help="bench name(s) to compare (default: every baseline record)",
     )
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="COL:TOL",
+        help="gate column COL at fractional tolerance TOL (repeatable); "
+        "columns ending _per_s or /s are higher-is-better, the rest "
+        "lower-is-better",
+    )
     args = ap.parse_args()
+
+    metrics = []
+    for spec in args.metric or []:
+        col, sep, tol_text = spec.rpartition(":")
+        try:
+            tol = float(tol_text)
+        except ValueError:
+            tol = -1.0
+        if not sep or not col or tol < 0:
+            print(f"bench_check: bad --metric {spec!r} (want COL:TOL, "
+                  "TOL a non-negative fraction)", file=sys.stderr)
+            return 2
+        metrics.append((col, tol))
 
     base_dir = pathlib.Path(args.baseline)
     cur_dir = pathlib.Path(args.current)
@@ -84,6 +116,14 @@ def main() -> int:
     for name in names:
         base_path = base_dir / f"BENCH_{name}.json"
         cur_path = cur_dir / f"BENCH_{name}.json"
+        if not base_path.exists():
+            # A --name with no committed baseline is a setup error, not a
+            # pass: fail loudly and say how to fix it.
+            print(f"FAIL {name}: no baseline record {base_path} — commit "
+                  f"one (copy a trusted run's BENCH_{name}.json into "
+                  f"{base_dir}/) or drop --name {name}")
+            failed = True
+            continue
         if not cur_path.exists():
             print(f"FAIL {name}: current record {cur_path} missing")
             failed = True
@@ -128,6 +168,38 @@ def main() -> int:
                         if b > 0:
                             print(f"     {'/'.join(key)} {col}: "
                                   f"{b:.0f} -> {c:.0f} ({c / b:.2f}x)")
+            # Per-metric gates: each --metric COL:TOL compares that column
+            # row by row at its own tolerance.
+            for col, tol in metrics:
+                higher_better = col.endswith("_per_s") or col.endswith("/s")
+                for key, brow in brows.items():
+                    if col not in brow:
+                        continue
+                    crow = crows.get(key)
+                    if crow is None or col not in crow:
+                        print(f"FAIL {name}: row {'/'.join(key)} lost "
+                              f"column {col}")
+                        failed = True
+                        continue
+                    try:
+                        b = float(brow[col])
+                        c = float(crow[col])
+                    except (TypeError, ValueError):
+                        continue
+                    if b <= 0:
+                        continue  # placeholder cells (kernel rows report 0)
+                    ratio = c / b
+                    if higher_better:
+                        bad = ratio < 1.0 - tol
+                        bound = f">= {1.0 - tol:.2f}x"
+                    else:
+                        bad = ratio > 1.0 + tol
+                        bound = f"<= {1.0 + tol:.2f}x"
+                    verdict = "FAIL" if bad else "OK"
+                    print(f"{verdict} {name} {'/'.join(key)} {col}: "
+                          f"{b:.0f} -> {c:.0f} ({ratio:.3f}x, need {bound})")
+                    if bad:
+                        failed = True
     return 1 if failed else 0
 
 

@@ -14,177 +14,23 @@
 //                                       records (default "."; empty
 //                                       disables)
 //
-// Output format: every bench prints the same rows/series its paper
-// table/figure reports, as an aligned ASCII table.  `emit` additionally
-// writes a machine-readable BENCH_<name>.json (options, wall-clock, and
-// every table cell) so CI can archive the perf trajectory as artifacts.
+// Flag parsing, `--help`, and the BENCH_<name>.json emit path live in the
+// library (`util/bench_io.hpp`, namespace poly::bench) so the scenario
+// driver shares them; this header adds only the bench-side helpers (sweep
+// grids, the paper's four-configuration scenario, series tables).
 #pragma once
 
-#include <chrono>
 #include <limits>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "scenario/experiment.hpp"
 #include "shape/grid_torus.hpp"
+#include "util/bench_io.hpp"
 #include "util/table.hpp"
 
 namespace poly::bench {
-
-struct BenchOptions {
-  std::size_t reps = 5;
-  std::size_t max_nodes = 51200;
-  std::uint64_t seed = 1;
-  std::optional<std::string> csv_dir;
-  std::string json_dir = ".";  // empty = JSON records disabled
-  std::chrono::steady_clock::time_point started =
-      std::chrono::steady_clock::now();
-
-  static BenchOptions parse(int argc, char** argv,
-                            std::size_t default_reps = 5) {
-    BenchOptions opt;
-    opt.reps = default_reps;
-    if (const char* e = std::getenv("POLY_BENCH_REPS"))
-      opt.reps = std::strtoull(e, nullptr, 10);
-    if (const char* e = std::getenv("POLY_BENCH_MAX_NODES"))
-      opt.max_nodes = std::strtoull(e, nullptr, 10);
-    if (const char* e = std::getenv("POLY_BENCH_SEED"))
-      opt.seed = std::strtoull(e, nullptr, 10);
-    if (const char* e = std::getenv("POLY_BENCH_CSV")) opt.csv_dir = e;
-    if (const char* e = std::getenv("POLY_BENCH_JSON")) opt.json_dir = e;
-    for (int i = 1; i < argc; ++i) {
-      auto next = [&]() -> const char* {
-        return i + 1 < argc ? argv[++i] : "";
-      };
-      if (std::strcmp(argv[i], "--reps") == 0)
-        opt.reps = std::strtoull(next(), nullptr, 10);
-      else if (std::strcmp(argv[i], "--max-nodes") == 0)
-        opt.max_nodes = std::strtoull(next(), nullptr, 10);
-      else if (std::strcmp(argv[i], "--seed") == 0)
-        opt.seed = std::strtoull(next(), nullptr, 10);
-      else if (std::strcmp(argv[i], "--csv") == 0)
-        opt.csv_dir = next();
-      else if (std::strcmp(argv[i], "--json") == 0)
-        opt.json_dir = next();
-      else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "options: --reps N --max-nodes N --seed N --csv DIR --json DIR\n"
-            "env:     POLY_BENCH_REPS POLY_BENCH_MAX_NODES POLY_BENCH_SEED "
-            "POLY_BENCH_CSV POLY_BENCH_JSON\n");
-        std::exit(0);
-      }
-    }
-    if (opt.reps == 0) opt.reps = 1;
-    return opt;
-  }
-};
-
-namespace detail {
-
-inline void json_escape(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-/// Emits a cell as a bare JSON number when it parses fully as one (so
-/// downstream tooling gets numbers for "nodes"/"wall_s"-style columns),
-/// else as a string ("0.502 ± 0.01" series cells stay strings).
-inline void json_cell(std::string& out, const std::string& cell) {
-  if (!cell.empty()) {
-    char* end = nullptr;
-    std::strtod(cell.c_str(), &end);
-    if (end != cell.c_str() && *end == '\0' &&
-        cell.find_first_of("nN") == std::string::npos) {  // reject nan/inf
-      out += cell;
-      return;
-    }
-  }
-  json_escape(out, cell);
-}
-
-}  // namespace detail
-
-/// Writes <json_dir>/BENCH_<name>.json: the bench options, elapsed
-/// wall-clock, and the full table (headers + every cell).  This is the
-/// machine-readable perf record CI uploads as an artifact.
-inline bool write_bench_json(const util::Table& table, const BenchOptions& opt,
-                             const std::string& name,
-                             const std::string& path) {
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    opt.started)
-          .count();
-  std::string out = "{\n  \"bench\": ";
-  detail::json_escape(out, name);
-  out += ",\n  \"seed\": " + std::to_string(opt.seed);
-  out += ",\n  \"reps\": " + std::to_string(opt.reps);
-  out += ",\n  \"max_nodes\": " + std::to_string(opt.max_nodes);
-  char wall_buf[32];
-  std::snprintf(wall_buf, sizeof wall_buf, "%.3f", wall);
-  out += ",\n  \"wall_seconds\": ";
-  out += wall_buf;
-  out += ",\n  \"headers\": [";
-  for (std::size_t c = 0; c < table.headers().size(); ++c) {
-    if (c) out += ", ";
-    detail::json_escape(out, table.headers()[c]);
-  }
-  out += "],\n  \"rows\": [";
-  for (std::size_t r = 0; r < table.data().size(); ++r) {
-    out += r ? ",\n    [" : "\n    [";
-    const auto& row = table.data()[r];
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (c) out += ", ";
-      detail::json_cell(out, row[c]);
-    }
-    out += "]";
-  }
-  out += "\n  ]\n}\n";
-
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-    return false;
-  }
-  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
-  std::fclose(f);
-  return ok;
-}
-
-/// Emits the table to stdout, optionally to <csv_dir>/<name>.csv, and (by
-/// default) to <json_dir>/BENCH_<name>.json for the CI perf trajectory.
-inline void emit(const util::Table& table, const BenchOptions& opt,
-                 const std::string& name) {
-  std::fputs(table.to_string().c_str(), stdout);
-  if (opt.csv_dir) {
-    const std::string path = *opt.csv_dir + "/" + name + ".csv";
-    if (table.write_csv(path)) std::printf("(csv written to %s)\n", path.c_str());
-  }
-  if (!opt.json_dir.empty()) {
-    const std::string path = opt.json_dir + "/BENCH_" + name + ".json";
-    if (write_bench_json(table, opt, name, path))
-      std::printf("(json written to %s)\n", path.c_str());
-  }
-}
 
 /// Grid dimensions for a target node count: the paper scales its torus by
 /// doubling one axis at a time (40×80 → … → 160×320), keeping a 1:2 aspect
@@ -254,7 +100,6 @@ inline PaperScenarioResults run_paper_scenario(const BenchOptions& opt) {
   spec.config.seed = opt.seed;
   spec.repetitions = opt.reps;
   spec.phases = scenario::ThreePhaseSpec{};  // 20 / 80 / 100
-
   PaperScenarioResults out;
   auto run_k = [&](std::size_t k) {
     auto s = spec;

@@ -2,58 +2,32 @@
 // the repair progresses, (a) repair started (r = 22), (b) repair completed
 // (r = 28).
 //
-// The paper shows scatter plots; we render node-density maps of the torus
-// (a uniform map = healthy shape) plus the homogeneity trace, and can dump
-// node positions as CSV (--csv DIR) for external plotting.
+// Thin wrapper over the scenario compiler: the timeline lives in
+// scenarios/fig08_repair.poly and runs through the same program runner as
+// `poly_scenario` (a CTest golden test pins the maps and metric values to
+// the pre-port output, bit for bit).  The paper shows scatter plots; we
+// render node-density maps of the torus (a uniform map = healthy shape)
+// plus the homogeneity trace, and can dump node positions as CSV
+// (--csv DIR) for external plotting.
 #include <cstdio>
 
 #include "common.hpp"
-#include "scenario/simulation.hpp"
-#include "scenario/snapshot.hpp"
-#include "shape/grid_torus.hpp"
+#include "scenario/program.hpp"
 
 int main(int argc, char** argv) {
   using namespace poly;
   const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/1);
 
-  shape::GridTorusShape shape(80, 40);
-  scenario::SimulationConfig config;
-  config.seed = opt.seed;
-  config.poly.replication = 4;  // the figure's K
+  auto program = scenario::load_program(std::string(POLY_SCENARIO_DIR) +
+                                        "/fig08_repair.poly");
+  program.options.seed = opt.seed;
+  program.reps = opt.reps;
 
-  scenario::Simulation sim(shape, config);
-  sim.run_rounds(20);
-  std::puts("=== Converged torus (round 20) ===");
-  std::printf("%s\n", scenario::summary_line(sim).c_str());
-
-  sim.crash_failure_half();
-  std::puts("\n=== Catastrophe: right half crashed ===");
-  std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
-
-  util::Table table({"round", "homogeneity", "H", "proximity",
-                     "points/node"});
-  for (std::size_t round = 21; round <= 30; ++round) {
-    sim.run_round();
-    table.add_row({std::to_string(round), util::fmt(sim.homogeneity(), 3),
-                   util::fmt(sim.reference_homogeneity(), 3),
-                   util::fmt(sim.proximity(), 3),
-                   util::fmt(sim.avg_points_per_node(), 2)});
-    if (round == 22) {
-      std::puts("\n=== Fig. 8a: repair started (round 22) ===");
-      std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
-      if (opt.csv_dir)
-        scenario::write_positions_csv(sim, *opt.csv_dir + "/fig08a_r22.csv");
-    }
-    if (round == 28) {
-      std::puts("\n=== Fig. 8b: repair completed (round 28) ===");
-      std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
-      if (opt.csv_dir)
-        scenario::write_positions_csv(sim, *opt.csv_dir + "/fig08b_r28.csv");
-    }
-  }
+  const auto result = scenario::run_program(program);
+  scenario::print_events(result, opt.csv_dir);
 
   std::puts("");
-  bench::emit(table, opt, "fig08_trace");
+  bench::emit(scenario::series_table_for(result), opt, "fig08_trace");
   std::puts("\nPaper: homogeneity 0.61 ± 0.003 at round 28 for K=4; the "
             "density map should be uniform again by then.");
   return 0;

@@ -1,51 +1,50 @@
 // Figure 9 — "Effect of the reinjection at r = 125": (a) T-Man, (b)
 // Polystyrene.
 //
-// 1,600 fresh nodes (no data points, positions on a parallel offset grid)
-// join at round 100.  Expected contrast (paper §IV-B): T-Man leaves two
-// interleaved half-density grids — the surviving half at double density,
-// the crashed half covered only by fresh nodes — with homogeneity stuck at
-// ≈ 0.35; Polystyrene re-homogenizes everything, homogeneity ≈ 0.035 by
-// round 199 (10× lower).
+// Thin wrapper over the scenario compiler: the two timelines live in
+// scenarios/fig09_tman.poly and scenarios/fig09_poly.poly (converge 20 /
+// crash half / run 80 / grow crashed / snapshot at 125 / run to 199).
+// Expected contrast (paper §IV-B): T-Man leaves two interleaved
+// half-density grids — the surviving half at double density, the crashed
+// half covered only by fresh nodes — with homogeneity stuck at ≈ 0.35;
+// Polystyrene re-homogenizes everything, homogeneity ≈ 0.035 by round 199
+// (10× lower).
 #include <cstdio>
 
 #include "common.hpp"
-#include "scenario/simulation.hpp"
-#include "scenario/snapshot.hpp"
-#include "shape/grid_torus.hpp"
+#include "scenario/program.hpp"
 
 namespace {
 
-void run_config(const char* name, bool polystyrene,
+const poly::scenario::RoundMetrics& at_round(
+    const poly::scenario::ProgramResult& result, std::size_t round) {
+  for (const auto& m : result.first.rounds)
+    if (m.round == round) return m;
+  std::fprintf(stderr, "fig09: round %zu missing from the series\n", round);
+  std::exit(1);
+}
+
+void run_config(const char* name, const char* file,
                 const poly::bench::BenchOptions& opt,
                 poly::util::Table& table) {
   using namespace poly;
-  shape::GridTorusShape shape(80, 40);
-  scenario::SimulationConfig config;
-  config.seed = opt.seed;
-  config.polystyrene = polystyrene;
-  config.poly.replication = 4;
+  auto program = scenario::load_program(std::string(POLY_SCENARIO_DIR) +
+                                        "/" + file);
+  program.options.seed = opt.seed;
+  program.reps = opt.reps;
 
-  scenario::Simulation sim(shape, config);
-  sim.run_rounds(20);
-  const std::size_t crashed = sim.crash_failure_half();
-  sim.run_rounds(80);
-  sim.reinject(crashed);
-  sim.run_rounds(25);  // to the figure's round 125
-
+  const auto result = scenario::run_program(program);
   std::printf("\n=== Fig. 9%s: %s at round 125 ===\n",
-              polystyrene ? "b" : "a", name);
-  std::printf("%s\n", scenario::summary_line(sim).c_str());
-  std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
-  if (opt.csv_dir)
-    scenario::write_positions_csv(
-        sim, *opt.csv_dir + "/fig09_" + name + "_r125.csv");
+              program.options.polystyrene ? "b" : "a", name);
+  scenario::print_events(result, opt.csv_dir);
 
-  const double h125 = sim.homogeneity();
-  sim.run_rounds(74);  // to round 199
-  table.add_row({name, poly::util::fmt(h125, 3),
-                 poly::util::fmt(sim.homogeneity(), 3),
-                 poly::util::fmt(sim.proximity(), 3)});
+  // The figure's round 125 is the 125th completed round (id 124); the run
+  // ends at round 199 (id 198).
+  const auto& r125 = at_round(result, 124);
+  const auto& r199 = at_round(result, 198);
+  table.add_row({name, util::fmt(r125.homogeneity, 3),
+                 util::fmt(r199.homogeneity, 3),
+                 util::fmt(r199.proximity, 3)});
 }
 
 }  // namespace
@@ -56,8 +55,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"config", "homogeneity@125", "homogeneity@199",
                      "proximity@199"});
-  run_config("TMan", false, opt, table);
-  run_config("Polystyrene_K4", true, opt, table);
+  run_config("TMan", "fig09_tman.poly", opt, table);
+  run_config("Polystyrene_K4", "fig09_poly.poly", opt, table);
 
   std::puts("");
   bench::emit(table, opt, "fig09");

@@ -105,12 +105,13 @@ int run_steady(std::size_t n, const poly::bench::BenchOptions& opt) {
 int main(int argc, char** argv) {
   using namespace poly;
   using namespace std::chrono_literals;
-  const auto opt = bench::BenchOptions::parse(argc, argv, /*reps=*/1);
-  // Own argv scan: --steady is this bench's flag, not a BenchOptions knob.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--steady") == 0 && i + 1 < argc)
-      return run_steady(std::strtoull(argv[i + 1], nullptr, 10), opt);
-  }
+  std::uint64_t steady = 0;
+  const auto opt = bench::BenchOptions::parse(
+      argc, argv, /*reps=*/1, [&](util::cli::Parser& p) {
+        p.flag("steady", &steady,
+               "steady-state mode: one fleet of exactly N nodes, no sweep");
+      });
+  if (steady > 0) return run_steady(steady, opt);
   std::printf(
       "Event-engine scalability: live protocol, half-torus crash "
       "(seed %llu)\n\n",

@@ -6,16 +6,20 @@
 //   4   6.96 ± 0.083              96.88 ± 0.10
 //   8   9.08 ± 0.114              99.80 ± 0.03
 //
-// Reshaping time = rounds after the half-torus crash until homogeneity
-// drops below H¹⁶⁰⁰ = √2/2; reliability = fraction of the 3,200 original
-// data points that survive.  The expected trade-off: higher K is more
-// reliable (§III-D analytic column) but reshapes more slowly — more
-// redundant copies must be deduplicated by migration.
+// Thin wrapper over the scenario compiler: each K row runs
+// scenarios/table2_k{2,4,8}.poly (converge 20 / crash half / repair 40)
+// through the program runner, which repeats and aggregates exactly as the
+// old run_experiment harness did (seeds base+0 … base+R-1, Student-t 95%
+// CIs).  Reshaping time = rounds after the half-torus crash until
+// homogeneity drops below H¹⁶⁰⁰ = √2/2; reliability = fraction of the
+// 3,200 original data points that survive.  The expected trade-off: higher
+// K is more reliable (§III-D analytic column) but reshapes more slowly —
+// more redundant copies must be deduplicated by migration.
 #include <cstdio>
 
 #include "common.hpp"
 #include "core/polystyrene.hpp"
-#include "shape/grid_torus.hpp"
+#include "scenario/program.hpp"
 
 int main(int argc, char** argv) {
   using namespace poly;
@@ -24,7 +28,6 @@ int main(int argc, char** argv) {
               "reps, seed %llu; paper used 25 reps)\n\n",
               opt.reps, static_cast<unsigned long long>(opt.seed));
 
-  shape::GridTorusShape shape(80, 40);
   util::Table table({"K", "Reshaping time (rounds)", "Reliability (%)",
                      "Analytic reliability (%)", "Paper reshaping",
                      "Paper reliability"});
@@ -36,15 +39,13 @@ int main(int argc, char** argv) {
   const std::size_t ks[] = {2, 4, 8};
 
   for (int i = 0; i < 3; ++i) {
-    scenario::ExperimentSpec spec;
-    spec.config.seed = opt.seed;
-    spec.config.poly.replication = ks[i];
-    spec.repetitions = opt.reps;
-    // Phase 3 is irrelevant to Table II; stop after the repair window.
-    spec.phases.failure_rounds = 40;
-    spec.phases.reinjection_rounds = 0;
+    auto program = scenario::load_program(
+        std::string(POLY_SCENARIO_DIR) + "/table2_k" +
+        std::to_string(ks[i]) + ".poly");
+    program.options.seed = opt.seed;
+    program.reps = opt.reps;
 
-    const auto result = scenario::run_experiment(shape, spec);
+    const auto result = scenario::run_program(program);
     const auto reshaping = result.reshaping_ci();
     const auto reliability = result.reliability_ci();
     table.add_row(

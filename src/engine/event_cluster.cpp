@@ -145,6 +145,22 @@ std::size_t EventCluster::crash_random(std::size_t count) {
   return crashed;
 }
 
+bool EventCluster::crash_node(std::size_t idx) {
+  if (idx >= nodes_.size() || crashed_[idx]) return false;
+  nodes_[idx].crash();
+  crashed_[idx] = true;
+  pool_remove(idx);
+  return true;
+}
+
+std::vector<space::Point> EventCluster::alive_positions() const {
+  std::vector<space::Point> out;
+  out.reserve(alive_pool_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) out.push_back(nodes_[i].position());
+  return out;
+}
+
 std::size_t EventCluster::inject(const space::Point& pos) {
   const std::size_t idx = add_node(std::nullopt);
   points_.push_back({space::kInvalidPointId, pos});

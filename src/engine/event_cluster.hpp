@@ -107,6 +107,14 @@ class EventCluster {
   /// Crash-stops `count` alive nodes chosen uniformly (uncorrelated churn).
   std::size_t crash_random(std::size_t count);
 
+  /// Crash-stops node `idx`; returns false when out of range or already
+  /// crashed (scenario programs crash explicit id lists).
+  bool crash_node(std::size_t idx);
+
+  /// Current advertised position of every alive node, in id order
+  /// (snapshot density maps).
+  std::vector<space::Point> alive_positions() const;
+
   /// Injects a fresh node (no data point) at `pos`, bootstrapped from a
   /// random sample of the alive nodes; returns its index.
   std::size_t inject(const space::Point& pos);

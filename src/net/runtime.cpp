@@ -711,6 +711,20 @@ std::size_t LiveCluster::crash_region(
   return crashed;
 }
 
+bool LiveCluster::crash_node(std::size_t idx) {
+  if (idx >= nodes_.size() || crashed_[idx]) return false;
+  nodes_[idx]->crash();
+  crashed_[idx] = true;
+  return true;
+}
+
+std::vector<space::Point> LiveCluster::alive_positions() const {
+  std::vector<space::Point> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!crashed_[i]) out.push_back(nodes_[i]->position());
+  return out;
+}
+
 std::size_t LiveCluster::inject(const space::Point& pos) {
   util::Rng rng(seed_ ^ (0x9e37u + nodes_.size()));
   const auto idx = nodes_.size();

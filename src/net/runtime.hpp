@@ -344,9 +344,17 @@ class LiveCluster {
   std::size_t crash_region(
       const std::function<bool(const space::Point&)>& pred);
 
+  /// Crash-stops node `idx`; returns false when out of range or already
+  /// crashed (scenario programs crash explicit id lists).
+  bool crash_node(std::size_t idx);
+
   /// Injects a fresh node (no data point) at `pos`, bootstrapped from the
   /// alive nodes; returns its index.
   std::size_t inject(const space::Point& pos);
+
+  /// Current advertised position of every alive node, in id order
+  /// (snapshot density maps).
+  std::vector<space::Point> alive_positions() const;
 
   /// Mean distance from every original data point to the closest alive
   /// node hosting it (homogeneity over the live fleet; lost points fall

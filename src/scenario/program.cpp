@@ -1,0 +1,900 @@
+#include "scenario/program.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "scenario/snapshot.hpp"
+#include "space/torus.hpp"
+
+namespace poly::scenario {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string location(const std::string& file, int line) {
+  return line > 0 ? file + ":" + std::to_string(line) : file;
+}
+
+/// %.17g — shortest form that round-trips a double through the serializer.
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that still parses back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& filename)
+      : text_(text), file_(filename) {}
+
+  ScenarioProgram parse() {
+    ScenarioProgram p;
+    p.file = file_;
+    p.name = default_name();
+
+    std::istringstream is(text_);
+    std::string raw;
+    while (std::getline(is, raw)) {
+      ++line_;
+      const auto tok = tokenize(raw);
+      if (tok.empty()) continue;
+      if (!in_timeline_ && header_directive(p, tok)) continue;
+      in_timeline_ = true;
+      stage(p, tok);
+    }
+
+    if (p.shape_spec.empty())
+      fail(0, "missing required 'shape' directive (e.g. shape grid:80x40)");
+    check_shapes(p);
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw ProgramError(file_, line, msg);
+  }
+
+  std::string default_name() const {
+    std::string stem = file_;
+    if (const auto slash = stem.find_last_of('/');
+        slash != std::string::npos)
+      stem = stem.substr(slash + 1);
+    if (stem.size() > 5 && stem.ends_with(".poly"))
+      stem = stem.substr(0, stem.size() - 5);
+    return stem;
+  }
+
+  std::size_t parse_count(const std::string& tok, const char* what,
+                          std::size_t min = 1) const {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || tok[0] == '-')
+      fail(line_, std::string("bad ") + what + " '" + tok +
+                      "' (want a non-negative integer)");
+    if (v < min)
+      fail(line_, std::string(what) + " must be >= " + std::to_string(min) +
+                      ", got " + tok);
+    return static_cast<std::size_t>(v);
+  }
+
+  double parse_double(const std::string& tok, const char* what) const {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || !std::isfinite(v))
+      fail(line_, std::string("bad ") + what + " '" + tok + "'");
+    return v;
+  }
+
+  void expect_args(const std::vector<std::string>& tok, std::size_t n,
+                   const char* usage) const {
+    if (tok.size() != n)
+      fail(line_, "'" + tok[0] + "' wants " + usage + ", got " +
+                      std::to_string(tok.size() - 1) + " argument(s)");
+  }
+
+  void record(ScenarioProgram& p, const std::string& key) {
+    for (const auto& [k, l] : p.directive_lines)
+      if (k == key)
+        fail(line_, "duplicate '" + key + "' (first set on line " +
+                        std::to_string(l) + ")");
+    p.directive_lines.emplace_back(key, line_);
+  }
+
+  /// Returns true when `tok` was a header directive.
+  bool header_directive(ScenarioProgram& p,
+                        const std::vector<std::string>& tok) {
+    const std::string& key = tok[0];
+    if (key == "name") {
+      expect_args(tok, 2, "one word");
+      record(p, key);
+      p.name = tok[1];
+    } else if (key == "shape") {
+      expect_args(tok, 2, "one spec (grid:WxH, ring:N, cube:XxYxZ)");
+      record(p, key);
+      std::string err;
+      if (!shape::make_shape(tok[1], &err)) fail(line_, err);
+      p.shape_spec = tok[1];
+    } else if (key == "engine") {
+      expect_args(tok, 2, "sync|events|live");
+      record(p, key);
+      const auto mode = engine_mode_from_string(tok[1]);
+      if (!mode)
+        fail(line_, "unknown engine '" + tok[1] +
+                        "' (want sync, events, or live)");
+      p.options.engine = *mode;
+    } else if (key == "seed") {
+      expect_args(tok, 2, "one integer");
+      record(p, key);
+      p.options.seed = parse_count(tok[1], "seed", 0);
+    } else if (key == "reps") {
+      expect_args(tok, 2, "one integer");
+      record(p, key);
+      p.reps = parse_count(tok[1], "reps");
+    } else if (key == "k") {
+      expect_args(tok, 2, "one integer");
+      record(p, key);
+      p.options.replication = parse_count(tok[1], "k");
+    } else if (key == "split") {
+      expect_args(tok, 2, "basic|pd|md|advanced");
+      record(p, key);
+      try {
+        p.options.split = core::split_kind_from_string(tok[1]);
+      } catch (const std::invalid_argument&) {
+        fail(line_, "unknown split '" + tok[1] +
+                        "' (want basic, pd, md, or advanced)");
+      }
+    } else if (key == "substrate") {
+      expect_args(tok, 2, "tman|vicinity");
+      record(p, key);
+      if (tok[1] == "tman")
+        p.options.substrate = Substrate::kTman;
+      else if (tok[1] == "vicinity")
+        p.options.substrate = Substrate::kVicinity;
+      else
+        fail(line_, "unknown substrate '" + tok[1] +
+                        "' (want tman or vicinity)");
+    } else if (key == "polystyrene") {
+      expect_args(tok, 2, "on|off");
+      record(p, key);
+      if (tok[1] == "on")
+        p.options.polystyrene = true;
+      else if (tok[1] == "off")
+        p.options.polystyrene = false;
+      else
+        fail(line_, "polystyrene wants on or off, got '" + tok[1] + "'");
+    } else if (key == "fd-delay") {
+      expect_args(tok, 2, "one integer");
+      record(p, key);
+      p.options.fd_delay_rounds = parse_count(tok[1], "fd-delay", 0);
+    } else if (key == "fd-fp") {
+      expect_args(tok, 2, "one rate");
+      record(p, key);
+      p.options.fd_false_positive_rate = parse_double(tok[1], "fd-fp rate");
+      if (p.options.fd_false_positive_rate < 0.0 ||
+          p.options.fd_false_positive_rate >= 1.0)
+        fail(line_, "fd-fp rate " + tok[1] + " out of [0, 1)");
+    } else {
+      return false;  // not a header directive — first timeline stage
+    }
+    return true;
+  }
+
+  void stage(ScenarioProgram& p, const std::vector<std::string>& tok) {
+    Stage s;
+    s.line = line_;
+    const std::string& verb = tok[0];
+
+    if (verb == "run") {
+      expect_args(tok, 2, "a round count");
+      s.kind = Stage::Kind::kRun;
+      s.rounds = parse_count(tok[1], "round count");
+    } else if (verb == "grow") {
+      expect_args(tok, 2, "a node count or 'crashed'");
+      s.kind = Stage::Kind::kGrow;
+      if (tok[1] == "crashed") {
+        if (!crash_seen_)
+          fail(line_, "'grow crashed' needs a crash or churn stage before "
+                      "it");
+        s.grow_crashed = true;
+      } else {
+        s.count = parse_count(tok[1], "node count");
+      }
+    } else if (verb == "crash") {
+      s.kind = Stage::Kind::kCrash;
+      if (tok.size() < 2)
+        fail(line_, "'crash' wants half, frac F, zone X0 Y0 X1 Y1, or "
+                    "ids A,B,…");
+      const std::string& sel = tok[1];
+      if (sel == "half") {
+        expect_args(tok, 2, "no further arguments");
+        s.selector = Stage::CrashSelector::kHalf;
+      } else if (sel == "frac") {
+        expect_args(tok, 3, "one fraction");
+        s.selector = Stage::CrashSelector::kFrac;
+        s.frac = parse_double(tok[2], "crash fraction");
+        if (s.frac <= 0.0 || s.frac > 1.0)
+          fail(line_, "crash fraction " + tok[2] + " out of (0, 1]");
+      } else if (sel == "zone") {
+        expect_args(tok, 6, "four corner coordinates X0 Y0 X1 Y1");
+        s.selector = Stage::CrashSelector::kZone;
+        s.x0 = parse_double(tok[2], "zone x0");
+        s.y0 = parse_double(tok[3], "zone y0");
+        s.x1 = parse_double(tok[4], "zone x1");
+        s.y1 = parse_double(tok[5], "zone y1");
+        if (s.x1 <= s.x0 || s.y1 <= s.y0)
+          fail(line_, "empty crash zone (want x0 < x1 and y0 < y1)");
+      } else if (sel == "ids") {
+        expect_args(tok, 3, "a comma-separated id list");
+        s.selector = Stage::CrashSelector::kIds;
+        std::istringstream is(tok[2]);
+        std::string part;
+        while (std::getline(is, part, ','))
+          s.ids.push_back(parse_count(part, "node id", 0));
+        if (s.ids.empty()) fail(line_, "empty crash id list");
+      } else {
+        fail(line_, "unknown crash selector '" + sel +
+                        "' (want half, frac, zone, or ids)");
+      }
+      crash_seen_ = true;
+    } else if (verb == "churn") {
+      expect_args(tok, 3, "a percentage and a round count");
+      s.kind = Stage::Kind::kChurn;
+      s.frac = parse_double(tok[1], "churn percentage");
+      if (s.frac <= 0.0 || s.frac > 100.0)
+        fail(line_, "churn percentage " + tok[1] + " out of (0, 100]");
+      s.rounds = parse_count(tok[2], "round count");
+      crash_seen_ = true;
+    } else if (verb == "flash-crowd") {
+      expect_args(tok, 3, "a node count and a round count");
+      s.kind = Stage::Kind::kFlashCrowd;
+      s.count = parse_count(tok[1], "node count");
+      s.rounds = parse_count(tok[2], "round count");
+    } else if (verb == "morph") {
+      if (tok.size() < 2)
+        fail(line_, "'morph' wants drift DX DY N or shape SPEC N");
+      if (tok[1] == "drift") {
+        expect_args(tok, 5, "drift DX DY N");
+        s.kind = Stage::Kind::kMorphDrift;
+        s.dx = parse_double(tok[2], "drift dx");
+        s.dy = parse_double(tok[3], "drift dy");
+        s.rounds = parse_count(tok[4], "round count");
+      } else if (tok[1] == "shape") {
+        expect_args(tok, 4, "shape SPEC N");
+        s.kind = Stage::Kind::kMorphShape;
+        std::string err;
+        if (!shape::make_shape(tok[2], &err))
+          fail(line_, "morph to unknown shape: " + err);
+        s.shape_spec = tok[2];
+        s.rounds = parse_count(tok[3], "round count");
+      } else {
+        fail(line_, "unknown morph mode '" + tok[1] +
+                        "' (want drift or shape)");
+      }
+    } else if (verb == "migrate") {
+      expect_args(tok, 4, "DX DY N");
+      s.kind = Stage::Kind::kMigrate;
+      s.dx = parse_double(tok[1], "migrate dx");
+      s.dy = parse_double(tok[2], "migrate dy");
+      s.rounds = parse_count(tok[3], "round count");
+    } else if (verb == "snapshot") {
+      s.kind = Stage::Kind::kSnapshot;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (i > 1) s.label += ' ';
+        s.label += tok[i];
+      }
+    } else if (verb == "measure") {
+      if (tok.size() != 3 || tok[1] != "every")
+        fail(line_, "'measure' wants: measure every R");
+      s.kind = Stage::Kind::kMeasureEvery;
+      s.rounds = parse_count(tok[2], "measure cadence");
+    } else {
+      fail(line_, "unknown stage '" + verb +
+                      "' (want run, grow, crash, churn, flash-crowd, "
+                      "morph, migrate, snapshot, or measure)");
+    }
+    p.timeline.push_back(std::move(s));
+  }
+
+  /// Morph-shape targets must fit inside the torus the base shape created
+  /// (positions cannot leave the metric space); checked here so a bad
+  /// timeline fails at parse time, not 80 rounds into a run.
+  void check_shapes(const ScenarioProgram& p) const {
+    bool any_morph_shape = false;
+    for (const auto& s : p.timeline)
+      if (s.kind == Stage::Kind::kMorphShape) any_morph_shape = true;
+    if (!any_morph_shape) return;
+
+    const auto base = shape::make_shape(p.shape_spec);
+    const auto* torus =
+        dynamic_cast<const space::TorusSpace*>(&base->space());
+    if (torus == nullptr)
+      throw ProgramError(p.file, 0,
+                         "morph shape needs a grid:WxH base shape, not " +
+                             p.shape_spec);
+    for (const auto& s : p.timeline) {
+      if (s.kind != Stage::Kind::kMorphShape) continue;
+      const auto target = shape::make_shape(s.shape_spec);
+      const auto* tt =
+          dynamic_cast<const space::TorusSpace*>(&target->space());
+      if (tt == nullptr)
+        throw ProgramError(p.file, s.line,
+                           "morph shape target must be a grid:WxH, not " +
+                               s.shape_spec);
+      if (tt->width() > torus->width() || tt->height() > torus->height())
+        throw ProgramError(
+            p.file, s.line,
+            "morph target " + s.shape_spec + " does not fit the " +
+                fmt_g(torus->width()) + "x" + fmt_g(torus->height()) +
+                " torus of " + p.shape_spec);
+    }
+  }
+
+  const std::string& text_;
+  std::string file_;
+  int line_ = 0;
+  bool in_timeline_ = false;
+  bool crash_seen_ = false;
+};
+
+std::string engine_header_value(const ScenarioProgram& p) {
+  return to_string(p.options.engine);
+}
+
+}  // namespace
+
+ProgramError::ProgramError(const std::string& file, int line,
+                           const std::string& msg)
+    : std::runtime_error(location(file, line) + ": " + msg),
+      file_(file),
+      line_(line) {}
+
+int ScenarioProgram::line_of(const std::string& directive) const {
+  for (const auto& [k, l] : directive_lines)
+    if (k == directive) return l;
+  return 0;
+}
+
+std::size_t ScenarioProgram::total_rounds() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : timeline)
+    if (s.kind != Stage::Kind::kMeasureEvery &&
+        s.kind != Stage::Kind::kSnapshot)
+      n += s.rounds;
+  return n;
+}
+
+ScenarioProgram parse_program(const std::string& text,
+                              const std::string& filename) {
+  return Parser(text, filename).parse();
+}
+
+ScenarioProgram load_program(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ProgramError(path, 0, "cannot read scenario file");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_program(os.str(), path);
+}
+
+std::string serialize(const ScenarioProgram& p) {
+  std::ostringstream os;
+  os << "name " << p.name << '\n';
+  os << "shape " << p.shape_spec << '\n';
+  os << "engine " << engine_header_value(p) << '\n';
+  os << "seed " << p.options.seed << '\n';
+  os << "reps " << p.reps << '\n';
+  os << "k " << p.options.replication << '\n';
+  os << "split " << core::to_string(p.options.split) << '\n';
+  os << "substrate "
+     << (p.options.substrate == Substrate::kVicinity ? "vicinity" : "tman")
+     << '\n';
+  os << "polystyrene " << (p.options.polystyrene ? "on" : "off") << '\n';
+  if (p.options.fd_delay_rounds != 0)
+    os << "fd-delay " << p.options.fd_delay_rounds << '\n';
+  if (p.options.fd_false_positive_rate != 0.0)
+    os << "fd-fp " << fmt_g(p.options.fd_false_positive_rate) << '\n';
+  os << '\n';
+
+  for (const auto& s : p.timeline) {
+    switch (s.kind) {
+      case Stage::Kind::kRun:
+        os << "run " << s.rounds;
+        break;
+      case Stage::Kind::kGrow:
+        if (s.grow_crashed)
+          os << "grow crashed";
+        else
+          os << "grow " << s.count;
+        break;
+      case Stage::Kind::kCrash:
+        switch (s.selector) {
+          case Stage::CrashSelector::kHalf:
+            os << "crash half";
+            break;
+          case Stage::CrashSelector::kFrac:
+            os << "crash frac " << fmt_g(s.frac);
+            break;
+          case Stage::CrashSelector::kZone:
+            os << "crash zone " << fmt_g(s.x0) << ' ' << fmt_g(s.y0) << ' '
+               << fmt_g(s.x1) << ' ' << fmt_g(s.y1);
+            break;
+          case Stage::CrashSelector::kIds:
+            os << "crash ids ";
+            for (std::size_t i = 0; i < s.ids.size(); ++i)
+              os << (i ? "," : "") << s.ids[i];
+            break;
+        }
+        break;
+      case Stage::Kind::kChurn:
+        os << "churn " << fmt_g(s.frac) << ' ' << s.rounds;
+        break;
+      case Stage::Kind::kFlashCrowd:
+        os << "flash-crowd " << s.count << ' ' << s.rounds;
+        break;
+      case Stage::Kind::kMorphDrift:
+        os << "morph drift " << fmt_g(s.dx) << ' ' << fmt_g(s.dy) << ' '
+           << s.rounds;
+        break;
+      case Stage::Kind::kMorphShape:
+        os << "morph shape " << s.shape_spec << ' ' << s.rounds;
+        break;
+      case Stage::Kind::kMigrate:
+        os << "migrate " << fmt_g(s.dx) << ' ' << fmt_g(s.dy) << ' '
+           << s.rounds;
+        break;
+      case Stage::Kind::kSnapshot:
+        os << "snapshot";
+        if (!s.label.empty()) os << ' ' << s.label;
+        break;
+      case Stage::Kind::kMeasureEvery:
+        os << "measure every " << s.rounds;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void validate_for_mode(const ScenarioProgram& p, EngineMode mode) {
+  if (mode == EngineMode::kSync) return;
+  const char* m = to_string(mode);
+
+  if (!p.options.polystyrene)
+    throw ProgramError(p.file, p.line_of("polystyrene"),
+                       std::string("engine ") + m +
+                           " runs the full Polystyrene stack; "
+                           "'polystyrene off' needs engine sync");
+  if (p.options.substrate != Substrate::kTman)
+    throw ProgramError(p.file, p.line_of("substrate"),
+                       std::string("engine ") + m +
+                           " runs on T-Man; 'substrate vicinity' needs "
+                           "engine sync");
+  if (p.options.fd_delay_rounds != 0)
+    throw ProgramError(p.file, p.line_of("fd-delay"),
+                       std::string("engine ") + m +
+                           " has its own failure detection; fd-delay "
+                           "needs engine sync");
+  if (p.options.fd_false_positive_rate != 0.0)
+    throw ProgramError(p.file, p.line_of("fd-fp"),
+                       std::string("engine ") + m +
+                           " has its own failure detection; fd-fp needs "
+                           "engine sync");
+
+  for (const auto& s : p.timeline) {
+    if (s.kind == Stage::Kind::kMorphDrift ||
+        s.kind == Stage::Kind::kMorphShape ||
+        s.kind == Stage::Kind::kMigrate)
+      throw ProgramError(p.file, s.line,
+                         std::string("morph/migrate stages need engine "
+                                     "sync, not ") +
+                             m);
+    if (mode == EngineMode::kLive &&
+        (s.kind == Stage::Kind::kChurn ||
+         (s.kind == Stage::Kind::kCrash &&
+          s.selector == Stage::CrashSelector::kFrac)))
+      throw ProgramError(p.file, s.line,
+                         "churn / crash frac need a deterministic cluster "
+                         "RNG; engine live has none (use sync or events)");
+  }
+}
+
+ProgramRun run_program_once(const shape::Shape& shape,
+                            const ScenarioProgram& p,
+                            const ScenarioOptions& options,
+                            const RoundHook& hook) {
+  auto rt = make_cluster(shape, options);
+  ProgramRun run;
+
+  std::size_t cadence = std::max<std::size_t>(1, p.measure_every);
+  std::size_t since_measure = 0;
+  bool crash_seen = false;
+  std::size_t crash_round = 0;
+  std::size_t crashed_since_grow = 0;
+  double morph_w = -1.0;  // current morph-shape extent (lazily = base's)
+  double morph_h = -1.0;
+
+  auto note = [&](const std::string& text) {
+    run.events.push_back({rt->rounds_run(), false, text, {}, {}, {}});
+  };
+
+  auto measure_now = [&]() {
+    since_measure = 0;
+    run.rounds.push_back(rt->measure());
+    const auto& m = run.rounds.back();
+    if (crash_seen && std::isnan(run.reshaping_rounds) &&
+        m.homogeneity < run.reference_h_after_crash)
+      run.reshaping_rounds =
+          static_cast<double>(rt->rounds_run() - crash_round);
+  };
+
+  auto step = [&]() {
+    rt->run_round();
+    if (++since_measure >= cadence) measure_now();
+    if (hook) hook(*rt, rt->rounds_run() - 1);
+  };
+
+  auto record_crash = [&](std::size_t n, const std::string& how) {
+    run.crashed += n;
+    crashed_since_grow += n;
+    if (!crash_seen) {
+      crash_seen = true;
+      crash_round = rt->rounds_run();
+      run.reference_h_after_crash =
+          shape.reference_homogeneity(rt->alive_count());
+    }
+    note("crashed " + std::to_string(n) + " nodes (" + how + ")");
+  };
+
+  for (const auto& s : p.timeline) {
+    switch (s.kind) {
+      case Stage::Kind::kRun:
+        for (std::size_t r = 0; r < s.rounds; ++r) step();
+        break;
+
+      case Stage::Kind::kGrow: {
+        const std::size_t want = s.grow_crashed ? crashed_since_grow
+                                                : s.count;
+        const std::size_t n = rt->inject(want);
+        run.injected += n;
+        crashed_since_grow = 0;
+        note("injected " + std::to_string(n) +
+             " fresh nodes (parallel grid)");
+        break;
+      }
+
+      case Stage::Kind::kCrash:
+        switch (s.selector) {
+          case Stage::CrashSelector::kHalf:
+            record_crash(rt->crash_half(), "failure half");
+            break;
+          case Stage::CrashSelector::kFrac:
+            record_crash(
+                rt->crash_random(static_cast<std::size_t>(
+                    s.frac * static_cast<double>(rt->alive_count()))),
+                "random " + fmt_g(s.frac) + " of alive");
+            break;
+          case Stage::CrashSelector::kZone:
+            record_crash(rt->crash_region([&](const space::Point& pt) {
+                           return pt.x() >= s.x0 && pt.x() < s.x1 &&
+                                  pt.y() >= s.y0 && pt.y() < s.y1;
+                         }),
+                         "zone " + fmt_g(s.x0) + "," + fmt_g(s.y0) + " to " +
+                             fmt_g(s.x1) + "," + fmt_g(s.y1));
+            break;
+          case Stage::CrashSelector::kIds:
+            record_crash(rt->crash_ids(s.ids), "explicit ids");
+            break;
+        }
+        break;
+
+      case Stage::Kind::kChurn: {
+        note("churn " + fmt_g(s.frac) + "%/round for " +
+             std::to_string(s.rounds) + " rounds");
+        for (std::size_t r = 0; r < s.rounds; ++r) {
+          const auto n = static_cast<std::size_t>(
+              static_cast<double>(rt->alive_count()) * s.frac / 100.0);
+          if (n > 0) {
+            run.crashed += rt->crash_random(n);
+            crashed_since_grow += n;
+            run.injected += rt->inject(n);
+          }
+          step();
+        }
+        break;
+      }
+
+      case Stage::Kind::kFlashCrowd: {
+        note("flash crowd: " + std::to_string(s.count) + " joins over " +
+             std::to_string(s.rounds) + " rounds");
+        for (std::size_t r = 0; r < s.rounds; ++r) {
+          const std::size_t n =
+              s.count * (r + 1) / s.rounds - s.count * r / s.rounds;
+          if (n > 0) run.injected += rt->inject(n);
+          step();
+        }
+        break;
+      }
+
+      case Stage::Kind::kMorphDrift: {
+        note("morph drift (" + fmt_g(s.dx) + ", " + fmt_g(s.dy) +
+             ")/round for " + std::to_string(s.rounds) + " rounds");
+        for (std::size_t r = 0; r < s.rounds; ++r) {
+          rt->morph([&](const space::Point& pt) {
+            return space::Point{pt.x() + s.dx, pt.y() + s.dy};
+          });
+          step();
+        }
+        break;
+      }
+
+      case Stage::Kind::kMorphShape: {
+        // Scale the target about the origin, one compounding per-round
+        // factor per axis, so after N rounds the extent is exactly the
+        // target's.  Parse-time validation guarantees grid→grid and fit.
+        const auto target = shape::make_shape(s.shape_spec);
+        const auto& tt =
+            dynamic_cast<const space::TorusSpace&>(target->space());
+        const auto& base =
+            dynamic_cast<const space::TorusSpace&>(shape.space());
+        if (morph_w <= 0.0) {
+          morph_w = base.width();
+          morph_h = base.height();
+        }
+        const double fx = std::pow(tt.width() / morph_w,
+                                   1.0 / static_cast<double>(s.rounds));
+        const double fy = std::pow(tt.height() / morph_h,
+                                   1.0 / static_cast<double>(s.rounds));
+        note("morph to " + s.shape_spec + " over " +
+             std::to_string(s.rounds) + " rounds");
+        for (std::size_t r = 0; r < s.rounds; ++r) {
+          rt->morph([&](const space::Point& pt) {
+            return space::Point{pt.x() * fx, pt.y() * fy};
+          });
+          step();
+        }
+        morph_w = tt.width();
+        morph_h = tt.height();
+        break;
+      }
+
+      case Stage::Kind::kMigrate: {
+        const double sx = s.dx / static_cast<double>(s.rounds);
+        const double sy = s.dy / static_cast<double>(s.rounds);
+        note("migrate by (" + fmt_g(s.dx) + ", " + fmt_g(s.dy) + ") over " +
+             std::to_string(s.rounds) + " rounds");
+        for (std::size_t r = 0; r < s.rounds; ++r) {
+          rt->morph([&](const space::Point& pt) {
+            return space::Point{pt.x() + sx, pt.y() + sy};
+          });
+          step();
+        }
+        break;
+      }
+
+      case Stage::Kind::kSnapshot: {
+        ProgramEvent ev;
+        ev.round = rt->rounds_run();
+        ev.is_snapshot = true;
+        ev.text = s.label.empty() ? "r" + std::to_string(ev.round)
+                                  : s.label;
+        if (auto* sim = rt->sim()) {
+          ev.summary = summary_line(*sim);
+        } else {
+          const auto m = rt->measure();
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "round=%llu alive=%zu homogeneity=%.3f (H=%.3f) "
+                        "proximity=%.3f reliability=%.3f",
+                        static_cast<unsigned long long>(rt->rounds_run()),
+                        m.alive, m.homogeneity, m.reference_h, m.proximity,
+                        m.reliability);
+          ev.summary = buf;
+        }
+        ev.positions = rt->alive_positions();
+        ev.map = ascii_density_map(shape.space(), ev.positions);
+        run.events.push_back(std::move(ev));
+        break;
+      }
+
+      case Stage::Kind::kMeasureEvery:
+        cadence = s.rounds;
+        since_measure = 0;
+        break;
+    }
+  }
+
+  // The last executed round is always measured, so "final" values exist
+  // even at a sparse cadence.
+  if (rt->rounds_run() > 0 && since_measure != 0) measure_now();
+
+  run.reliability = rt->reliability();
+  run.rounds_total = rt->rounds_run();
+  return run;
+}
+
+util::MeanCi ProgramResult::reshaping_ci() const {
+  std::vector<double> ok;
+  for (double v : reshaping_rounds)
+    if (!std::isnan(v)) ok.push_back(v);
+  return util::mean_ci(ok);
+}
+
+util::MeanCi ProgramResult::reliability_ci() const {
+  return util::mean_ci(reliability);
+}
+
+std::size_t ProgramResult::never_reshaped() const {
+  std::size_t n = 0;
+  for (double v : reshaping_rounds)
+    if (std::isnan(v)) ++n;
+  return n;
+}
+
+ProgramResult run_program(const ScenarioProgram& p, const RoundHook& hook) {
+  std::string err;
+  const auto shape = shape::make_shape(p.shape_spec, &err);
+  if (!shape) throw ProgramError(p.file, p.line_of("shape"), err);
+  validate_for_mode(p, p.options.engine);
+
+  const std::size_t reps = std::max<std::size_t>(1, p.reps);
+  std::vector<ProgramRun> runs(reps);
+
+  auto run_rep = [&](std::size_t i) {
+    ScenarioOptions opt = p.options;
+    opt.seed = p.options.seed + i;
+    runs[i] = run_program_once(*shape, p, opt, i == 0 ? hook : nullptr);
+  };
+
+  // Live mode runs real threads per node — keep repetitions sequential.
+  std::size_t workers = p.options.engine == EngineMode::kLive
+                            ? 1
+                            : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, reps);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < reps; ++i) run_rep(i);
+  } else {
+    // Work-stealing over repetition indices; every repetition is seeded
+    // independently so the schedule cannot affect results.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= reps) return;
+        run_rep(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Deterministic aggregation in repetition order.
+  ProgramResult out;
+  out.program = p;
+  for (const auto& run : runs) {
+    std::vector<double> hom, prox, pts, mp, rel;
+    hom.reserve(run.rounds.size());
+    for (const auto& m : run.rounds) {
+      hom.push_back(m.homogeneity);
+      prox.push_back(m.proximity);
+      pts.push_back(m.points_per_node);
+      mp.push_back(m.msg_paper);
+      rel.push_back(m.reliability);
+    }
+    out.homogeneity.add_run(hom);
+    out.proximity.add_run(prox);
+    out.points_per_node.add_run(pts);
+    out.msg_paper.add_run(mp);
+    out.reliability_series.add_run(rel);
+    out.reshaping_rounds.push_back(run.reshaping_rounds);
+    out.reliability.push_back(run.reliability);
+  }
+  out.first = std::move(runs[0]);
+  return out;
+}
+
+void print_events(const ProgramResult& result,
+                  const std::optional<std::string>& csv_dir) {
+  for (const auto& ev : result.first.events) {
+    if (!ev.is_snapshot) {
+      std::printf("## round %zu: %s\n", ev.round, ev.text.c_str());
+      continue;
+    }
+    std::printf("\n## round %zu: snapshot %s\n%s\n", ev.round,
+                ev.text.c_str(), ev.summary.c_str());
+    std::fputs(ev.map.c_str(), stdout);
+    if (csv_dir) {
+      std::string label = ev.text;
+      for (char& c : label)
+        if (c == ' ' || c == '/') c = '_';
+      const std::string path = *csv_dir + "/" + result.program.name + "_" +
+                               label + "_r" + std::to_string(ev.round) +
+                               ".csv";
+      std::ofstream f(path);
+      if (f) {
+        f << "x,y\n";
+        for (const auto& pt : ev.positions)
+          f << pt.x() << ',' << pt.y() << '\n';
+        if (f) std::printf("(positions written to %s)\n", path.c_str());
+      }
+    }
+    std::puts("");
+  }
+}
+
+util::Table series_table_for(const ProgramResult& r) {
+  const EngineMode mode = r.program.options.engine;
+  const bool aggregated = r.reshaping_rounds.size() > 1;
+
+  std::vector<std::string> headers{"round", "alive", "homogeneity", "H",
+                                   "proximity"};
+  if (mode == EngineMode::kSync) {
+    headers.push_back("points/node");
+    headers.push_back("msg/node");
+  } else {
+    headers.push_back("reliability");
+    if (mode == EngineMode::kEvents) headers.push_back("frames");
+  }
+
+  util::Table table(std::move(headers));
+  for (std::size_t i = 0; i < r.first.rounds.size(); ++i) {
+    const auto& m = r.first.rounds[i];
+    std::vector<std::string> row{std::to_string(m.round),
+                                 std::to_string(m.alive)};
+    if (aggregated) {
+      row.push_back(r.homogeneity.row(i).str(3));
+      row.push_back(util::fmt(m.reference_h, 3));
+      row.push_back(r.proximity.row(i).str(3));
+      if (mode == EngineMode::kSync) {
+        row.push_back(r.points_per_node.row(i).str(2));
+        row.push_back(r.msg_paper.row(i).str(1));
+      } else {
+        row.push_back(r.reliability_series.row(i).str(3));
+        if (mode == EngineMode::kEvents)
+          row.push_back(std::to_string(m.frames));
+      }
+    } else {
+      row.push_back(util::fmt(m.homogeneity, 3));
+      row.push_back(util::fmt(m.reference_h, 3));
+      row.push_back(util::fmt(m.proximity, 3));
+      if (mode == EngineMode::kSync) {
+        row.push_back(util::fmt(m.points_per_node, 2));
+        row.push_back(util::fmt(m.msg_paper, 1));
+      } else {
+        row.push_back(util::fmt(m.reliability, 3));
+        if (mode == EngineMode::kEvents)
+          row.push_back(std::to_string(m.frames));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace poly::scenario

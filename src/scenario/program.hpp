@@ -1,0 +1,206 @@
+// The scenario compiler: declarative catastrophe timelines.
+//
+// A scenario file (`scenarios/*.poly`) is a flat, line-oriented program: a
+// header declaring the cluster (shape, engine mode, seed, repetitions,
+// protocol knobs) followed by a staged timeline of the events the paper's
+// evaluation is built from — run, crash (half / fraction / zone / explicit
+// ids), grow, churn, flash-crowd, morph, migrate, snapshot:
+//
+//   name fig08_repair
+//   shape grid:80x40
+//   engine sync
+//   k 4
+//
+//   run 20
+//   crash half
+//   snapshot catastrophe
+//   run 10
+//
+// `parse_program` compiles the text into a `ScenarioProgram`, rejecting
+// malformed input with file:line diagnostics (unknown stage, crash fraction
+// out of (0,1], morph to a shape that does not fit the torus, …) — never
+// silently defaulting.  `run_program` executes the timeline on a cluster
+// built through `make_cluster`, once per repetition (seed, seed+1, …),
+// and aggregates per-round series and the paper's two scalar outcomes
+// (reshaping time, reliability) across repetitions.
+//
+// Determinism contract: a fixed (file, seed, engine) pair replays the same
+// trajectory bit for bit under sync and events modes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/runtime.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace poly::scenario {
+
+/// Parse/validation failure with file:line provenance.  `line() == 0`
+/// means the error concerns the file as a whole (e.g. a missing required
+/// header directive).
+class ProgramError : public std::runtime_error {
+ public:
+  ProgramError(const std::string& file, int line, const std::string& msg);
+
+  const std::string& file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// One timeline stage.
+struct Stage {
+  enum class Kind {
+    kRun,           ///< run N — execute N rounds
+    kGrow,          ///< grow N | grow crashed — inject fresh nodes
+    kCrash,         ///< crash half | frac F | zone X0 Y0 X1 Y1 | ids a,b,…
+    kChurn,         ///< churn PCT N — PCT% of alive nodes replaced, N rounds
+    kFlashCrowd,    ///< flash-crowd N R — N joins spread over R rounds
+    kMorphDrift,    ///< morph drift DX DY N — rigid translation per round
+    kMorphShape,    ///< morph shape SPEC N — scale the target over N rounds
+    kMigrate,       ///< migrate DX DY N — total displacement over N rounds
+    kSnapshot,      ///< snapshot [label] — density map + summary now
+    kMeasureEvery,  ///< measure every R — change the sampling cadence
+  };
+  enum class CrashSelector { kHalf, kFrac, kZone, kIds };
+
+  Kind kind = Kind::kRun;
+  int line = 0;  ///< 1-based source line, for diagnostics
+
+  std::size_t rounds = 0;  ///< run/churn/flash-crowd/morph/migrate/measure
+  std::size_t count = 0;   ///< grow N / flash-crowd N
+  bool grow_crashed = false;
+
+  CrashSelector selector = CrashSelector::kHalf;
+  double frac = 0.0;  ///< crash frac F / churn PCT
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  ///< crash zone corners
+  std::vector<std::size_t> ids;                   ///< crash ids
+
+  double dx = 0.0, dy = 0.0;  ///< morph drift (per round) / migrate (total)
+  std::string shape_spec;     ///< morph shape target
+  std::string label;          ///< snapshot label
+};
+
+/// A compiled scenario: resolved header plus the stage timeline.
+struct ScenarioProgram {
+  std::string file;        ///< source path ("<memory>" for inline text)
+  std::string name;        ///< header `name`, defaults to the file stem
+  std::string shape_spec;  ///< required header `shape`
+  ScenarioOptions options;
+  std::size_t reps = 1;
+  std::size_t measure_every = 1;  ///< initial sampling cadence
+  std::vector<Stage> timeline;
+
+  /// Source line of a header directive (0 when it was defaulted) — lets
+  /// mode validation point at the offending line.
+  int line_of(const std::string& directive) const;
+  std::vector<std::pair<std::string, int>> directive_lines;
+
+  /// Total rounds the timeline executes.
+  std::size_t total_rounds() const noexcept;
+};
+
+/// Compiles scenario text.  Throws ProgramError on malformed input.
+ScenarioProgram parse_program(const std::string& text,
+                              const std::string& filename = "<memory>");
+
+/// Reads and compiles a scenario file.  Throws ProgramError (line 0) when
+/// the file cannot be read.
+ScenarioProgram load_program(const std::string& path);
+
+/// Canonical textual form; `parse_program(serialize(p))` round-trips.
+std::string serialize(const ScenarioProgram& p);
+
+/// Checks the timeline is executable under `mode` (morph/migrate and the
+/// sync-only header knobs need sync; churn and fractional crashes need a
+/// cluster RNG, which live mode lacks).  Throws ProgramError.
+void validate_for_mode(const ScenarioProgram& p, EngineMode mode);
+
+/// A timeline event that fired during a run: a note (crash, grow, churn
+/// start, …) or a snapshot (with summary line, density map and positions).
+struct ProgramEvent {
+  std::size_t round = 0;  ///< rounds completed when the event fired
+  bool is_snapshot = false;
+  std::string text;     ///< note text / snapshot label
+  std::string summary;  ///< snapshot only
+  std::string map;      ///< snapshot only
+  std::vector<space::Point> positions;  ///< snapshot only, for CSV dumps
+};
+
+/// Outcome of one repetition.
+struct ProgramRun {
+  std::vector<RoundMetrics> rounds;  ///< measured rounds, in order
+  std::vector<ProgramEvent> events;
+  /// Rounds from the first crash until homogeneity < the post-crash
+  /// reference H (the crash round counts as round 1); NaN when never
+  /// reached.  Sampled at the measure cadence.
+  double reshaping_rounds = std::numeric_limits<double>::quiet_NaN();
+  /// Fraction of original data points still hosted at the end of the run.
+  double reliability = std::numeric_limits<double>::quiet_NaN();
+  double reference_h_after_crash =
+      std::numeric_limits<double>::quiet_NaN();
+  std::size_t crashed = 0;   ///< total nodes crashed by crash/churn stages
+  std::size_t injected = 0;  ///< total nodes injected by grow/churn/flash
+  std::size_t rounds_total = 0;
+};
+
+/// Called after every executed round with the completed 0-based round id.
+using RoundHook = std::function<void(Runtime& rt, std::size_t round)>;
+
+/// Executes the timeline once on a fresh cluster built from `options`.
+/// The program must already be valid for `options.engine`.
+ProgramRun run_program_once(const shape::Shape& shape,
+                            const ScenarioProgram& p,
+                            const ScenarioOptions& options,
+                            const RoundHook& hook = nullptr);
+
+/// Aggregated outcome across repetitions.
+struct ProgramResult {
+  ScenarioProgram program;  ///< the program as run (after any overrides)
+  ProgramRun first;         ///< repetition 0 (events, snapshots, series)
+
+  util::SeriesAggregator homogeneity;
+  util::SeriesAggregator proximity;
+  util::SeriesAggregator points_per_node;  ///< sync mode
+  util::SeriesAggregator msg_paper;        ///< sync mode
+  util::SeriesAggregator reliability_series;  ///< events/live modes
+
+  /// Per-repetition scalars (NaN reshaping = never reshaped).
+  std::vector<double> reshaping_rounds;
+  std::vector<double> reliability;
+
+  util::MeanCi reshaping_ci() const;
+  util::MeanCi reliability_ci() const;
+  std::size_t never_reshaped() const;
+};
+
+/// Builds the shape, validates the program for its engine mode, and runs
+/// `reps` repetitions (seed, seed+1, …) — in parallel threads under sync
+/// and events modes, sequentially under live.  Throws ProgramError on an
+/// invalid program.  The hook, when given, fires for repetition 0 only.
+ProgramResult run_program(const ScenarioProgram& p,
+                          const RoundHook& hook = nullptr);
+
+/// Prints repetition 0's timeline events to stdout — `## round N: …`
+/// notes, and for snapshots the summary line plus density map.  When
+/// `csv_dir` is set, snapshot positions are also written to
+/// `<csv_dir>/<name>_<label>_r<round>.csv` (x,y per line).
+void print_events(const ProgramResult& result,
+                  const std::optional<std::string>& csv_dir = {});
+
+/// The per-round series table for a result: engine-appropriate columns
+/// (sync: homogeneity/H/proximity/points-node/msg-node; fleet engines:
+/// homogeneity/H/proximity/reliability[/frames]).  One row per measured
+/// round; cells are plain values for one repetition, `mean ± ci` beyond.
+util::Table series_table_for(const ProgramResult& r);
+
+}  // namespace poly::scenario

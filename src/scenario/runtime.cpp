@@ -1,0 +1,340 @@
+#include "scenario/runtime.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "engine/event_cluster.hpp"
+#include "net/runtime.hpp"
+#include "sim/traffic.hpp"
+
+namespace poly::scenario {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+class SyncRuntime final : public Runtime {
+ public:
+  SyncRuntime(const shape::Shape& shape, const ScenarioOptions& opt)
+      : shape_(shape), sim_(shape, to_config(opt)) {}
+  SyncRuntime(const shape::Shape& shape, const SimulationConfig& config)
+      : shape_(shape), sim_(shape, config) {}
+
+  EngineMode mode() const noexcept override { return EngineMode::kSync; }
+  const shape::Shape& target_shape() const noexcept override {
+    return shape_;
+  }
+
+  void run_round() override { sim_.run_round(); }
+  std::size_t rounds_run() const noexcept override {
+    return sim_.network().round();
+  }
+  std::size_t alive_count() const override {
+    return sim_.network().num_alive();
+  }
+
+  std::size_t crash_half() override { return sim_.crash_failure_half(); }
+  std::size_t crash_region(
+      const std::function<bool(const space::Point&)>& pred) override {
+    return sim_.network().crash_region(pred);
+  }
+  std::size_t crash_random(std::size_t count) override {
+    return sim_.crash_random(count);
+  }
+  std::size_t crash_ids(std::span<const std::size_t> ids) override {
+    std::size_t crashed = 0;
+    auto& net = sim_.network();
+    for (std::size_t id : ids) {
+      if (id < net.num_total() && net.alive(id)) {
+        net.crash(id);
+        ++crashed;
+      }
+    }
+    return crashed;
+  }
+  std::size_t inject(std::size_t count) override {
+    return sim_.reinject(count).size();
+  }
+
+  bool supports_morph() const noexcept override { return true; }
+  void morph(const std::function<space::Point(const space::Point&)>&
+                 transform) override {
+    sim_.morph_shape(transform);
+  }
+
+  RoundMetrics measure() const override {
+    RoundMetrics m;
+    const auto& net = sim_.network();
+    m.round = net.round() > 0 ? net.round() - 1 : 0;  // last completed
+    m.alive = net.num_alive();
+    m.homogeneity = sim_.homogeneity();
+    m.reference_h = sim_.reference_homogeneity();
+    m.proximity = sim_.proximity();
+    m.points_per_node = sim_.avg_points_per_node();
+    m.reliability = kNaN;
+    if (net.round() > 0) {
+      const auto& traffic = net.traffic();
+      m.msg_tman = traffic.per_node(m.round, sim::Channel::kTman);
+      m.msg_backup = traffic.per_node(m.round, sim::Channel::kBackup);
+      m.msg_migration = traffic.per_node(m.round, sim::Channel::kMigration);
+      m.msg_rps = traffic.per_node(m.round, sim::Channel::kRps);
+      m.msg_paper = m.msg_tman + m.msg_backup + m.msg_migration;
+    }
+    return m;
+  }
+  double reliability() const override { return sim_.reliability(); }
+  std::vector<space::Point> alive_positions() const override {
+    std::vector<space::Point> out;
+    for (sim::NodeId n : sim_.network().alive_ids())
+      out.push_back(sim_.position(n));
+    return out;
+  }
+
+  Simulation* sim() noexcept override { return &sim_; }
+
+ private:
+  static SimulationConfig to_config(const ScenarioOptions& opt) {
+    SimulationConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.polystyrene = opt.polystyrene;
+    cfg.substrate = opt.substrate;
+    cfg.poly.replication = opt.replication;
+    cfg.poly.split_kind = opt.split;
+    cfg.fd_delay_rounds = opt.fd_delay_rounds;
+    cfg.fd_false_positive_rate = opt.fd_false_positive_rate;
+    return cfg;
+  }
+
+  const shape::Shape& shape_;
+  Simulation sim_;
+};
+
+class EventsRuntime final : public Runtime {
+ public:
+  EventsRuntime(const shape::Shape& shape, const ScenarioOptions& opt)
+      : shape_(shape),
+        fleet_(shape.space_ptr(), shape.generate(), to_config(opt),
+               opt.seed) {}
+
+  EngineMode mode() const noexcept override { return EngineMode::kEvents; }
+  const shape::Shape& target_shape() const noexcept override {
+    return shape_;
+  }
+
+  void run_round() override {
+    fleet_.run_rounds(1);
+    ++rounds_;
+  }
+  std::size_t rounds_run() const noexcept override { return rounds_; }
+  std::size_t alive_count() const override { return fleet_.alive_count(); }
+
+  std::size_t crash_half() override {
+    return fleet_.crash_region(
+        [this](const space::Point& p) { return shape_.in_failure_half(p); });
+  }
+  std::size_t crash_region(
+      const std::function<bool(const space::Point&)>& pred) override {
+    return fleet_.crash_region(pred);
+  }
+  std::size_t crash_random(std::size_t count) override {
+    return fleet_.crash_random(count);
+  }
+  std::size_t crash_ids(std::span<const std::size_t> ids) override {
+    std::size_t crashed = 0;
+    for (std::size_t id : ids) crashed += fleet_.crash_node(id) ? 1 : 0;
+    return crashed;
+  }
+  std::size_t inject(std::size_t count) override {
+    const auto positions = shape_.reinjection_positions(count);
+    for (const auto& pos : positions) fleet_.inject(pos);
+    return positions.size();
+  }
+
+  RoundMetrics measure() const override {
+    RoundMetrics m;
+    m.round = rounds_ > 0 ? rounds_ - 1 : 0;
+    m.alive = fleet_.alive_count();
+    m.homogeneity = fleet_.homogeneity();
+    m.reference_h = shape_.reference_homogeneity(m.alive);
+    m.proximity = fleet_.proximity();
+    m.points_per_node = kNaN;
+    m.reliability = fleet_.reliability();
+    m.msg_paper = m.msg_tman = m.msg_backup = m.msg_migration = m.msg_rps =
+        kNaN;
+    m.frames = fleet_.hub().frames_sent();
+    return m;
+  }
+  double reliability() const override { return fleet_.reliability(); }
+  std::vector<space::Point> alive_positions() const override {
+    return fleet_.alive_positions();
+  }
+
+  engine::EventCluster& fleet() noexcept { return fleet_; }
+
+ private:
+  static engine::EventClusterConfig to_config(const ScenarioOptions& opt) {
+    engine::EventClusterConfig cfg;
+    cfg.node.replication = opt.replication;
+    cfg.node.split_kind = opt.split;
+    return cfg;
+  }
+
+  const shape::Shape& shape_;
+  engine::EventCluster fleet_;
+  std::size_t rounds_ = 0;
+};
+
+class LiveRuntime final : public Runtime {
+ public:
+  LiveRuntime(const shape::Shape& shape, const ScenarioOptions& opt)
+      : shape_(shape),
+        cfg_(to_config(opt)),
+        fleet_(shape.space_ptr(), shape.generate(), cfg_, opt.seed) {
+    fleet_.start();
+  }
+  ~LiveRuntime() override { fleet_.stop(); }
+
+  EngineMode mode() const noexcept override { return EngineMode::kLive; }
+  const shape::Shape& target_shape() const noexcept override {
+    return shape_;
+  }
+
+  void run_round() override {
+    std::this_thread::sleep_for(cfg_.tick);  // one wall-clock "round"
+    ++rounds_;
+  }
+  std::size_t rounds_run() const noexcept override { return rounds_; }
+  std::size_t alive_count() const override { return fleet_.alive_count(); }
+
+  std::size_t crash_half() override {
+    return fleet_.crash_region(
+        [this](const space::Point& p) { return shape_.in_failure_half(p); });
+  }
+  std::size_t crash_region(
+      const std::function<bool(const space::Point&)>& pred) override {
+    return fleet_.crash_region(pred);
+  }
+  std::size_t crash_random(std::size_t) override {
+    throw std::logic_error(
+        "crash frac: live mode has no deterministic cluster RNG; use "
+        "crash half/zone/ids or --engine sync|events");
+  }
+  std::size_t crash_ids(std::span<const std::size_t> ids) override {
+    std::size_t crashed = 0;
+    for (std::size_t id : ids) crashed += fleet_.crash_node(id) ? 1 : 0;
+    return crashed;
+  }
+  std::size_t inject(std::size_t count) override {
+    const auto positions = shape_.reinjection_positions(count);
+    for (const auto& pos : positions) fleet_.inject(pos);
+    return positions.size();
+  }
+
+  RoundMetrics measure() const override {
+    RoundMetrics m;
+    m.round = rounds_ > 0 ? rounds_ - 1 : 0;
+    m.alive = fleet_.alive_count();
+    m.homogeneity = fleet_.homogeneity();
+    m.reference_h = shape_.reference_homogeneity(m.alive);
+    m.proximity = fleet_.proximity();
+    m.points_per_node = kNaN;
+    m.reliability = fleet_.reliability();
+    m.msg_paper = m.msg_tman = m.msg_backup = m.msg_migration = m.msg_rps =
+        kNaN;
+    return m;
+  }
+  double reliability() const override { return fleet_.reliability(); }
+  std::vector<space::Point> alive_positions() const override {
+    return fleet_.alive_positions();
+  }
+
+ private:
+  static net::AsyncConfig to_config(const ScenarioOptions& opt) {
+    net::AsyncConfig cfg;
+    cfg.replication = opt.replication;
+    cfg.split_kind = opt.split;
+    return cfg;
+  }
+
+  const shape::Shape& shape_;
+  net::AsyncConfig cfg_;
+  net::LiveCluster fleet_;
+  std::size_t rounds_ = 0;
+};
+
+/// Thread-per-node live fleets stop being practical past this size; the
+/// same guard lived in polystyrene_sim before the factory unified setup.
+constexpr std::size_t kLiveMaxNodes = 512;
+
+}  // namespace
+
+std::optional<EngineMode> engine_mode_from_string(std::string_view s) {
+  if (s == "sync") return EngineMode::kSync;
+  if (s == "events") return EngineMode::kEvents;
+  if (s == "live") return EngineMode::kLive;
+  return std::nullopt;
+}
+
+const char* to_string(EngineMode mode) noexcept {
+  switch (mode) {
+    case EngineMode::kSync: return "sync";
+    case EngineMode::kEvents: return "events";
+    case EngineMode::kLive: return "live";
+  }
+  return "unknown";
+}
+
+void Runtime::morph(
+    const std::function<space::Point(const space::Point&)>&) {
+  throw std::logic_error(std::string("morph/migrate stages need --engine "
+                                     "sync; this cluster runs ") +
+                         to_string(mode()));
+}
+
+std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,
+                                      const ScenarioOptions& options) {
+  if (options.engine != EngineMode::kSync) {
+    // The fleet engines run the full Polystyrene-on-T-Man AsyncNode stack
+    // with its own failure detection; reject sync-only knobs loudly
+    // instead of silently ignoring them.
+    const char* mode = to_string(options.engine);
+    if (!options.polystyrene)
+      throw std::invalid_argument(
+          std::string("engine ") + mode +
+          " runs the full Polystyrene stack; 'polystyrene off' needs "
+          "engine sync");
+    if (options.substrate != Substrate::kTman)
+      throw std::invalid_argument(std::string("engine ") + mode +
+                                  " runs on T-Man; 'substrate vicinity' "
+                                  "needs engine sync");
+    if (options.fd_delay_rounds != 0 ||
+        options.fd_false_positive_rate != 0.0)
+      throw std::invalid_argument(std::string("engine ") + mode +
+                                  " has its own failure detection; fd-* "
+                                  "knobs need engine sync");
+  }
+  switch (options.engine) {
+    case EngineMode::kSync:
+      return std::make_unique<SyncRuntime>(shape, options);
+    case EngineMode::kEvents:
+      return std::make_unique<EventsRuntime>(shape, options);
+    case EngineMode::kLive:
+      if (shape.size() > kLiveMaxNodes)
+        throw std::invalid_argument(
+            "engine live is thread-per-node; " +
+            std::to_string(shape.size()) +
+            " nodes is too many (use engine events, or a shape of <= " +
+            std::to_string(kLiveMaxNodes) + " nodes)");
+      return std::make_unique<LiveRuntime>(shape, options);
+  }
+  throw std::invalid_argument("unknown engine mode");
+}
+
+std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,
+                                      const SimulationConfig& config) {
+  return std::make_unique<SyncRuntime>(shape, config);
+}
+
+}  // namespace poly::scenario

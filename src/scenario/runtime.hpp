@@ -1,0 +1,149 @@
+// One run API over the three execution engines.
+//
+// Before this existed every driver and bench binary had its own copy of the
+// cluster setup dance — one code path building a sync `Simulation`, one an
+// `engine::EventCluster`, one a threaded `net::LiveCluster` — dispatching
+// on raw "sync"/"events"/"live" strings.  `make_cluster` is now the single
+// factory: it takes a target shape plus `ScenarioOptions`, validates the
+// combination (the fleet engines run the full Polystyrene-on-T-Man stack;
+// substrate/fd/baseline knobs are sync-only), and returns a `Runtime` that
+// exposes the common scenario verbs — run a round, crash (half / region /
+// random / explicit ids), inject, morph, measure — uniformly.
+//
+// The scenario compiler (`scenario/program.hpp`), the `poly_scenario`
+// driver, `polystyrene_sim`, and the three-phase runner all build fleets
+// through this API, so a scenario written once runs under any engine mode
+// it is valid for:
+//
+//   auto rt = make_cluster(shape, {.engine = EngineMode::kEvents});
+//   rt->run_round();
+//   rt->crash_half();
+//
+// Determinism contract: a fixed (shape, options, call sequence) replays the
+// same trajectory bit for bit in sync and events modes (live mode runs real
+// threads and is not reproducible).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/split.hpp"
+#include "scenario/simulation.hpp"
+#include "shape/shape.hpp"
+
+namespace poly::scenario {
+
+/// Execution engine selector — the typed replacement for the stringly
+/// "sync"/"events"/"live" dispatch.
+enum class EngineMode {
+  kSync,    ///< lock-step round simulator (the paper's evaluation)
+  kEvents,  ///< live protocol on the deterministic event engine
+  kLive,    ///< live protocol on real threads (small shapes only)
+};
+
+/// Parses "sync" / "events" / "live"; nullopt on anything else.
+std::optional<EngineMode> engine_mode_from_string(std::string_view s);
+const char* to_string(EngineMode mode) noexcept;
+
+/// The unified cluster setup knobs, shared by every driver.  Substrate,
+/// baseline, and failure-detector knobs apply to sync mode only —
+/// `make_cluster` rejects them under the fleet engines instead of silently
+/// ignoring them.
+struct ScenarioOptions {
+  EngineMode engine = EngineMode::kSync;
+  std::uint64_t seed = 1;
+  std::size_t replication = 4;
+  core::SplitKind split = core::SplitKind::kAdvanced;
+  bool polystyrene = true;                       // sync only when false
+  Substrate substrate = Substrate::kTman;        // sync only when vicinity
+  std::uint64_t fd_delay_rounds = 0;             // sync only when nonzero
+  double fd_false_positive_rate = 0.0;           // sync only when nonzero
+};
+
+/// Metrics measured after a completed round.  Fields an engine mode cannot
+/// measure are NaN (frames: 0 outside events mode); `round` counts
+/// completed rounds, starting at 0 for the first.
+struct RoundMetrics {
+  std::size_t round = 0;
+  std::size_t alive = 0;
+  double homogeneity = 0.0;
+  double reference_h = 0.0;    ///< H for the current alive count
+  double proximity = 0.0;
+  double points_per_node = 0.0;  ///< NaN outside sync mode
+  double reliability = 0.0;      ///< NaN in sync mode (measured at run end)
+  double msg_paper = 0.0;        ///< T-Man+backup+migration; NaN non-sync
+  double msg_tman = 0.0;
+  double msg_backup = 0.0;
+  double msg_migration = 0.0;
+  double msg_rps = 0.0;
+  std::uint64_t frames = 0;      ///< cumulative hub frames (events mode)
+};
+
+/// A running cluster under one engine mode, driven through scenario verbs.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual EngineMode mode() const noexcept = 0;
+  virtual const shape::Shape& target_shape() const noexcept = 0;
+
+  virtual void run_round() = 0;
+  /// Completed rounds so far (== next measure().round + 1 ... i.e. the
+  /// count of run_round calls).
+  virtual std::size_t rounds_run() const noexcept = 0;
+
+  virtual std::size_t alive_count() const = 0;
+
+  /// Crashes the shape's failure half (every node whose *original* point
+  /// satisfies Shape::in_failure_half).  Returns the number crashed.
+  virtual std::size_t crash_half() = 0;
+  /// Crashes every node whose *original* point satisfies `pred`.
+  virtual std::size_t crash_region(
+      const std::function<bool(const space::Point&)>& pred) = 0;
+  /// Crashes `count` alive nodes chosen uniformly.
+  virtual std::size_t crash_random(std::size_t count) = 0;
+  /// Crashes the listed node ids; already-dead / out-of-range ids are
+  /// skipped.  Returns the number actually crashed.
+  virtual std::size_t crash_ids(std::span<const std::size_t> ids) = 0;
+
+  /// Injects `count` fresh data-point-less nodes on the shape's parallel
+  /// reinjection grid.  Returns the number injected.
+  virtual std::size_t inject(std::size_t count) = 0;
+
+  /// Shape morphing (drift / migration / reshaping) — sync mode only.
+  virtual bool supports_morph() const noexcept { return false; }
+  virtual void morph(
+      const std::function<space::Point(const space::Point&)>& transform);
+
+  virtual RoundMetrics measure() const = 0;
+  /// Fraction of the original data points still hosted (end-of-run
+  /// scalar; cheap enough to also sample mid-run).
+  virtual double reliability() const = 0;
+  /// Current advertised position of every alive node (density maps).
+  virtual std::vector<space::Point> alive_positions() const = 0;
+
+  /// The sync-mode façade, for snapshot/positions-CSV helpers that need
+  /// the full Simulation; nullptr under the fleet engines.
+  virtual Simulation* sim() noexcept { return nullptr; }
+};
+
+/// Builds a cluster of `options.engine` mode over `shape`.  Throws
+/// std::invalid_argument when the options are invalid for the mode (e.g.
+/// `substrate vicinity` under events, a >512-node shape under live).  The
+/// shape must outlive the runtime.
+std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,
+                                      const ScenarioOptions& options);
+
+/// Sync-mode factory for callers that tune the deeper SimulationConfig
+/// knobs (sub-protocol configs, ablation parameters) the flat
+/// ScenarioOptions does not expose — the experiment harness and ablation
+/// benches build through this.
+std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,
+                                      const SimulationConfig& config);
+
+}  // namespace poly::scenario

@@ -12,8 +12,16 @@ namespace poly::scenario {
 
 std::string ascii_density_map(const Simulation& sim, std::size_t cols,
                               std::size_t rows) {
-  const auto* torus =
-      dynamic_cast<const space::TorusSpace*>(&sim.metric_space());
+  std::vector<space::Point> positions;
+  for (sim::NodeId n : sim.network().alive_ids())
+    positions.push_back(sim.position(n));
+  return ascii_density_map(sim.metric_space(), positions, cols, rows);
+}
+
+std::string ascii_density_map(const space::MetricSpace& space,
+                              std::span<const space::Point> positions,
+                              std::size_t cols, std::size_t rows) {
+  const auto* torus = dynamic_cast<const space::TorusSpace*>(&space);
 
   double width = 1.0;
   double height = 1.0;
@@ -23,13 +31,11 @@ std::string ascii_density_map(const Simulation& sim, std::size_t cols,
   } else {
     // 1-D or generic: histogram along x over the observed extent.
     rows = 1;
-    for (sim::NodeId n : sim.network().alive_ids())
-      width = std::max(width, sim.position(n).x() + 1e-9);
+    for (const auto& p : positions) width = std::max(width, p.x() + 1e-9);
   }
 
   std::vector<std::size_t> counts(cols * rows, 0);
-  for (sim::NodeId n : sim.network().alive_ids()) {
-    const auto& p = sim.position(n);
+  for (const auto& p : positions) {
     auto cx = static_cast<std::size_t>(p.x() / width *
                                        static_cast<double>(cols));
     auto cy = rows == 1 ? 0

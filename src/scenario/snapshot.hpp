@@ -6,6 +6,7 @@
 // half is Fig. 1c) and a CSV of node positions for external plotting.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "scenario/simulation.hpp"
@@ -18,6 +19,12 @@ namespace poly::scenario {
 /// render a 1-row histogram along the first coordinate.
 std::string ascii_density_map(const Simulation& sim, std::size_t cols = 40,
                               std::size_t rows = 20);
+
+/// Engine-agnostic form: renders `positions` over `space` the same way
+/// (the events/live scenario runtimes snapshot through this overload).
+std::string ascii_density_map(const space::MetricSpace& space,
+                              std::span<const space::Point> positions,
+                              std::size_t cols = 40, std::size_t rows = 20);
 
 /// Writes "node_id,x,y,guests" rows for every alive node.
 /// Returns false on I/O failure.

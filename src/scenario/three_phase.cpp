@@ -2,24 +2,24 @@
 
 #include <cmath>
 
+#include "scenario/runtime.hpp"
+
 namespace poly::scenario {
 
 namespace {
 
-RoundRecord measure(const Simulation& sim) {
+RoundRecord to_record(const RoundMetrics& m) {
   RoundRecord rec;
-  const auto& net = sim.network();
-  rec.round = net.round() - 1;  // the round that just completed
-  rec.alive = net.num_alive();
-  rec.homogeneity = sim.homogeneity();
-  rec.proximity = sim.proximity();
-  rec.points_per_node = sim.avg_points_per_node();
-  const auto& traffic = net.traffic();
-  rec.msg_tman = traffic.per_node(rec.round, sim::Channel::kTman);
-  rec.msg_backup = traffic.per_node(rec.round, sim::Channel::kBackup);
-  rec.msg_migration = traffic.per_node(rec.round, sim::Channel::kMigration);
-  rec.msg_rps = traffic.per_node(rec.round, sim::Channel::kRps);
-  rec.msg_paper = rec.msg_tman + rec.msg_backup + rec.msg_migration;
+  rec.round = m.round;
+  rec.alive = m.alive;
+  rec.homogeneity = m.homogeneity;
+  rec.proximity = m.proximity;
+  rec.points_per_node = m.points_per_node;
+  rec.msg_paper = m.msg_paper;
+  rec.msg_tman = m.msg_tman;
+  rec.msg_backup = m.msg_backup;
+  rec.msg_migration = m.msg_migration;
+  rec.msg_rps = m.msg_rps;
   return rec;
 }
 
@@ -29,13 +29,13 @@ RunResult run_three_phase(const shape::Shape& shape,
                           const SimulationConfig& config,
                           const ThreePhaseSpec& spec,
                           const SnapshotHook& hook) {
-  Simulation sim(shape, config);
+  const auto rt = make_cluster(shape, config);
   RunResult result;
 
   auto step = [&]() {
-    sim.run_round();
-    result.rounds.push_back(measure(sim));
-    if (hook) hook(sim, result.rounds.back().round);
+    rt->run_round();
+    result.rounds.push_back(to_record(rt->measure()));
+    if (hook) hook(*rt->sim(), result.rounds.back().round);
   };
 
   // Phase 1: convergence.
@@ -44,8 +44,9 @@ RunResult run_three_phase(const shape::Shape& shape,
   if (spec.failure_rounds == 0) return result;
 
   // Phase 2: catastrophic correlated failure.
-  result.crashed = sim.crash_failure_half();
-  result.reference_h_after_failure = sim.reference_homogeneity();
+  result.crashed = rt->crash_half();
+  result.reference_h_after_failure =
+      shape.reference_homogeneity(rt->alive_count());
   const std::size_t fail_start = result.rounds.size();
   for (std::size_t r = 0; r < spec.failure_rounds; ++r) {
     step();
@@ -58,14 +59,14 @@ RunResult run_three_phase(const shape::Shape& shape,
     }
   }
   // Lost points never come back, so reliability is stable by now.
-  result.reliability = sim.reliability();
+  result.reliability = rt->reliability();
 
   if (spec.reinjection_rounds == 0) return result;
 
   // Phase 3: re-injection of fresh nodes.
   const std::size_t to_inject =
       spec.reinject_count == 0 ? result.crashed : spec.reinject_count;
-  result.reinjected = sim.reinject(to_inject).size();
+  result.reinjected = rt->inject(to_inject);
   for (std::size_t r = 0; r < spec.reinjection_rounds; ++r) step();
 
   return result;

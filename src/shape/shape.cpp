@@ -1,5 +1,54 @@
 #include "shape/shape.hpp"
 
+#include <cstdio>
+
+#include "shape/cube_torus.hpp"
+#include "shape/grid_torus.hpp"
+#include "shape/ring_shape.hpp"
+
 namespace poly::shape {
-// Shape is an interface; concrete generators live in their own TUs.
+
+namespace {
+
+std::unique_ptr<Shape> fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Shape> make_shape(const std::string& spec,
+                                  std::string* error) {
+  if (spec.rfind("grid:", 0) == 0) {
+    unsigned w = 0;
+    unsigned h = 0;
+    char trailing = '\0';
+    if (std::sscanf(spec.c_str() + 5, "%ux%u%c", &w, &h, &trailing) != 2 ||
+        w == 0 || h == 0)
+      return fail(error, "bad grid spec '" + spec + "' (want grid:WxH)");
+    return std::make_unique<GridTorusShape>(w, h);
+  }
+  if (spec.rfind("ring:", 0) == 0) {
+    unsigned n = 0;
+    char trailing = '\0';
+    if (std::sscanf(spec.c_str() + 5, "%u%c", &n, &trailing) != 1 || n == 0)
+      return fail(error, "bad ring spec '" + spec + "' (want ring:N)");
+    return std::make_unique<RingShape>(n);
+  }
+  if (spec.rfind("cube:", 0) == 0) {
+    unsigned x = 0;
+    unsigned y = 0;
+    unsigned z = 0;
+    char trailing = '\0';
+    if (std::sscanf(spec.c_str() + 5, "%ux%ux%u%c", &x, &y, &z, &trailing) !=
+            3 ||
+        x == 0 || y == 0 || z == 0)
+      return fail(error, "bad cube spec '" + spec + "' (want cube:XxYxZ)");
+    return std::make_unique<CubeTorusShape>(x, y, z);
+  }
+  return fail(error,
+              "unknown shape '" + spec + "' (want grid:WxH, ring:N, or "
+              "cube:XxYxZ)");
+}
+
 }  // namespace poly::shape

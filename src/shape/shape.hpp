@@ -54,4 +54,11 @@ class Shape {
   virtual std::string name() const = 0;
 };
 
+/// Parses a textual shape spec — `grid:WxH`, `ring:N`, or `cube:XxYxZ` —
+/// into a concrete shape.  Returns nullptr and sets *error (when given) on
+/// an unknown kind or malformed/zero dimensions.  This is the one spec
+/// grammar shared by the sim driver, the scenario compiler, and benches.
+std::unique_ptr<Shape> make_shape(const std::string& spec,
+                                  std::string* error = nullptr);
+
 }  // namespace poly::shape

@@ -1,0 +1,174 @@
+// Bench output plumbing shared by the bench binaries and the scenario
+// driver: the common BenchOptions knobs (reps / max-nodes / seed / csv /
+// json, CLI flags with environment fallbacks) and the emit path that
+// writes every result table as an aligned ASCII table, optional CSV, and a
+// machine-readable BENCH_<name>.json record CI archives as artifacts.
+//
+// This lived in bench/common.hpp; it moved into the library so
+// `poly_scenario` (tools/) and any future driver emit through the exact
+// same path as the bench/*.cpp binaries.  Flag parsing is util::cli, so
+// unknown flags are now errors instead of being silently ignored.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace poly::bench {
+
+struct BenchOptions {
+  std::size_t reps = 5;
+  std::size_t max_nodes = 51200;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_dir;
+  std::string json_dir = ".";  // empty = JSON records disabled
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+
+  /// Registers the shared flags on `parser` (without parsing), so drivers
+  /// with their own flag set reuse the same names/env variables.
+  void register_flags(util::cli::Parser& parser) {
+    static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                  "BenchOptions relies on size_t == u64 flags");
+    parser
+        .flag("reps", reinterpret_cast<std::uint64_t*>(&reps),
+              "repetitions per configuration", "POLY_BENCH_REPS")
+        .flag("max-nodes", reinterpret_cast<std::uint64_t*>(&max_nodes),
+              "cap for the scalability sweeps", "POLY_BENCH_MAX_NODES")
+        .flag("seed", &seed, "base RNG seed", "POLY_BENCH_SEED")
+        .flag("csv", &csv_dir, "also write gnuplot-ready CSVs there",
+              "POLY_BENCH_CSV")
+        .flag("json", &json_dir,
+              "directory for BENCH_<name>.json records; empty disables",
+              "POLY_BENCH_JSON");
+  }
+
+  /// Parses the shared bench flags.  `extend`, when given, registers
+  /// bench-specific extra flags on the same parser (e.g.
+  /// fig10a_engine_scalability's --steady) so they share --help and the
+  /// unknown-flag check.
+  static BenchOptions parse(
+      int argc, char** argv, std::size_t default_reps = 5,
+      const std::function<void(util::cli::Parser&)>& extend = nullptr) {
+    BenchOptions opt;
+    opt.reps = default_reps;
+    util::cli::Parser parser(argc > 0 ? argv[0] : "bench",
+                             "paper-reproduction bench");
+    opt.register_flags(parser);
+    if (extend) extend(parser);
+    parser.parse_or_exit(argc, argv);
+    if (opt.reps == 0) opt.reps = 1;
+    return opt;
+  }
+};
+
+namespace detail {
+
+inline void json_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Emits a cell as a bare JSON number when it parses fully as one (so
+/// downstream tooling gets numbers for "nodes"/"wall_s"-style columns),
+/// else as a string ("0.502 ± 0.01" series cells stay strings).
+inline void json_cell(std::string& out, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && *end == '\0' &&
+        cell.find_first_of("nN") == std::string::npos) {  // reject nan/inf
+      out += cell;
+      return;
+    }
+  }
+  json_escape(out, cell);
+}
+
+}  // namespace detail
+
+/// Writes <json_dir>/BENCH_<name>.json: the bench options, elapsed
+/// wall-clock, and the full table (headers + every cell).  This is the
+/// machine-readable perf record CI uploads as an artifact.
+inline bool write_bench_json(const util::Table& table, const BenchOptions& opt,
+                             const std::string& name,
+                             const std::string& path) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    opt.started)
+          .count();
+  std::string out = "{\n  \"bench\": ";
+  detail::json_escape(out, name);
+  out += ",\n  \"seed\": " + std::to_string(opt.seed);
+  out += ",\n  \"reps\": " + std::to_string(opt.reps);
+  out += ",\n  \"max_nodes\": " + std::to_string(opt.max_nodes);
+  char wall_buf[32];
+  std::snprintf(wall_buf, sizeof wall_buf, "%.3f", wall);
+  out += ",\n  \"wall_seconds\": ";
+  out += wall_buf;
+  out += ",\n  \"headers\": [";
+  for (std::size_t c = 0; c < table.headers().size(); ++c) {
+    if (c) out += ", ";
+    detail::json_escape(out, table.headers()[c]);
+  }
+  out += "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < table.data().size(); ++r) {
+    out += r ? ",\n    [" : "\n    [";
+    const auto& row = table.data()[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ", ";
+      detail::json_cell(out, row[c]);
+    }
+    out += "]";
+  }
+  out += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// Emits the table to stdout, optionally to <csv_dir>/<name>.csv, and (by
+/// default) to <json_dir>/BENCH_<name>.json for the CI perf trajectory.
+inline void emit(const util::Table& table, const BenchOptions& opt,
+                 const std::string& name) {
+  std::fputs(table.to_string().c_str(), stdout);
+  if (opt.csv_dir) {
+    const std::string path = *opt.csv_dir + "/" + name + ".csv";
+    if (table.write_csv(path)) std::printf("(csv written to %s)\n", path.c_str());
+  }
+  if (!opt.json_dir.empty()) {
+    const std::string path = opt.json_dir + "/BENCH_" + name + ".json";
+    if (write_bench_json(table, opt, name, path))
+      std::printf("(json written to %s)\n", path.c_str());
+  }
+}
+
+}  // namespace poly::bench

@@ -1,0 +1,267 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace poly::util::cli {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const auto v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_long(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Parser::Parser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+Parser& Parser::add(std::string name, Kind kind, void* out, std::string help,
+                    const char* env) {
+  Flag f;
+  f.name = std::move(name);
+  f.kind = kind;
+  f.out = out;
+  f.help = std::move(help);
+  if (env != nullptr) f.env = env;
+  flags_.push_back(std::move(f));
+  return *this;
+}
+
+Parser& Parser::flag(std::string name, std::uint64_t* out, std::string help,
+                     const char* env) {
+  return add(std::move(name), Kind::kU64, out, std::move(help), env);
+}
+Parser& Parser::flag(std::string name, long* out, std::string help,
+                     const char* env) {
+  return add(std::move(name), Kind::kLong, out, std::move(help), env);
+}
+Parser& Parser::flag(std::string name, double* out, std::string help,
+                     const char* env) {
+  return add(std::move(name), Kind::kDouble, out, std::move(help), env);
+}
+Parser& Parser::flag(std::string name, std::string* out, std::string help,
+                     const char* env) {
+  return add(std::move(name), Kind::kString, out, std::move(help), env);
+}
+Parser& Parser::flag(std::string name, std::optional<std::string>* out,
+                     std::string help, const char* env) {
+  return add(std::move(name), Kind::kOptString, out, std::move(help), env);
+}
+Parser& Parser::flag(std::string name, bool* out, std::string help) {
+  return add(std::move(name), Kind::kBool, out, std::move(help), nullptr);
+}
+
+Parser& Parser::positional(std::string name, std::string* out,
+                           std::string help, bool required) {
+  positionals_.push_back(
+      Positional{std::move(name), out, std::move(help), required, false});
+  return *this;
+}
+
+Parser::Flag* Parser::find(std::string_view name) {
+  for (auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool Parser::assign(Flag& f, const std::string& value, std::string* error) {
+  bool ok = true;
+  switch (f.kind) {
+    case Kind::kU64:
+      ok = parse_u64(value, static_cast<std::uint64_t*>(f.out));
+      break;
+    case Kind::kLong:
+      ok = parse_long(value, static_cast<long*>(f.out));
+      break;
+    case Kind::kDouble:
+      ok = parse_double(value, static_cast<double*>(f.out));
+      break;
+    case Kind::kString:
+      *static_cast<std::string*>(f.out) = value;
+      break;
+    case Kind::kOptString:
+      *static_cast<std::optional<std::string>*>(f.out) = value;
+      break;
+    case Kind::kBool:
+      *static_cast<bool*>(f.out) = true;
+      break;
+  }
+  if (!ok && error != nullptr)
+    *error = "--" + f.name + ": bad value '" + value + "'";
+  if (ok) f.set = true;
+  return ok;
+}
+
+bool Parser::parse(int argc, char** argv, std::string* error) {
+  // Environment fallbacks first, so argv flags override them.
+  for (auto& f : flags_) {
+    if (f.env.empty()) continue;
+    if (const char* e = std::getenv(f.env.c_str())) {
+      std::string err;
+      if (!assign(f, e, &err)) {
+        if (error != nullptr) *error = f.env + ": " + err;
+        return false;
+      }
+    }
+  }
+
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) == 0) {
+      // Accept both `--name value` and `--name=value`.
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name.resize(eq);
+      }
+      Flag* f = find(name);
+      if (f == nullptr) {
+        if (error != nullptr) *error = "unknown option: --" + name;
+        return false;
+      }
+      if (f->kind == Kind::kBool) {
+        if (inline_value) {
+          if (error != nullptr)
+            *error = "--" + name + " takes no value";
+          return false;
+        }
+        *static_cast<bool*>(f->out) = true;
+        f->set = true;
+        continue;
+      }
+      std::string value;
+      if (inline_value) {
+        value = *inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        if (error != nullptr) *error = "--" + name + " needs a value";
+        return false;
+      }
+      if (!assign(*f, value, error)) return false;
+      continue;
+    }
+    if (next_positional < positionals_.size()) {
+      auto& p = positionals_[next_positional++];
+      *p.out = arg;
+      p.set = true;
+      continue;
+    }
+    if (error != nullptr) *error = "unexpected argument: " + arg;
+    return false;
+  }
+
+  for (const auto& p : positionals_) {
+    if (p.required && !p.set) {
+      if (error != nullptr) *error = "missing argument: " + p.name;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Parser::parse_or_exit(int argc, char** argv) {
+  std::string error;
+  if (!parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s: %s (try --help)\n", program_.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+}
+
+bool Parser::was_set(std::string_view name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return f.set;
+  return false;
+}
+
+std::string Parser::default_of(const Flag& f) const {
+  char buf[32];
+  switch (f.kind) {
+    case Kind::kU64:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(
+                        *static_cast<const std::uint64_t*>(f.out)));
+      return buf;
+    case Kind::kLong:
+      std::snprintf(buf, sizeof buf, "%ld", *static_cast<const long*>(f.out));
+      return buf;
+    case Kind::kDouble:
+      std::snprintf(buf, sizeof buf, "%g",
+                    *static_cast<const double*>(f.out));
+      return buf;
+    case Kind::kString:
+      return *static_cast<const std::string*>(f.out);
+    case Kind::kOptString: {
+      const auto& v = *static_cast<const std::optional<std::string>*>(f.out);
+      return v ? *v : "";
+    }
+    case Kind::kBool:
+      return "";
+  }
+  return "";
+}
+
+std::string Parser::help() const {
+  std::string out = "usage: " + program_;
+  if (!flags_.empty()) out += " [options]";
+  for (const auto& p : positionals_)
+    out += p.required ? " " + p.name : " [" + p.name + "]";
+  out += '\n';
+  if (!summary_.empty()) out += summary_ + '\n';
+
+  if (!positionals_.empty()) {
+    out += "\narguments:\n";
+    for (const auto& p : positionals_) {
+      std::string line = "  " + p.name;
+      line.append(line.size() < 26 ? 26 - line.size() : 1, ' ');
+      out += line + p.help + '\n';
+    }
+  }
+
+  out += "\noptions:\n";
+  for (const auto& f : flags_) {
+    std::string line = "  --" + f.name;
+    if (f.kind != Kind::kBool) line += " <v>";
+    line.append(line.size() < 26 ? 26 - line.size() : 1, ' ');
+    line += f.help;
+    const std::string dflt = default_of(f);
+    if (!dflt.empty()) line += " [" + dflt + "]";
+    if (!f.env.empty()) line += " (env " + f.env + ")";
+    out += line + '\n';
+  }
+  out += "  --help                  show this help\n";
+  return out;
+}
+
+}  // namespace poly::util::cli

@@ -1,0 +1,330 @@
+// Tests for the scenario compiler (scenario/program.hpp): parsing and the
+// canonical serializer round-trip, file:line diagnostics on malformed
+// input, per-engine validation, and small end-to-end runs checking the
+// determinism contract and the crash/grow accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "scenario/program.hpp"
+
+namespace {
+
+using poly::scenario::EngineMode;
+using poly::scenario::ProgramError;
+using poly::scenario::ScenarioProgram;
+using poly::scenario::Stage;
+using poly::scenario::Substrate;
+using poly::scenario::parse_program;
+using poly::scenario::run_program;
+using poly::scenario::serialize;
+using poly::scenario::validate_for_mode;
+
+/// Expects `parse_program(text)` to throw with the given 1-based line and
+/// a message containing `needle`.
+void expect_parse_error(const std::string& text, int line,
+                        const std::string& needle) {
+  try {
+    parse_program(text, "bad.poly");
+    FAIL() << "expected ProgramError for:\n" << text;
+  } catch (const ProgramError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+    EXPECT_EQ(e.file(), "bad.poly");
+  }
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+TEST(ProgramParse, HeaderAndTimeline) {
+  const auto p = parse_program(
+      "# catastrophe timeline\n"
+      "name demo\n"
+      "shape grid:8x8\n"
+      "engine events\n"
+      "seed 7\n"
+      "reps 3\n"
+      "k 2\n"
+      "split basic\n"
+      "\n"
+      "run 10\n"
+      "crash frac 0.25\n"
+      "grow crashed\n"
+      "snapshot after repair\n"
+      "measure every 5\n",
+      "demo.poly");
+
+  EXPECT_EQ(p.name, "demo");
+  EXPECT_EQ(p.shape_spec, "grid:8x8");
+  EXPECT_EQ(p.options.engine, EngineMode::kEvents);
+  EXPECT_EQ(p.options.seed, 7u);
+  EXPECT_EQ(p.reps, 3u);
+  EXPECT_EQ(p.options.replication, 2u);
+
+  ASSERT_EQ(p.timeline.size(), 5u);
+  EXPECT_EQ(p.timeline[0].kind, Stage::Kind::kRun);
+  EXPECT_EQ(p.timeline[0].rounds, 10u);
+  EXPECT_EQ(p.timeline[1].kind, Stage::Kind::kCrash);
+  EXPECT_EQ(p.timeline[1].selector, Stage::CrashSelector::kFrac);
+  EXPECT_DOUBLE_EQ(p.timeline[1].frac, 0.25);
+  EXPECT_TRUE(p.timeline[2].grow_crashed);
+  EXPECT_EQ(p.timeline[3].label, "after repair");
+  EXPECT_EQ(p.timeline[4].kind, Stage::Kind::kMeasureEvery);
+  EXPECT_EQ(p.timeline[4].rounds, 5u);
+  EXPECT_EQ(p.total_rounds(), 10u);
+}
+
+TEST(ProgramParse, NameDefaultsToFileStem) {
+  const auto p =
+      parse_program("shape grid:4x4\nrun 1\n", "scenarios/smoke_test.poly");
+  EXPECT_EQ(p.name, "smoke_test");
+}
+
+TEST(ProgramParse, HeaderDirectiveAfterFirstStageIsAStageError) {
+  // Once the timeline starts, header words are no longer recognised.
+  expect_parse_error("shape grid:4x4\nrun 1\nseed 3\n", 3, "unknown stage");
+}
+
+TEST(ProgramParse, SerializeRoundTrips) {
+  const std::string text =
+      "name roundtrip\n"
+      "shape grid:16x8\n"
+      "engine sync\n"
+      "seed 5\n"
+      "reps 2\n"
+      "k 8\n"
+      "split pd\n"
+      "substrate vicinity\n"
+      "fd-delay 2\n"
+      "fd-fp 0.01\n"
+      "run 20\n"
+      "crash zone 1 1 5.5 4\n"
+      "grow 32\n"
+      "churn 2.5 10\n"
+      "flash-crowd 64 8\n"
+      "morph drift 0.25 -0.5 10\n"
+      "morph shape grid:8x8 10\n"
+      "migrate 4 2 10\n"
+      "snapshot the end\n"
+      "measure every 2\n"
+      "crash ids 1,2,3\n";
+  const auto p = parse_program(text, "roundtrip.poly");
+  const auto canon = serialize(p);
+  const auto p2 = parse_program(canon, "roundtrip2.poly");
+  // The canonical form is a fixpoint, and re-parsing reproduces the
+  // program.
+  EXPECT_EQ(serialize(p2), canon);
+  EXPECT_EQ(p2.name, p.name);
+  EXPECT_EQ(p2.shape_spec, p.shape_spec);
+  EXPECT_EQ(p2.options.seed, p.options.seed);
+  EXPECT_EQ(p2.options.replication, p.options.replication);
+  EXPECT_EQ(p2.options.split, p.options.split);
+  EXPECT_EQ(p2.options.substrate, p.options.substrate);
+  EXPECT_EQ(p2.options.fd_delay_rounds, p.options.fd_delay_rounds);
+  EXPECT_DOUBLE_EQ(p2.options.fd_false_positive_rate,
+                   p.options.fd_false_positive_rate);
+  ASSERT_EQ(p2.timeline.size(), p.timeline.size());
+  for (std::size_t i = 0; i < p.timeline.size(); ++i) {
+    EXPECT_EQ(p2.timeline[i].kind, p.timeline[i].kind) << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].rounds, p.timeline[i].rounds) << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].ids, p.timeline[i].ids) << "stage " << i;
+  }
+}
+
+// ---- diagnostics ------------------------------------------------------------
+
+TEST(ProgramDiagnostics, UnknownStageNamesTheLine) {
+  expect_parse_error("shape grid:4x4\nrun 5\nexplode 3\n", 3,
+                     "unknown stage 'explode'");
+}
+
+TEST(ProgramDiagnostics, MissingShapeIsWholeFile) {
+  expect_parse_error("name x\nrun 5\n", 0, "missing required 'shape'");
+}
+
+TEST(ProgramDiagnostics, CrashFracOutOfRange) {
+  expect_parse_error("shape grid:4x4\ncrash frac 1.5\n", 2, "out of (0, 1]");
+  expect_parse_error("shape grid:4x4\ncrash frac 0\n", 2, "out of (0, 1]");
+}
+
+TEST(ProgramDiagnostics, ChurnPercentageOutOfRange) {
+  expect_parse_error("shape grid:4x4\nchurn 150 10\n", 2, "out of (0, 100]");
+}
+
+TEST(ProgramDiagnostics, EmptyCrashZone) {
+  expect_parse_error("shape grid:4x4\ncrash zone 5 5 5 9\n", 2,
+                     "empty crash zone");
+}
+
+TEST(ProgramDiagnostics, UnknownCrashSelector) {
+  expect_parse_error("shape grid:4x4\ncrash everything\n", 2,
+                     "unknown crash selector");
+}
+
+TEST(ProgramDiagnostics, DuplicateHeaderDirective) {
+  expect_parse_error("shape grid:4x4\nseed 1\nseed 2\nrun 1\n", 3,
+                     "duplicate 'seed'");
+}
+
+TEST(ProgramDiagnostics, GrowCrashedNeedsACrash) {
+  expect_parse_error("shape grid:4x4\nrun 5\ngrow crashed\n", 3,
+                     "'grow crashed' needs a crash");
+}
+
+TEST(ProgramDiagnostics, NonIntegerRoundCount) {
+  expect_parse_error("shape grid:4x4\nrun ten\n", 2, "bad round count");
+}
+
+TEST(ProgramDiagnostics, UnknownEngine) {
+  expect_parse_error("shape grid:4x4\nengine quantum\nrun 1\n", 2,
+                     "unknown engine 'quantum'");
+}
+
+TEST(ProgramDiagnostics, MorphTargetMustFitTheBaseTorus) {
+  expect_parse_error("shape grid:8x4\nmorph shape grid:16x4 5\n", 2,
+                     "does not fit");
+}
+
+TEST(ProgramDiagnostics, MorphShapeNeedsAGridBase) {
+  expect_parse_error("shape ring:64\nmorph shape grid:4x4 5\n", 0,
+                     "needs a grid:WxH base shape");
+}
+
+TEST(ProgramDiagnostics, FdFpRateOutOfRange) {
+  expect_parse_error("shape grid:4x4\nfd-fp 1.5\nrun 1\n", 2,
+                     "out of [0, 1)");
+}
+
+TEST(ProgramDiagnostics, WhatIncludesFileAndLine) {
+  try {
+    parse_program("shape grid:4x4\nrun -3\n", "demo.poly");
+    FAIL() << "expected ProgramError";
+  } catch (const ProgramError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("demo.poly:2: ", 0), 0u)
+        << e.what();
+  }
+}
+
+// ---- per-engine validation --------------------------------------------------
+
+TEST(ProgramValidate, MorphNeedsSync) {
+  auto p = parse_program("shape grid:8x8\nmorph drift 0.5 0 5\n");
+  EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kSync));
+  EXPECT_THROW(validate_for_mode(p, EngineMode::kEvents), ProgramError);
+  EXPECT_THROW(validate_for_mode(p, EngineMode::kLive), ProgramError);
+}
+
+TEST(ProgramValidate, TmanOnlyNeedsSync) {
+  auto p = parse_program("shape grid:8x8\npolystyrene off\nrun 5\n");
+  EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kSync));
+  try {
+    validate_for_mode(p, EngineMode::kEvents);
+    FAIL() << "expected ProgramError";
+  } catch (const ProgramError& e) {
+    // The diagnostic points at the offending header line.
+    EXPECT_EQ(e.line(), 2) << e.what();
+  }
+}
+
+TEST(ProgramValidate, ChurnRejectedUnderLiveOnly) {
+  auto p = parse_program("shape grid:8x8\nchurn 5 10\n");
+  EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kSync));
+  EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kEvents));
+  EXPECT_THROW(validate_for_mode(p, EngineMode::kLive), ProgramError);
+}
+
+// ---- execution --------------------------------------------------------------
+
+TEST(ProgramRun, CrashAndGrowAccounting) {
+  const auto p = parse_program(
+      "shape grid:8x8\n"
+      "run 5\n"
+      "crash half\n"
+      "run 5\n"
+      "grow crashed\n"
+      "run 5\n");
+  const auto r = run_program(p);
+  EXPECT_EQ(r.first.crashed, 32u);
+  EXPECT_EQ(r.first.injected, 32u);
+  EXPECT_EQ(r.first.rounds_total, 15u);
+  ASSERT_FALSE(r.first.rounds.empty());
+  EXPECT_EQ(r.first.rounds.back().alive, 64u);
+  EXPECT_FALSE(std::isnan(r.first.reference_h_after_crash));
+  const auto rel = r.reliability_ci();
+  EXPECT_GE(rel.mean, 0.0);
+  EXPECT_LE(rel.mean, 1.0);
+}
+
+TEST(ProgramRun, MeasureCadenceThinsTheSeries) {
+  const auto every = parse_program(
+      "shape grid:6x6\nmeasure every 5\nrun 20\n");
+  const auto r = run_program(every);
+  // Rounds 4, 9, 14, 19 at cadence 5.
+  ASSERT_EQ(r.first.rounds.size(), 4u);
+  EXPECT_EQ(r.first.rounds.front().round, 4u);
+  EXPECT_EQ(r.first.rounds.back().round, 19u);
+}
+
+TEST(ProgramRun, SnapshotProducesMapAndPositions) {
+  const auto p = parse_program(
+      "shape grid:6x6\nrun 3\nsnapshot mid run\nrun 2\n");
+  const auto r = run_program(p);
+  bool saw = false;
+  for (const auto& e : r.first.events) {
+    if (!e.is_snapshot) continue;
+    saw = true;
+    EXPECT_EQ(e.text, "mid run");
+    EXPECT_EQ(e.round, 3u);
+    EXPECT_FALSE(e.map.empty());
+    EXPECT_EQ(e.positions.size(), 36u);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ProgramRun, SameSeedSameTrajectorySync) {
+  const auto p = parse_program(
+      "shape grid:8x8\nseed 11\nrun 5\ncrash frac 0.25\nrun 10\n");
+  const auto a = run_program(p);
+  const auto b = run_program(p);
+  ASSERT_EQ(a.first.rounds.size(), b.first.rounds.size());
+  for (std::size_t i = 0; i < a.first.rounds.size(); ++i) {
+    EXPECT_EQ(a.first.rounds[i].homogeneity, b.first.rounds[i].homogeneity);
+    EXPECT_EQ(a.first.rounds[i].proximity, b.first.rounds[i].proximity);
+    EXPECT_EQ(a.first.rounds[i].alive, b.first.rounds[i].alive);
+  }
+  EXPECT_EQ(a.first.crashed, b.first.crashed);
+}
+
+TEST(ProgramRun, SameSeedSameTrajectoryEvents) {
+  const auto p = parse_program(
+      "shape grid:6x6\nengine events\nseed 3\nrun 4\ncrash frac 0.2\n"
+      "run 6\n");
+  const auto a = run_program(p);
+  const auto b = run_program(p);
+  ASSERT_EQ(a.first.rounds.size(), b.first.rounds.size());
+  for (std::size_t i = 0; i < a.first.rounds.size(); ++i) {
+    EXPECT_EQ(a.first.rounds[i].homogeneity, b.first.rounds[i].homogeneity);
+    EXPECT_EQ(a.first.rounds[i].alive, b.first.rounds[i].alive);
+    EXPECT_EQ(a.first.rounds[i].frames, b.first.rounds[i].frames);
+  }
+}
+
+TEST(ProgramRun, RepsAggregateIndependentSeeds) {
+  const auto p = parse_program(
+      "shape grid:6x6\nreps 3\nrun 5\ncrash half\nrun 10\n");
+  const auto r = run_program(p);
+  EXPECT_EQ(r.reliability.size(), 3u);
+  EXPECT_EQ(r.reshaping_rounds.size(), 3u);
+  ASSERT_GT(r.homogeneity.rounds(), 0u);
+  EXPECT_EQ(r.homogeneity.row(0).n, 3u);
+}
+
+TEST(ProgramRun, InvalidForEngineThrowsBeforeRunning) {
+  auto p = parse_program("shape grid:6x6\nmorph drift 1 0 5\n");
+  p.options.engine = EngineMode::kEvents;
+  EXPECT_THROW(run_program(p), ProgramError);
+}
+
+}  // namespace

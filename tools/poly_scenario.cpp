@@ -1,0 +1,154 @@
+// poly_scenario — compile and run a declarative scenario program.
+//
+// One driver replaces the per-experiment main(): the catastrophe timeline
+// lives in a checked-in `scenarios/*.poly` file, and this binary runs it
+// under any engine mode, emitting the same table / CSV / BENCH_*.json
+// outputs as the bench binaries.  Examples:
+//
+//   # the paper's Fig. 8 repair snapshots
+//   poly_scenario scenarios/fig08_repair.poly
+//
+//   # the same timeline on the deterministic event engine, another seed
+//   poly_scenario scenarios/fig08_repair.poly --engine events --seed 7
+//
+//   # CI smoke: 1 repetition, stages capped at 10 rounds
+//   poly_scenario scenarios/zonal_crash.poly --smoke
+//
+// Determinism: a fixed (file, seed, engine) triple reproduces the same
+// trajectory bit for bit under sync and events modes.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "scenario/program.hpp"
+#include "util/bench_io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace poly;
+
+/// Caps every round-consuming stage for --smoke runs.
+void cap_rounds(scenario::ScenarioProgram& p, std::size_t cap) {
+  for (auto& s : p.timeline) {
+    if (s.kind == scenario::Stage::Kind::kSnapshot ||
+        s.kind == scenario::Stage::Kind::kMeasureEvery)
+      continue;
+    if (s.rounds > cap) s.rounds = cap;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string engine;
+  std::uint64_t seed = 1;
+  std::uint64_t reps = 1;
+  std::uint64_t every = 1;
+  std::optional<std::string> csv_dir;
+  std::string json_dir = ".";
+  bool smoke = false;
+
+  util::cli::Parser cli(
+      "poly_scenario",
+      "Compiles a scenario program (.poly) and runs it under any engine.");
+  cli.positional("FILE", &file, "scenario program to run");
+  cli.flag("engine", &engine,
+           "override the program's engine: sync|events|live");
+  cli.flag("seed", &seed, "override the program's base RNG seed",
+           "POLY_BENCH_SEED");
+  cli.flag("reps", &reps, "override the program's repetition count",
+           "POLY_BENCH_REPS");
+  cli.flag("every", &every, "override the initial measurement cadence");
+  cli.flag("csv", &csv_dir,
+           "also write the series CSV and snapshot positions there",
+           "POLY_BENCH_CSV");
+  cli.flag("json", &json_dir,
+           "directory for the BENCH_<name>.json record; empty disables",
+           "POLY_BENCH_JSON");
+  cli.flag("smoke", &smoke,
+           "smoke mode: 1 repetition, stages capped at 10 rounds");
+  cli.parse_or_exit(argc, argv);
+
+  scenario::ScenarioProgram program;
+  try {
+    program = scenario::load_program(file);
+  } catch (const scenario::ProgramError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  if (cli.was_set("engine")) {
+    const auto mode = scenario::engine_mode_from_string(engine);
+    if (!mode) {
+      std::fprintf(stderr,
+                   "unknown engine '%s' (want sync, events, or live)\n",
+                   engine.c_str());
+      return 2;
+    }
+    program.options.engine = *mode;
+  }
+  if (cli.was_set("seed")) program.options.seed = seed;
+  if (cli.was_set("reps")) program.reps = reps == 0 ? 1 : reps;
+  if (cli.was_set("every")) program.measure_every = every == 0 ? 1 : every;
+  if (smoke) {
+    program.reps = 1;
+    cap_rounds(program, 10);
+  }
+
+  scenario::ProgramResult result;
+  try {
+    result = scenario::run_program(program);
+  } catch (const scenario::ProgramError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), e.what());
+    return 2;
+  }
+
+  const auto& p = result.program;
+  std::printf(
+      "# scenario=%s engine=%s shape=%s seed=%llu reps=%zu rounds=%zu "
+      "k=%zu split=%s substrate=%s polystyrene=%s\n",
+      p.name.c_str(), scenario::to_string(p.options.engine),
+      p.shape_spec.c_str(),
+      static_cast<unsigned long long>(p.options.seed), p.reps,
+      p.total_rounds(), p.options.replication,
+      core::to_string(p.options.split).c_str(),
+      p.options.substrate == scenario::Substrate::kVicinity ? "vicinity"
+                                                            : "tman",
+      p.options.polystyrene ? "on" : "off");
+
+  scenario::print_events(result, csv_dir);
+
+  bench::BenchOptions io;
+  io.reps = p.reps;
+  io.seed = p.options.seed;
+  io.csv_dir = csv_dir;
+  io.json_dir = json_dir;
+  std::puts("");
+  bench::emit(scenario::series_table_for(result), io, p.name);
+
+  std::printf("\ncrashed=%zu injected=%zu", result.first.crashed,
+              result.first.injected);
+  if (!std::isnan(result.first.reference_h_after_crash)) {
+    const auto reshaping = result.reshaping_ci();
+    std::printf(" reshaping=%s",
+                reshaping.n > 0 ? reshaping.str(2).c_str() : "never");
+    if (result.never_reshaped() > 0)
+      std::printf(" (%zu/%zu runs never reshaped)", result.never_reshaped(),
+                  result.reshaping_rounds.size());
+  }
+  std::printf(" reliability=%s\n", result.reliability_ci().str(4).c_str());
+
+  if (!result.first.rounds.empty()) {
+    const auto& last = result.first.rounds.back();
+    std::printf("final: round=%zu alive=%zu homogeneity=%.3f (H=%.3f)\n",
+                last.round, last.alive, last.homogeneity, last.reference_h);
+  }
+  return 0;
+}

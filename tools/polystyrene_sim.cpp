@@ -2,7 +2,9 @@
 //
 // Runs any shape / substrate / split / failure-scenario combination without
 // writing code, printing per-round metrics (and optional density maps /
-// CSV).  Examples:
+// CSV).  Setup goes through the same `scenario::make_cluster` factory as
+// the scenario compiler, so every engine mode is driven through one loop.
+// Examples:
 //
 //   # the paper's headline scenario
 //   polystyrene_sim --shape grid:80x40 --k 4 --rounds 200
@@ -15,355 +17,200 @@
 //   polystyrene_sim --shape ring:512 --substrate vicinity --split basic
 //                   --churn 1.0 --drift 0.2
 //
-#include <chrono>
+// For multi-stage timelines (zonal crashes, flash crowds, morphing), write
+// a scenario file and run it with `poly_scenario` instead.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
-#include <thread>
+#include <vector>
 
-#include "engine/event_cluster.hpp"
-#include "net/runtime.hpp"
-#include "scenario/simulation.hpp"
+#include "scenario/runtime.hpp"
 #include "scenario/snapshot.hpp"
-#include "shape/cube_torus.hpp"
-#include "shape/grid_torus.hpp"
-#include "shape/ring_shape.hpp"
+#include "shape/shape.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace poly;
 
-using namespace poly;
-
-struct Options {
   std::string engine = "sync";
-  std::string shape = "grid:80x40";
-  std::size_t k = 4;
+  std::string shape_spec = "grid:80x40";
+  std::uint64_t k = 4;
   std::string split = "advanced";
   std::string substrate = "tman";
-  bool polystyrene = true;
-  std::size_t rounds = 60;
-  long fail_round = 20;       // -1 = never
-  long reinject_round = -1;   // -1 = never
-  std::uint64_t seed = 1;
-  std::size_t every = 1;      // print every Nth round
-  double churn_pct = 0.0;     // random churn per round, percent of alive
-  double drift = 0.0;         // shape drift per round (x axis)
+  bool no_polystyrene = false;
+  std::uint64_t rounds = 60;
+  long fail_round = 20;      // -1 = never
+  long reinject_round = -1;  // -1 = never
+  double churn_pct = 0.0;
+  double drift = 0.0;
   std::uint64_t fd_delay = 0;
   double fd_fp = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t every = 1;
   bool map = false;
   std::string csv;
-};
 
-[[noreturn]] void usage(int code) {
-  std::puts(
-      "polystyrene_sim [options]\n"
-      "  --engine sync|events|live                       [sync]\n"
-      "      sync:   lock-step round simulator (paper evaluation)\n"
-      "      events: live protocol on the deterministic event engine\n"
-      "      live:   live protocol on real threads (small shapes only)\n"
-      "  --shape grid:WxH | ring:N | cube:XxYxZ          [grid:80x40]\n"
-      "  --k K                       backup copies       [4]\n"
-      "  --split basic|pd|md|advanced                    [advanced]\n"
-      "  --substrate tman|vicinity                       [tman]\n"
-      "  --no-polystyrene            bare baseline\n"
-      "  --rounds N                  total rounds        [60]\n"
-      "  --fail-round N              half-shape crash    [20; -1=never]\n"
-      "  --reinject-round N          fresh node join     [-1=never]\n"
-      "  --churn PCT                 random churn %/round [0]\n"
-      "  --drift D                   shape drift/round    [0]\n"
-      "  --fd-delay N --fd-fp RATE   imperfect detector  [0 / 0]\n"
-      "  --seed S --every N --map --csv FILE --help");
-  std::exit(code);
-}
+  util::cli::Parser cli("polystyrene_sim",
+                        "Runs the full stack on any shape / substrate / "
+                        "failure scenario.");
+  cli.flag("engine", &engine,
+           "sync (lock-step simulator) | events (deterministic event "
+           "engine) | live (real threads, small shapes)");
+  cli.flag("shape", &shape_spec, "grid:WxH | ring:N | cube:XxYxZ");
+  cli.flag("k", &k, "backup copies");
+  cli.flag("split", &split, "basic|pd|md|advanced");
+  cli.flag("substrate", &substrate, "tman|vicinity");
+  cli.flag("no-polystyrene", &no_polystyrene, "bare baseline");
+  cli.flag("rounds", &rounds, "total rounds");
+  cli.flag("fail-round", &fail_round, "half-shape crash round (-1 = never)");
+  cli.flag("reinject-round", &reinject_round,
+           "fresh node join round (-1 = never)");
+  cli.flag("churn", &churn_pct, "random churn, percent of alive per round");
+  cli.flag("drift", &drift, "target-shape drift per round (x axis)");
+  cli.flag("fd-delay", &fd_delay, "failure detector latency, rounds");
+  cli.flag("fd-fp", &fd_fp, "failure detector false-positive rate");
+  cli.flag("seed", &seed, "RNG seed");
+  cli.flag("every", &every, "print every Nth round");
+  cli.flag("map", &map, "print density maps at events and at the end");
+  cli.flag("csv", &csv, "write the metrics table as CSV to this file");
+  cli.parse_or_exit(argc, argv);
+  if (every == 0) every = 1;
 
-Options parse(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(2);
-      return argv[++i];
-    };
-    const char* a = argv[i];
-    if (!std::strcmp(a, "--engine")) opt.engine = next();
-    else if (!std::strcmp(a, "--shape")) opt.shape = next();
-    else if (!std::strcmp(a, "--k")) opt.k = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--split")) opt.split = next();
-    else if (!std::strcmp(a, "--substrate")) opt.substrate = next();
-    else if (!std::strcmp(a, "--no-polystyrene")) opt.polystyrene = false;
-    else if (!std::strcmp(a, "--rounds")) opt.rounds = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--fail-round")) opt.fail_round = std::strtol(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--reinject-round")) opt.reinject_round = std::strtol(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--churn")) opt.churn_pct = std::strtod(next(), nullptr);
-    else if (!std::strcmp(a, "--drift")) opt.drift = std::strtod(next(), nullptr);
-    else if (!std::strcmp(a, "--fd-delay")) opt.fd_delay = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--fd-fp")) opt.fd_fp = std::strtod(next(), nullptr);
-    else if (!std::strcmp(a, "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--every")) opt.every = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(a, "--map")) opt.map = true;
-    else if (!std::strcmp(a, "--csv")) opt.csv = next();
-    else if (!std::strcmp(a, "--help")) usage(0);
-    else {
-      std::fprintf(stderr, "unknown option: %s\n", a);
-      usage(2);
-    }
+  const auto mode = scenario::engine_mode_from_string(engine);
+  if (!mode) {
+    std::fprintf(stderr, "unknown engine: %s (want sync|events|live)\n",
+                 engine.c_str());
+    return 2;
   }
-  if (opt.every == 0) opt.every = 1;
-  return opt;
-}
 
-std::unique_ptr<shape::Shape> make_shape(const std::string& spec) {
-  if (spec.rfind("grid:", 0) == 0) {
-    unsigned w = 0;
-    unsigned h = 0;
-    if (std::sscanf(spec.c_str() + 5, "%ux%u", &w, &h) != 2 || w == 0 ||
-        h == 0) {
-      std::fprintf(stderr, "bad grid spec: %s (want grid:WxH)\n",
-                   spec.c_str());
-      std::exit(2);
-    }
-    return std::make_unique<shape::GridTorusShape>(w, h);
+  std::string err;
+  const auto target = shape::make_shape(shape_spec, &err);
+  if (!target) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
   }
-  if (spec.rfind("ring:", 0) == 0) {
-    const unsigned long n = std::strtoul(spec.c_str() + 5, nullptr, 10);
-    if (n == 0) {
-      std::fprintf(stderr, "bad ring spec: %s (want ring:N)\n", spec.c_str());
-      std::exit(2);
-    }
-    return std::make_unique<shape::RingShape>(n);
+
+  scenario::ScenarioOptions options;
+  options.engine = *mode;
+  options.seed = seed;
+  options.replication = k;
+  options.polystyrene = !no_polystyrene;
+  options.fd_delay_rounds = fd_delay;
+  options.fd_false_positive_rate = fd_fp;
+  try {
+    options.split = core::split_kind_from_string(split);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown split: %s (want basic|pd|md|advanced)\n",
+                 split.c_str());
+    return 2;
   }
-  if (spec.rfind("cube:", 0) == 0) {
-    unsigned x = 0;
-    unsigned y = 0;
-    unsigned z = 0;
-    if (std::sscanf(spec.c_str() + 5, "%ux%ux%u", &x, &y, &z) != 3 ||
-        x == 0 || y == 0 || z == 0) {
-      std::fprintf(stderr, "bad cube spec: %s (want cube:XxYxZ)\n",
-                   spec.c_str());
-      std::exit(2);
-    }
-    return std::make_unique<shape::CubeTorusShape>(x, y, z);
+  if (substrate == "vicinity") {
+    options.substrate = scenario::Substrate::kVicinity;
+  } else if (substrate != "tman") {
+    std::fprintf(stderr, "unknown substrate: %s (want tman|vicinity)\n",
+                 substrate.c_str());
+    return 2;
   }
-  std::fprintf(stderr, "unknown shape: %s\n", spec.c_str());
-  std::exit(2);
-}
 
-/// Rejects simulator-only flags in the live/events modes (the AsyncNode
-/// stack is Polystyrene-on-T-Man with its own failure detection).
-bool fleet_flags_ok(const Options& opt, const char* mode) {
-  if (opt.polystyrene && opt.substrate == "tman" && opt.fd_delay == 0 &&
-      opt.fd_fp == 0.0 && opt.drift == 0.0 && !opt.map)
-    return true;
-  std::fprintf(stderr,
-               "--engine %s runs the full Polystyrene stack on T-Man; "
-               "--no-polystyrene, --substrate vicinity, --fd-*, --drift and "
-               "--map need --engine sync\n",
-               mode);
-  return false;
-}
-
-int run_events(const Options& opt, const shape::Shape& target) {
-  if (!fleet_flags_ok(opt, "events")) return 2;
-  engine::EventClusterConfig cfg;
-  cfg.node.replication = opt.k;
-  cfg.node.split_kind = core::split_kind_from_string(opt.split);
-  engine::EventCluster fleet(target.space_ptr(), target.generate(), cfg,
-                             opt.seed);
-  std::printf("# engine=events shape=%s nodes=%zu K=%zu split=%s seed=%llu\n",
-              target.name().c_str(), fleet.size(), opt.k, opt.split.c_str(),
-              static_cast<unsigned long long>(opt.seed));
-
-  util::Table table({"round", "alive", "homogeneity", "reliability",
-                     "frames"});
-  std::size_t crashed = 0;
-  for (std::size_t round = 0; round < opt.rounds; ++round) {
-    if (static_cast<long>(round) == opt.fail_round) {
-      crashed = fleet.crash_region(
-          [&](const space::Point& p) { return target.in_failure_half(p); });
-      std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
-                  round, crashed);
-    }
-    if (static_cast<long>(round) == opt.reinject_round) {
-      const std::size_t n = crashed ? crashed : fleet.size() / 2;
-      for (const auto& pos : target.reinjection_positions(n))
-        fleet.inject(pos);
-      std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
-    }
-    if (opt.churn_pct > 0.0) {
-      const auto n = static_cast<std::size_t>(
-          static_cast<double>(fleet.alive_count()) * opt.churn_pct / 100.0);
-      if (n > 0) {
-        fleet.crash_random(n);
-        for (const auto& pos : target.reinjection_positions(n))
-          fleet.inject(pos);
-      }
-    }
-    fleet.run_rounds(1);
-    if (round % opt.every == 0 || round + 1 == opt.rounds) {
-      table.add_row({std::to_string(round),
-                     std::to_string(fleet.alive_count()),
-                     util::fmt(fleet.homogeneity(), 3),
-                     util::fmt(fleet.reliability(), 3),
-                     std::to_string(fleet.hub().frames_sent())});
-    }
+  if (drift != 0.0 && *mode != scenario::EngineMode::kSync) {
+    std::fprintf(stderr, "--drift needs --engine sync\n");
+    return 2;
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("final: homogeneity=%.3f reliability=%.2f%% events=%llu\n",
-              fleet.homogeneity(), fleet.reliability() * 100.0,
-              static_cast<unsigned long long>(
-                  fleet.engine().events_executed()));
-  if (!opt.csv.empty() && table.write_csv(opt.csv))
-    std::printf("csv written to %s\n", opt.csv.c_str());
-  return 0;
-}
-
-int run_live(const Options& opt, const shape::Shape& target) {
-  if (!fleet_flags_ok(opt, "live")) return 2;
-  if (opt.churn_pct > 0.0) {
+  if (churn_pct > 0.0 && *mode == scenario::EngineMode::kLive) {
     std::fprintf(stderr, "--churn needs --engine sync or events\n");
     return 2;
   }
-  const auto points = target.generate();
-  if (points.size() > 512) {
-    std::fprintf(stderr,
-                 "--engine live is thread-per-node; %zu nodes is too many "
-                 "(use --engine events, or a shape of <= 512 nodes)\n",
-                 points.size());
+
+  std::unique_ptr<scenario::Runtime> rt;
+  try {
+    rt = scenario::make_cluster(*target, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  net::AsyncConfig cfg;
-  cfg.replication = opt.k;
-  cfg.split_kind = core::split_kind_from_string(opt.split);
-  net::LiveCluster fleet(target.space_ptr(), points, cfg, opt.seed);
-  fleet.start();
-  std::printf("# engine=live shape=%s nodes=%zu K=%zu split=%s seed=%llu "
-              "tick=%lldms\n",
-              target.name().c_str(), fleet.size(), opt.k, opt.split.c_str(),
-              static_cast<unsigned long long>(opt.seed),
-              static_cast<long long>(cfg.tick.count()));
 
-  util::Table table({"round", "alive", "homogeneity", "reliability"});
+  std::printf("# engine=%s shape=%s nodes=%zu K=%zu split=%s substrate=%s "
+              "polystyrene=%s seed=%llu\n",
+              scenario::to_string(*mode), target->name().c_str(),
+              target->size(), static_cast<std::size_t>(k), split.c_str(),
+              substrate.c_str(), no_polystyrene ? "off" : "on",
+              static_cast<unsigned long long>(seed));
+
+  const bool sync = *mode == scenario::EngineMode::kSync;
+  std::vector<std::string> headers{"round", "alive", "homogeneity"};
+  if (sync) {
+    headers.insert(headers.end(),
+                   {"H", "proximity", "points/node", "msg/node"});
+  } else {
+    headers.push_back("reliability");
+    if (*mode == scenario::EngineMode::kEvents) headers.push_back("frames");
+  }
+  util::Table table(std::move(headers));
+
   std::size_t crashed = 0;
-  for (std::size_t round = 0; round < opt.rounds; ++round) {
-    if (static_cast<long>(round) == opt.fail_round) {
-      crashed = fleet.crash_region(
-          [&](const space::Point& p) { return target.in_failure_half(p); });
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (static_cast<long>(round) == fail_round) {
+      crashed = rt->crash_half();
       std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
                   round, crashed);
+      if (map)
+        std::fputs(scenario::ascii_density_map(target->space(),
+                                               rt->alive_positions())
+                       .c_str(),
+                   stdout);
     }
-    if (static_cast<long>(round) == opt.reinject_round) {
-      const std::size_t n = crashed ? crashed : fleet.size() / 2;
-      for (const auto& pos : target.reinjection_positions(n))
-        fleet.inject(pos);
-      std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
-    }
-    std::this_thread::sleep_for(cfg.tick);  // one wall-clock "round"
-    if (round % opt.every == 0 || round + 1 == opt.rounds) {
-      table.add_row({std::to_string(round),
-                     std::to_string(fleet.alive_count()),
-                     util::fmt(fleet.homogeneity(), 3),
-                     util::fmt(fleet.reliability(), 3)});
-    }
-  }
-  fleet.stop();
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("final: homogeneity=%.3f reliability=%.2f%%\n",
-              fleet.homogeneity(), fleet.reliability() * 100.0);
-  if (!opt.csv.empty() && table.write_csv(opt.csv))
-    std::printf("csv written to %s\n", opt.csv.c_str());
-  return 0;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  const auto target = make_shape(opt.shape);
-
-  if (opt.engine == "events") return run_events(opt, *target);
-  if (opt.engine == "live") return run_live(opt, *target);
-  if (opt.engine != "sync") {
-    std::fprintf(stderr, "unknown engine: %s (want sync|events|live)\n",
-                 opt.engine.c_str());
-    return 2;
-  }
-
-  scenario::SimulationConfig config;
-  config.seed = opt.seed;
-  config.polystyrene = opt.polystyrene;
-  config.poly.replication = opt.k;
-  config.poly.split_kind = core::split_kind_from_string(opt.split);
-  config.fd_delay_rounds = opt.fd_delay;
-  config.fd_false_positive_rate = opt.fd_fp;
-  if (opt.substrate == "vicinity") {
-    config.substrate = scenario::Substrate::kVicinity;
-  } else if (opt.substrate != "tman") {
-    std::fprintf(stderr, "unknown substrate: %s\n", opt.substrate.c_str());
-    return 2;
-  }
-
-  scenario::Simulation sim(*target, config);
-  std::printf("# shape=%s nodes=%zu substrate=%s polystyrene=%s K=%zu "
-              "split=%s seed=%llu\n",
-              target->name().c_str(), target->size(),
-              sim.topology().name(), opt.polystyrene ? "on" : "off", opt.k,
-              opt.split.c_str(),
-              static_cast<unsigned long long>(opt.seed));
-
-  util::Table table({"round", "alive", "homogeneity", "H", "proximity",
-                     "points/node", "msg/node"});
-  std::size_t crashed = 0;
-
-  for (std::size_t round = 0; round < opt.rounds; ++round) {
-    if (static_cast<long>(round) == opt.fail_round) {
-      crashed = sim.crash_failure_half();
-      std::printf("## round %zu: catastrophic failure, %zu nodes crashed\n",
-                  round, crashed);
-      if (opt.map) std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
-    }
-    if (static_cast<long>(round) == opt.reinject_round) {
+    if (static_cast<long>(round) == reinject_round) {
       const std::size_t n = crashed ? crashed : target->size() / 2;
-      sim.reinject(n);
+      rt->inject(n);
       std::printf("## round %zu: re-injected %zu fresh nodes\n", round, n);
     }
-    if (opt.churn_pct > 0.0) {
+    if (churn_pct > 0.0) {
       const auto n = static_cast<std::size_t>(
-          static_cast<double>(sim.network().num_alive()) * opt.churn_pct /
-          100.0);
+          static_cast<double>(rt->alive_count()) * churn_pct / 100.0);
       if (n > 0) {
-        sim.crash_random(n);
-        sim.reinject(n);
+        rt->crash_random(n);
+        rt->inject(n);
       }
     }
-    if (opt.drift != 0.0) {
-      sim.morph_shape([&](const space::Point& p) {
-        return space::Point{p.x() + opt.drift, p.y()};
+    if (drift != 0.0) {
+      rt->morph([&](const space::Point& p) {
+        return space::Point{p.x() + drift, p.y()};
       });
     }
 
-    sim.run_round();
-    if (round % opt.every == 0 || round + 1 == opt.rounds) {
-      table.add_row({std::to_string(round),
-                     std::to_string(sim.network().num_alive()),
-                     util::fmt(sim.homogeneity(), 3),
-                     util::fmt(sim.reference_homogeneity(), 3),
-                     util::fmt(sim.proximity(), 3),
-                     util::fmt(sim.avg_points_per_node(), 2),
-                     util::fmt(sim.message_cost_per_node(
-                                   sim.network().round() - 1),
-                               1)});
+    rt->run_round();
+    if (round % every == 0 || round + 1 == rounds) {
+      const auto m = rt->measure();
+      std::vector<std::string> row{std::to_string(round),
+                                   std::to_string(m.alive),
+                                   util::fmt(m.homogeneity, 3)};
+      if (sync) {
+        row.push_back(util::fmt(m.reference_h, 3));
+        row.push_back(util::fmt(m.proximity, 3));
+        row.push_back(util::fmt(m.points_per_node, 2));
+        row.push_back(util::fmt(m.msg_paper, 1));
+      } else {
+        row.push_back(util::fmt(m.reliability, 3));
+        if (*mode == scenario::EngineMode::kEvents)
+          row.push_back(std::to_string(m.frames));
+      }
+      table.add_row(std::move(row));
     }
   }
 
   std::fputs(table.to_string().c_str(), stdout);
-  if (opt.map) std::fputs(scenario::ascii_density_map(sim).c_str(), stdout);
+  if (map)
+    std::fputs(scenario::ascii_density_map(target->space(),
+                                           rt->alive_positions())
+                   .c_str(),
+               stdout);
+  const auto final_m = rt->measure();
   std::printf("final: homogeneity=%.3f (H=%.3f) reliability=%.2f%%\n",
-              sim.homogeneity(), sim.reference_homogeneity(),
-              sim.reliability() * 100.0);
-  if (!opt.csv.empty()) {
-    if (table.write_csv(opt.csv))
-      std::printf("csv written to %s\n", opt.csv.c_str());
-  }
+              final_m.homogeneity, final_m.reference_h,
+              rt->reliability() * 100.0);
+  if (!csv.empty() && table.write_csv(csv))
+    std::printf("csv written to %s\n", csv.c_str());
   return 0;
 }

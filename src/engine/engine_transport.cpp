@@ -70,6 +70,7 @@ EngineHub::EngineHub(EventEngine& engine, std::unique_ptr<LinkModel> link,
 
 std::unique_ptr<EngineTransport> EngineHub::make_endpoint(
     const net::Address& address) {
+  thread_check_.check("EngineHub::make_endpoint");
   if (by_name_.count(address))
     throw std::invalid_argument("EngineHub: duplicate address " + address);
   const auto id = static_cast<net::EndpointId>(transports_.size());
@@ -157,6 +158,7 @@ void EngineHub::unregister(net::EndpointId id) {
 
 bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
                           std::vector<std::uint8_t> payload) {
+  thread_check_.check("EngineHub::send_from");
   if (to >= transports_.size() || transports_[to] == nullptr) {
     release_buffer(std::move(payload));
     return false;  // contact failure

@@ -63,6 +63,7 @@
 #include "engine/event_engine.hpp"
 #include "engine/link_model.hpp"
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace poly::engine {
 
@@ -260,6 +261,11 @@ class EngineHub {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+
+  /// Single-threaded by contract, like the engine it schedules on: every
+  /// send/registration must come from the thread driving the engine (or
+  /// from its event handlers).  Debug-only tripwire, binds on first use.
+  util::SingleThreadChecker thread_check_;
 };
 
 }  // namespace poly::engine

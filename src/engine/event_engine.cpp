@@ -198,6 +198,7 @@ void EventEngine::execute(std::uint32_t idx) {
 // ---- public API -------------------------------------------------------------
 
 EventId EventEngine::schedule_at(SimTime at, EventFn fn) {
+  thread_check_.check("EventEngine::schedule_at");
   if (at < now_) at = now_;
   const std::uint32_t idx = alloc_node();
   Node& n = node(idx);
@@ -216,6 +217,7 @@ EventId EventEngine::schedule_after(SimTime delay, EventFn fn) {
 }
 
 void EventEngine::cancel(EventId id) {
+  thread_check_.check("EventEngine::cancel");
   const std::uint32_t idx = static_cast<std::uint32_t>(id >> 32);
   if (idx >= next_unused_) return;
   Node& n = node(idx);
@@ -227,6 +229,7 @@ void EventEngine::cancel(EventId id) {
 }
 
 bool EventEngine::step() {
+  thread_check_.check("EventEngine::step");
   const std::uint32_t idx = peek(kNoLimit);
   if (idx == kNil) return false;
   execute(idx);
@@ -240,6 +243,7 @@ std::size_t EventEngine::run() {
 }
 
 std::size_t EventEngine::run_until(SimTime t) {
+  thread_check_.check("EventEngine::run_until");
   std::size_t n = 0;
   if (t >= now_) {
     // The cursor may already sit past tick(t) (a previous peek advanced it

@@ -43,6 +43,7 @@
 
 #include "engine/event_fn.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace poly::engine {
 
@@ -241,6 +242,12 @@ class EventEngine {
   std::vector<HeapEnt> overflow_;
 
   util::Rng rng_;
+
+  /// Single-threaded by contract ("everything runs on the caller's
+  /// thread") — the debug tripwire binds to the first scheduling/running
+  /// thread and aborts on any other.  run_program's rep workers each own a
+  /// private engine, so the bind is per repetition.
+  util::SingleThreadChecker thread_check_;
 };
 
 }  // namespace poly::engine

@@ -1,9 +1,10 @@
 #include "net/fleet_metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
 #include "metrics/metrics.hpp"
 #include "space/spatial_index.hpp"
@@ -13,14 +14,64 @@ namespace poly::net {
 namespace {
 
 /// id → index into `points`, skipping injected sentinels.
-std::unordered_map<space::PointId, std::size_t> point_index(
-    const std::vector<space::DataPoint>& points) {
-  std::unordered_map<space::PointId, std::size_t> index;
-  index.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    if (points[i].id != space::kInvalidPointId) index.emplace(points[i].id, i);
-  return index;
-}
+///
+/// Shape generators mint PointIds sequentially from a first_id, so the live
+/// id range is dense and a direct-mapped vector beats a hash table: one
+/// subtract + load per probe, no hashing, and nothing hash-ordered for
+/// anyone to iterate later (detlint: unordered-iter).  A sorted-pairs
+/// binary search backs the rare sparse case (e.g. ids surviving heavy
+/// churn) so lookups stay deterministic and allocation stays bounded.
+class PointIndex {
+ public:
+  explicit PointIndex(const std::vector<space::DataPoint>& points) {
+    space::PointId lo = std::numeric_limits<space::PointId>::max();
+    space::PointId hi = 0;
+    std::size_t live = 0;
+    for (const auto& p : points) {
+      if (p.id == space::kInvalidPointId) continue;
+      ++live;
+      lo = std::min(lo, p.id);
+      hi = std::max(hi, p.id);
+    }
+    if (live == 0) return;
+    const space::PointId span = hi - lo + 1;
+    // Direct map while the id range is within 4x the live count (always
+    // true for freshly generated shapes, where ids are contiguous).
+    if (span <= 4 * static_cast<space::PointId>(live)) {
+      base_ = lo;
+      dense_.assign(static_cast<std::size_t>(span), kNone);
+      for (std::size_t i = 0; i < points.size(); ++i)
+        if (points[i].id != space::kInvalidPointId)
+          dense_[static_cast<std::size_t>(points[i].id - base_)] = i;
+      return;
+    }
+    sparse_.reserve(live);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (points[i].id != space::kInvalidPointId)
+        sparse_.emplace_back(points[i].id, i);
+    std::sort(sparse_.begin(), sparse_.end());
+  }
+
+  /// Returns the index of `id` in `points`, or npos when absent.
+  std::size_t find(space::PointId id) const {
+    if (!dense_.empty()) {
+      if (id < base_) return kNone;
+      const auto off = static_cast<std::size_t>(id - base_);
+      return off < dense_.size() ? dense_[off] : kNone;
+    }
+    const auto it = std::lower_bound(
+        sparse_.begin(), sparse_.end(), id,
+        [](const auto& entry, space::PointId key) { return entry.first < key; });
+    return (it != sparse_.end() && it->first == id) ? it->second : kNone;
+  }
+
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+ private:
+  space::PointId base_ = 0;
+  std::vector<std::size_t> dense_;
+  std::vector<std::pair<space::PointId, std::size_t>> sparse_;
+};
 
 }  // namespace
 
@@ -28,15 +79,15 @@ double fleet_homogeneity(const space::MetricSpace& space,
                          const std::vector<space::DataPoint>& points,
                          const std::vector<FleetNodeState>& alive) {
   if (alive.empty()) return 0.0;
-  const auto index = point_index(points);
+  const PointIndex index(points);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> best(points.size(), kInf);
   for (const auto& node : alive) {
     for (const auto& g : node.guests) {
-      const auto it = index.find(g.id);
-      if (it == index.end()) continue;
-      const double d = space.distance(points[it->second].pos, node.pos);
-      if (d < best[it->second]) best[it->second] = d;
+      const std::size_t i = index.find(g.id);
+      if (i == PointIndex::kNone) continue;
+      const double d = space.distance(points[i].pos, node.pos);
+      if (d < best[i]) best[i] = d;
     }
   }
   // Lost points fall back to the nearest alive node.  Right after a
@@ -66,12 +117,12 @@ double fleet_homogeneity(const space::MetricSpace& space,
 
 double fleet_reliability(const std::vector<space::DataPoint>& points,
                          const std::vector<FleetNodeState>& alive) {
-  const auto index = point_index(points);
+  const PointIndex index(points);
   std::vector<bool> hosted(points.size(), false);
   for (const auto& node : alive) {
     for (const auto& g : node.guests) {
-      const auto it = index.find(g.id);
-      if (it != index.end()) hosted[it->second] = true;
+      const std::size_t i = index.find(g.id);
+      if (i != PointIndex::kNone) hosted[i] = true;
     }
   }
   std::size_t total = 0;

@@ -15,7 +15,7 @@ std::unique_ptr<InProcTransport> InProcHub::make_endpoint(
   std::unique_ptr<InProcTransport> ep(
       new InProcTransport(shared_from_this(), address));
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (!endpoints_.emplace(address, ep.get()).second)
       throw std::invalid_argument("InProcHub: duplicate address " + address);
   }
@@ -23,14 +23,14 @@ std::unique_ptr<InProcTransport> InProcHub::make_endpoint(
 }
 
 bool InProcHub::reachable(const Address& address) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return endpoints_.contains(address);
 }
 
 bool InProcHub::route(const Address& to, Message msg) {
   InProcTransport* target = nullptr;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) return false;
     target = it->second;
@@ -41,7 +41,7 @@ bool InProcHub::route(const Address& to, Message msg) {
 }
 
 void InProcHub::unregister(const Address& address) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   endpoints_.erase(address);
 }
 
@@ -56,7 +56,7 @@ InProcTransport::InProcTransport(std::shared_ptr<InProcHub> hub,
 InProcTransport::~InProcTransport() { shutdown(); }
 
 void InProcTransport::set_handler(MessageHandler handler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   handler_ = std::move(handler);
   cv_.notify_all();
 }
@@ -71,7 +71,7 @@ bool InProcTransport::send(const Address& to,
 }
 
 bool InProcTransport::deliver(Message msg) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (stopped_) return false;
   inbox_.push_back(std::move(msg));
   cv_.notify_all();
@@ -83,8 +83,8 @@ void InProcTransport::pump() {
     Message msg;
     MessageHandler handler;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] {
+      util::MutexLock lk(mu_);
+      cv_.wait(mu_, [this]() REQUIRES(mu_) {
         return stopped_ || (!inbox_.empty() && handler_ != nullptr);
       });
       if (stopped_) return;
@@ -98,7 +98,7 @@ void InProcTransport::pump() {
 
 void InProcTransport::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (stopped_) return;
     stopped_ = true;
     inbox_.clear();  // crash semantics: undelivered messages are lost

@@ -4,14 +4,13 @@
 // closing the mailbox without draining it.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace poly::net {
 
@@ -38,11 +37,13 @@ class InProcTransport final : public Transport {
   std::shared_ptr<InProcHub> hub_;
   Address address_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> inbox_;
-  MessageHandler handler_;
-  bool stopped_ = false;
+  /// Guards the mailbox across senders (deliver), the pump thread, and
+  /// shutdown.
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Message> inbox_ GUARDED_BY(mu_);
+  MessageHandler handler_ GUARDED_BY(mu_);
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::thread pump_thread_;
 };
 
@@ -64,8 +65,8 @@ class InProcHub : public std::enable_shared_from_this<InProcHub> {
   bool route(const Address& to, Message msg);
   void unregister(const Address& address);
 
-  std::mutex mu_;
-  std::unordered_map<Address, InProcTransport*> endpoints_;
+  util::Mutex mu_;
+  std::unordered_map<Address, InProcTransport*> endpoints_ GUARDED_BY(mu_);
 };
 
 }  // namespace poly::net

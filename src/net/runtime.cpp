@@ -98,7 +98,7 @@ AsyncNode::~AsyncNode() {
 }
 
 void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   for (const auto& s : seeds) {
     if (s.id == id_) continue;
     if (rps_view_.size() < cfg_.rps_view)
@@ -107,21 +107,21 @@ void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
 }
 
 void AsyncNode::set_manual_drive(ClockFn clock) {
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  util::MutexLock lk(stop_mu_);
   manual_ = true;
   clock_ = std::move(clock);
 }
 
 void AsyncNode::drive_tick() {
   {
-    std::lock_guard<std::mutex> lk(stop_mu_);
+    util::MutexLock lk(stop_mu_);
     if (!started_ || crashed_) return;
   }
   on_tick();
 }
 
 void AsyncNode::start() {
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  util::MutexLock lk(stop_mu_);
   if (started_ || crashed_) return;
   started_ = true;
   stop_requested_ = false;
@@ -130,19 +130,19 @@ void AsyncNode::start() {
 
 void AsyncNode::stop() {
   {
-    std::lock_guard<std::mutex> lk(stop_mu_);
+    util::MutexLock lk(stop_mu_);
     if (!started_) return;
     stop_requested_ = true;
   }
   stop_cv_.notify_all();
   if (ticker_.joinable()) ticker_.join();
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  util::MutexLock lk(stop_mu_);
   started_ = false;
 }
 
 void AsyncNode::crash() {
   {
-    std::lock_guard<std::mutex> lk(stop_mu_);
+    util::MutexLock lk(stop_mu_);
     crashed_ = true;
   }
   // Kill the transport first: peers immediately see contact failures, and
@@ -152,23 +152,27 @@ void AsyncNode::crash() {
 }
 
 bool AsyncNode::running() const {
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  util::MutexLock lk(stop_mu_);
   return started_ && !crashed_;
 }
 
 void AsyncNode::tick_loop() {
-  std::unique_lock<std::mutex> lk(stop_mu_);
-  while (!stop_requested_) {
-    if (stop_cv_.wait_for(lk, cfg_.tick, [this] { return stop_requested_; }))
-      return;
-    lk.unlock();
+  for (;;) {
+    {
+      util::MutexLock lk(stop_mu_);
+      if (stop_cv_.wait_for(stop_mu_, cfg_.tick, [this]() REQUIRES(stop_mu_) {
+            return stop_requested_;
+          }))
+        return;
+    }
+    // Tick outside stop_mu_: on_tick takes state_mu_, and stop() must be
+    // able to set stop_requested_ while a tick is in flight.
     on_tick();
-    lk.lock();
   }
 }
 
 void AsyncNode::on_tick() {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   step_rps();
   step_tman();
   step_recovery();
@@ -236,7 +240,7 @@ void AsyncNode::peer_unreachable(LiveNodeId peer) {
 void AsyncNode::on_message(Message& msg) {
   // One lock for decode + dispatch: the scratch buffers are shared state,
   // and the handlers run under the same acquisition (they do not lock).
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   reply_ep_ = msg.from_ep;
   reply_from_ = &msg.from;
   try {
@@ -612,17 +616,17 @@ void AsyncNode::reproject() {
 // ---- inspection --------------------------------------------------------------------
 
 space::Point AsyncNode::position() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return pos_;
 }
 
 core::PointSet AsyncNode::guests() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return guests_;
 }
 
 std::size_t AsyncNode::ghost_point_count() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   std::size_t n = 0;
   for (std::size_t i = 0; i < ghosts_.size(); ++i)
     n += ghosts_[i].points.size();
@@ -630,22 +634,22 @@ std::size_t AsyncNode::ghost_point_count() const {
 }
 
 std::size_t AsyncNode::tman_view_size() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return tman_view_.size();
 }
 
 std::size_t AsyncNode::rps_view_size() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return rps_view_.size();
 }
 
 std::size_t AsyncNode::backup_target_count() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return backups_.size();
 }
 
 std::size_t AsyncNode::state_heap_bytes() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   return guests_.capacity() * sizeof(space::DataPoint) + ghosts_.heap_bytes();
 }
 

@@ -45,6 +45,7 @@
 #include "space/metric_space.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/topk.hpp"
 
 namespace poly::net {
@@ -97,6 +98,14 @@ struct Seed {
 ///
 /// Must be bound to the same Arena as the views of the nodes that use it
 /// (rank staging copies view entries through rank_tmp/tman_cand).
+///
+/// Externally synchronized: AsyncScratch itself carries no lock and no
+/// single-thread checker on purpose.  Which mutex covers it depends on the
+/// owner — a live node's scratch is covered by that node's state_mu_
+/// (both the ticker and the transport pump touch it, always under the
+/// lock), while an engine fleet's shared scratch is covered by the
+/// fleet's single-driver discipline.  Do not add a SingleThreadChecker
+/// here: the live two-thread case is legal.
 struct AsyncScratch {
   std::vector<WirePeer> in_peers, out_peers;
   std::vector<WireDescriptor> in_descriptors, out_descriptors;
@@ -191,18 +200,21 @@ class AsyncNode {
   // Message handling (transport pump thread).  on_message takes state_mu_
   // and decodes into the scratch buffers; the handle_* methods run with
   // the lock held and read the decoded scratch.
-  void on_message(Message& msg);
+  void on_message(Message& msg) EXCLUDES(state_mu_);
   void handle_rps(const Header& h, const std::vector<WirePeer>& peers,
-                  bool is_req);
+                  bool is_req) REQUIRES(state_mu_);
   void handle_tman(const Header& h,
                    const std::vector<WireDescriptor>& descriptors,
-                   bool is_req);
+                   bool is_req) REQUIRES(state_mu_);
   void handle_backup_push(const Header& h,
-                          const std::vector<WirePoint>& guests);
+                          const std::vector<WirePoint>& guests)
+      REQUIRES(state_mu_);
   void handle_migrate_req(const Header& h, const space::Point& initiator_pos,
-                          const std::vector<WirePoint>& guests);
+                          const std::vector<WirePoint>& guests)
+      REQUIRES(state_mu_);
   void handle_migrate_resp(const Header& h, bool accepted,
-                           const std::vector<WirePoint>& guests);
+                           const std::vector<WirePoint>& guests)
+      REQUIRES(state_mu_);
 
   /// Reduces `entries` to the `keep` entries closest to `origin`, sorted
   /// ascending with id tie-breaks.  Ids are unique within a view, so the
@@ -210,42 +222,46 @@ class AsyncNode {
   /// element identical to a full sort + truncate.  Stages through the
   /// scratch (rank_keys + rank_tmp).
   void rank_closest(DescriptorList& entries, const space::Point& origin,
-                    std::size_t keep);
+                    std::size_t keep) REQUIRES(state_mu_);
 
   // Protocol steps (called with state_mu_ held unless noted).
-  void step_rps();
-  void step_tman();
-  void step_backup();
-  void step_recovery();
-  void step_migration();
-  void reproject();
+  void step_rps() REQUIRES(state_mu_);
+  void step_tman() REQUIRES(state_mu_);
+  void step_backup() REQUIRES(state_mu_);
+  void step_recovery() REQUIRES(state_mu_);
+  void step_migration() REQUIRES(state_mu_);
+  void reproject() REQUIRES(state_mu_);
 
   /// Marks a peer dead after a contact failure: purges it from views,
   /// backups, the endpoint cache, and (if it was a ghost origin) triggers
   /// recovery.
-  void peer_unreachable(LiveNodeId peer);
+  void peer_unreachable(LiveNodeId peer) REQUIRES(state_mu_);
 
   /// Sends a frame; on failure marks the peer unreachable.  Caller must
   /// hold state_mu_.  Prefers the transport's interned-id fast path (a
   /// direct-mapped per-node cache, no per-send string work); falls back
   /// to a by-name send on transports without interning.
   bool send_to(LiveNodeId peer, std::string_view addr,
-               std::vector<std::uint8_t> frame);
+               std::vector<std::uint8_t> frame) REQUIRES(state_mu_);
 
   /// Sends a reply to the sender of the message currently being handled.
   /// Uses the delivering transport's interned sender id when the header's
   /// advertised address matches the transport-level source (always true
   /// in-tree), avoiding a per-reply by-name lookup.
-  bool send_reply(const Header& h, std::vector<std::uint8_t> frame);
+  bool send_reply(const Header& h, std::vector<std::uint8_t> frame)
+      REQUIRES(state_mu_);
 
   /// A ByteWriter over a transport-pooled buffer (the frame-encode path).
   util::ByteWriter frame_writer() { return util::ByteWriter(transport_->acquire_buffer()); }
 
   Header header(MsgType type) const;
-  const std::vector<WirePoint>& wire_guests() const;
+  const std::vector<WirePoint>& wire_guests() const REQUIRES(state_mu_);
 
   /// Current time per the injected clock (manual mode) or steady_clock.
   std::chrono::steady_clock::time_point clock_now() const {
+    // DETLINT-ALLOW(nondet-source): live-mode fallback only — every
+    // deterministic (engine) fleet injects a virtual clock via
+    // set_manual_drive, so fixed-seed runs never reach the real clock
     return clock_ ? clock_() : std::chrono::steady_clock::now();
   }
 
@@ -254,49 +270,57 @@ class AsyncNode {
   std::unique_ptr<Transport> transport_;
   Address addr_;  // cached transport_->address()
   AsyncConfig cfg_;
+  // Drive mode: written before start() (under stop_mu_), immutable once
+  // the node runs — clock_now() reads clock_ lock-free on that contract.
   bool manual_ = false;
   ClockFn clock_;
 
-  mutable std::mutex state_mu_;
-  util::Rng rng_;
+  /// Guards all protocol state below (views, guests, ghosts, migration
+  /// handshake, the scratch buffers, the endpoint cache) across the two
+  /// threads that touch it: the ticker (on_tick) and the transport pump
+  /// (on_message).
+  mutable util::Mutex state_mu_;
+  util::Rng rng_ GUARDED_BY(state_mu_);
 
   // Storage placement: the arena all view storage is carved from, and the
   // working buffers.  Shared-fleet nodes point at their cluster's; a
-  // standalone node owns private ones (own_*).
+  // standalone node owns private ones (own_*).  The pointers are set at
+  // construction; the pointed-to scratch is protocol state (see
+  // AsyncScratch: externally synchronized — here by state_mu_).
   std::unique_ptr<util::Arena> own_arena_;
   std::unique_ptr<AsyncScratch> own_scratch_;
   util::Arena* arena_;
-  AsyncScratch* scratch_;
+  AsyncScratch* scratch_ PT_GUARDED_BY(state_mu_);
 
   // RPS state: Cyclon view, cap cfg_.rps_view.
-  PeerList rps_view_;
+  PeerList rps_view_ GUARDED_BY(state_mu_);
 
   // T-Man state: ranked descriptor view, cap tman_phys_cap(cfg_).
-  DescriptorList tman_view_;
+  DescriptorList tman_view_ GUARDED_BY(state_mu_);
   /// True while tman_view_ is sorted by (distance to pos_, id) — set by
   /// the rank sites, cleared when pos_ moves or unranked entries appear.
   /// Lets step_tman skip the per-tick re-rank (a no-op on a sorted view).
-  bool tman_ranked_ = false;
-  space::Point pos_;
-  std::uint64_t pos_version_ = 1;
+  bool tman_ranked_ GUARDED_BY(state_mu_) = false;
+  space::Point pos_ GUARDED_BY(state_mu_);
+  std::uint64_t pos_version_ GUARDED_BY(state_mu_) = 1;
 
   // Polystyrene state.
-  core::PointSet guests_;
+  core::PointSet guests_ GUARDED_BY(state_mu_);
   /// Ghost sets keyed by origin id, ascending (the recovery merge order);
   /// see GhostTable for the slot-recycling erase.
-  GhostTable ghosts_;
+  GhostTable ghosts_ GUARDED_BY(state_mu_);
   /// Backup targets, cap cfg_.replication (ages unused).
-  PeerList backups_;
+  PeerList backups_ GUARDED_BY(state_mu_);
 
   // Migration handshake.
-  bool migrating_ = false;
-  LiveNodeId migrate_partner_ = 0;
-  int migrate_ticks_left_ = 0;  // timeout countdown
+  bool migrating_ GUARDED_BY(state_mu_) = false;
+  LiveNodeId migrate_partner_ GUARDED_BY(state_mu_) = 0;
+  int migrate_ticks_left_ GUARDED_BY(state_mu_) = 0;  // timeout countdown
 
   // Reply fast path: the interned sender id and transport-level source
   // address of the message currently in on_message (null outside it).
-  EndpointId reply_ep_ = kInvalidEndpointId;
-  const Address* reply_from_ = nullptr;
+  EndpointId reply_ep_ GUARDED_BY(state_mu_) = kInvalidEndpointId;
+  const Address* reply_from_ GUARDED_BY(state_mu_) = nullptr;
 
   // Interned-endpoint cache, direct-mapped by peer id: peer -> transport
   // endpoint id, filled on first send, invalidated when the peer becomes
@@ -312,15 +336,15 @@ class AsyncNode {
     EndpointId ep = kInvalidEndpointId;
   };
   static constexpr std::size_t kEpCacheSlots = 32;
-  util::ArenaVec<EpCacheSlot> ep_cache_;
+  util::ArenaVec<EpCacheSlot> ep_cache_ GUARDED_BY(state_mu_);
 
   // Lifecycle.
   std::thread ticker_;
-  std::condition_variable stop_cv_;
-  mutable std::mutex stop_mu_;
-  bool stop_requested_ = false;
-  bool started_ = false;
-  bool crashed_ = false;
+  util::CondVar stop_cv_;
+  mutable util::Mutex stop_mu_;
+  bool stop_requested_ GUARDED_BY(stop_mu_) = false;
+  bool started_ GUARDED_BY(stop_mu_) = false;
+  bool crashed_ GUARDED_BY(stop_mu_) = false;
 };
 
 /// Convenience: builds, bootstraps (full mesh of seeds) and starts a fleet

@@ -81,7 +81,7 @@ TcpTransport::TcpTransport() {
 TcpTransport::~TcpTransport() { shutdown(); }
 
 void TcpTransport::set_handler(MessageHandler handler) {
-  std::lock_guard<std::mutex> lk(handler_mu_);
+  util::MutexLock lk(handler_mu_);
   handler_ = std::move(handler);
 }
 
@@ -93,7 +93,7 @@ void TcpTransport::accept_loop() {
       ::close(fd);
       return;
     }
-    std::lock_guard<std::mutex> lk(readers_mu_);
+    util::MutexLock lk(readers_mu_);
     readers_.push_back(
         Reader{fd, std::thread([this, fd] { read_loop(fd); })});
   }
@@ -114,7 +114,7 @@ void TcpTransport::read_loop(int fd) {
 
     MessageHandler handler;
     {
-      std::lock_guard<std::mutex> lk(handler_mu_);
+      util::MutexLock lk(handler_mu_);
       handler = handler_;
     }
     if (handler && !stopped_.load()) {
@@ -129,7 +129,7 @@ void TcpTransport::read_loop(int fd) {
 
 int TcpTransport::connection_to(const Address& to) {
   {
-    std::lock_guard<std::mutex> lk(conn_mu_);
+    util::MutexLock lk(conn_mu_);
     auto it = outgoing_.find(to);
     if (it != outgoing_.end()) return it->second;
   }
@@ -143,7 +143,7 @@ int TcpTransport::connection_to(const Address& to) {
     ::close(fd);
     return -1;
   }
-  std::lock_guard<std::mutex> lk(conn_mu_);
+  util::MutexLock lk(conn_mu_);
   auto [it, inserted] = outgoing_.emplace(to, fd);
   if (!inserted) {
     // Lost a connect race; keep the established one.
@@ -153,7 +153,7 @@ int TcpTransport::connection_to(const Address& to) {
 }
 
 void TcpTransport::drop_connection(const Address& to) {
-  std::lock_guard<std::mutex> lk(conn_mu_);
+  util::MutexLock lk(conn_mu_);
   auto it = outgoing_.find(to);
   if (it != outgoing_.end()) {
     ::close(it->second);
@@ -169,7 +169,7 @@ bool TcpTransport::send(const Address& to, std::vector<std::uint8_t> payload) {
     const std::uint32_t lengths[2] = {
         static_cast<std::uint32_t>(payload.size()),
         static_cast<std::uint32_t>(address_.size())};
-    std::lock_guard<std::mutex> lk(conn_mu_);
+    util::MutexLock lk(conn_mu_);
     // Re-check the cached fd is still ours (shutdown/drop race).
     auto it = outgoing_.find(to);
     if (it == outgoing_.end() || it->second != fd) continue;
@@ -190,13 +190,15 @@ void TcpTransport::shutdown() {
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lk(conn_mu_);
+    util::MutexLock lk(conn_mu_);
+    // DETLINT-ALLOW(unordered-iter): teardown-only close() of every cached
+    // socket; close order is invisible to peers and nothing is derived
     for (auto& [addr, fd] : outgoing_) ::close(fd);
     outgoing_.clear();
   }
   std::vector<Reader> readers;
   {
-    std::lock_guard<std::mutex> lk(readers_mu_);
+    util::MutexLock lk(readers_mu_);
     readers.swap(readers_);
   }
   // Force readers blocked in recv() to wake with EOF, join, then release
@@ -206,7 +208,7 @@ void TcpTransport::shutdown() {
     if (r.thread.joinable()) r.thread.join();
   for (auto& r : readers) ::close(r.fd);
   {
-    std::lock_guard<std::mutex> lk(handler_mu_);
+    util::MutexLock lk(handler_mu_);
     handler_ = nullptr;
   }
 }

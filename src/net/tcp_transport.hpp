@@ -14,12 +14,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace poly::net {
 
@@ -46,18 +46,21 @@ class TcpTransport final : public Transport {
   int listen_fd_ = -1;
   std::thread accept_thread_;
 
-  std::mutex handler_mu_;
-  MessageHandler handler_;
+  util::Mutex handler_mu_;
+  MessageHandler handler_ GUARDED_BY(handler_mu_);
 
-  std::mutex conn_mu_;
-  std::unordered_map<Address, int> outgoing_;
+  /// Guards the outgoing-connection cache; also serializes frame writes
+  /// (write_all under conn_mu_ keeps concurrent sends from interleaving
+  /// one frame inside another).
+  util::Mutex conn_mu_;
+  std::unordered_map<Address, int> outgoing_ GUARDED_BY(conn_mu_);
 
   struct Reader {
     int fd;
     std::thread thread;
   };
-  std::mutex readers_mu_;
-  std::vector<Reader> readers_;
+  util::Mutex readers_mu_;
+  std::vector<Reader> readers_ GUARDED_BY(readers_mu_);
 
   std::atomic<bool> stopped_{false};
 };

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "util/flat_set.hpp"
 
 namespace poly::rps {
 
@@ -27,7 +28,9 @@ void RpsProtocol::on_node_added(sim::NodeId id) {
 void RpsProtocol::bootstrap_node(sim::NodeId id) {
   auto& view = views_[id];
   view.clear();
-  std::unordered_set<sim::NodeId> seen{id};
+  util::FlatSet<sim::NodeId> seen;
+  seen.reserve(cfg_.view_size + 1);
+  seen.insert(id);
   util::Rng& rng = net_.node_rng(id);
   // Up to view_size distinct alive peers; bounded retries keep this robust
   // in tiny networks where fewer peers exist than view slots.
@@ -130,7 +133,7 @@ void RpsProtocol::remove_entry(sim::NodeId self, sim::NodeId target) {
 void RpsProtocol::merge(sim::NodeId self, const std::vector<RpsEntry>& incoming,
                         const std::vector<sim::NodeId>& sent) {
   auto& view = views_[self];
-  std::unordered_set<sim::NodeId> present;
+  util::FlatSet<sim::NodeId> present;
   present.reserve(view.size() + 1);
   present.insert(self);
   for (const auto& e : view) present.insert(e.id);

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "util/flat_set.hpp"
 #include "util/topk.hpp"
 
 namespace poly::tman {
@@ -131,11 +131,13 @@ std::vector<Descriptor> TmanProtocol::build_buffer(sim::NodeId p,
   std::vector<Descriptor> buf;
   buf.reserve(cfg_.msg_size);
   buf.push_back(Descriptor{p, pos_[p], version_[p]});  // own, always first
-  std::unordered_map<sim::NodeId, bool> seen{{p, true}, {q, true}};
+  util::FlatSet<sim::NodeId> seen;
+  seen.reserve(cfg_.msg_size + 2);
+  seen.insert(p);
+  seen.insert(q);
   for (const auto& d : cand) {
     if (buf.size() >= cfg_.msg_size) break;
-    if (seen.contains(d.id)) continue;
-    seen.emplace(d.id, true);
+    if (!seen.insert(d.id)) continue;
     buf.push_back(d);
   }
   return buf;
@@ -144,18 +146,18 @@ std::vector<Descriptor> TmanProtocol::build_buffer(sim::NodeId p,
 void TmanProtocol::merge(sim::NodeId self,
                          const std::vector<Descriptor>& incoming) {
   auto& view = views_[self];
-  std::unordered_map<sim::NodeId, std::size_t> index;
-  index.reserve(view.size());
-  for (std::size_t i = 0; i < view.size(); ++i) index.emplace(view[i].id, i);
-
+  // Dedup by linear scan over the (capped, cache-resident) view: at view
+  // sizes of a few dozen this beats building a hash index, and it keeps
+  // the merge free of hash-order state entirely.  Scanning the growing
+  // view also catches duplicates *within* `incoming`.
   for (const auto& d : incoming) {
     if (d.id == self) continue;
-    auto it = index.find(d.id);
-    if (it != index.end()) {
+    auto it = std::find_if(view.begin(), view.end(),
+                           [&](const Descriptor& v) { return v.id == d.id; });
+    if (it != view.end()) {
       // Known node: keep the freshest advertised position.
-      if (d.version > view[it->second].version) view[it->second] = d;
+      if (d.version > it->version) *it = d;
     } else {
-      index.emplace(d.id, view.size());
       view.push_back(d);
     }
   }

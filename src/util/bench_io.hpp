@@ -29,6 +29,8 @@ struct BenchOptions {
   std::optional<std::string> csv_dir;
   std::string json_dir = ".";  // empty = JSON records disabled
   std::chrono::steady_clock::time_point started =
+      // DETLINT-ALLOW(nondet-source): bench wall-clock start stamp; the
+      // elapsed time is reported in BENCH_*.json, never fed to the sim
       std::chrono::steady_clock::now();
 
   /// Registers the shared flags on `parser` (without parsing), so drivers
@@ -116,6 +118,8 @@ inline bool write_bench_json(const util::Table& table, const BenchOptions& opt,
                              const std::string& name,
                              const std::string& path) {
   const double wall =
+      // DETLINT-ALLOW(nondet-source): elapsed wall time of the bench run,
+      // written to the JSON record only — no simulation state depends on it
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     opt.started)
           .count();

@@ -1,0 +1,57 @@
+// Flat membership set for small id pools.
+//
+// The gossip hot paths (RPS merge, T-Man/Vicinity buffer-build and merge)
+// need short-lived membership sets over a handful of node ids — view
+// sizes are config caps in the 8..32 range.  std::unordered_set is the
+// wrong tool twice over at that size: a heap allocation per bucket array
+// and a hash per probe cost more than a linear scan over one cache line,
+// and a hash table in a hot path is a standing invitation for someone to
+// iterate it (detlint's unordered-iter check exists because hash order
+// escaping into protocol state breaks bit-reproducibility).  FlatSet is
+// the deterministic replacement: a vector in insertion order, linear
+// probes, nothing order-dependent to leak.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace poly::util {
+
+/// Membership-only set over a vector: O(size) probes, which beats
+/// hashing while `size` stays within a few cache lines (the intended
+/// regime — protocol view caps).  Insertion order is deterministic, so
+/// even iteration (if a caller ever needs it) is reproducible.
+template <typename T>
+class FlatSet {
+ public:
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  bool contains(const T& x) const {
+    return std::find(v_.begin(), v_.end(), x) != v_.end();
+  }
+
+  /// Inserts unless present; returns true when newly inserted.
+  bool insert(const T& x) {
+    if (contains(x)) return false;
+    v_.push_back(x);
+    return true;
+  }
+
+  /// Removes one occurrence if present (order of the remaining elements
+  /// is preserved — erase is as deterministic as insert).
+  bool erase(const T& x) {
+    auto it = std::find(v_.begin(), v_.end(), x);
+    if (it == v_.end()) return false;
+    v_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace poly::util

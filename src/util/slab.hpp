@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace poly::util {
 
 /// Contiguous chunked storage for non-movable objects with stable
@@ -39,6 +41,12 @@ class ObjectSlab {
   /// destruction — chunks are never reallocated or moved.
   template <typename... Args>
   T& emplace_back(Args&&... args) {
+    // Growth is single-threaded by contract (one fleet, one driving
+    // thread); reads via operator[] are unchecked — they are safe from
+    // any thread once construction is published.  The dtor/clear() path
+    // is also unchecked: teardown after a join legitimately happens on a
+    // different thread.
+    thread_check_.check("ObjectSlab::emplace_back");
     if (size_ == chunks_.size() * kChunkSize) {
       chunks_.push_back(static_cast<T*>(::operator new(
           sizeof(T) * kChunkSize, std::align_val_t{alignof(T)})));
@@ -79,6 +87,7 @@ class ObjectSlab {
  private:
   std::vector<T*> chunks_;
   std::size_t size_ = 0;
+  SingleThreadChecker thread_check_;
 };
 
 }  // namespace poly::util

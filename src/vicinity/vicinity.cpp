@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "util/flat_set.hpp"
 #include "util/topk.hpp"
 
 namespace poly::vicinity {
@@ -116,11 +116,13 @@ std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
   std::vector<VicinityEntry> buf;
   buf.reserve(cfg_.gossip_size);
   buf.push_back(VicinityEntry{p, pos_[p], version_[p], 0});
-  std::unordered_map<sim::NodeId, bool> seen{{p, true}, {q, true}};
+  util::FlatSet<sim::NodeId> seen;
+  seen.reserve(cfg_.gossip_size + 2);
+  seen.insert(p);
+  seen.insert(q);
   for (const auto& e : cand) {
     if (buf.size() >= cfg_.gossip_size) break;
-    if (seen.contains(e.id)) continue;
-    seen.emplace(e.id, true);
+    if (!seen.insert(e.id)) continue;
     buf.push_back(e);
   }
   return buf;
@@ -129,14 +131,16 @@ std::vector<VicinityEntry> VicinityProtocol::build_buffer(sim::NodeId p,
 void VicinityProtocol::merge(sim::NodeId self, sim::NodeId from,
                              const std::vector<VicinityEntry>& incoming) {
   auto& view = views_[self];
-  std::unordered_map<sim::NodeId, std::size_t> index;
-  index.reserve(view.size());
-  for (std::size_t i = 0; i < view.size(); ++i) index.emplace(view[i].id, i);
+  // Dedup by linear scan over the capped view (see TmanProtocol::merge):
+  // cheaper than a hash index at view sizes of a few dozen, immune to
+  // hash-order escape, and duplicates within `incoming` still resolve to
+  // the already-appended entry.
   for (const auto& e : incoming) {
     if (e.id == self) continue;
-    auto it = index.find(e.id);
-    if (it != index.end()) {
-      auto& mine = view[it->second];
+    auto it = std::find_if(view.begin(), view.end(),
+                           [&](const VicinityEntry& v) { return v.id == e.id; });
+    if (it != view.end()) {
+      auto& mine = *it;
       if (e.version > mine.version) {
         mine.pos = e.pos;
         mine.version = e.version;
@@ -147,7 +151,6 @@ void VicinityProtocol::merge(sim::NodeId self, sim::NodeId from,
       // keep dead entries young without any contact.
       if (e.id == from) mine.age = 0;
     } else {
-      index.emplace(e.id, view.size());
       view.push_back(e);
       if (e.id == from) view.back().age = 0;
     }

@@ -33,11 +33,33 @@ using poly::net::WirePeer;
 using poly::net::WirePoint;
 using poly::space::Point;
 
+// Sanitizer instrumentation slows every tick's processing 5-15x while the
+// live nodes keep ticking on the wall clock, so convergence takes
+// proportionally longer real time.  Scale the poll deadlines to match.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define POLY_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define POLY_TEST_SANITIZED 1
+#endif
+#endif
+#if defined(POLY_TEST_SANITIZED)
+constexpr int kTimeScale = 6;
+#else
+constexpr int kTimeScale = 1;
+#endif
+
 /// Polls `pred` until true or the deadline expires.
 bool eventually(const std::function<bool()>& pred,
                 std::chrono::milliseconds deadline = 10s,
                 std::chrono::milliseconds poll = 20ms) {
+  deadline *= kTimeScale;
+  // DETLINT-ALLOW(nondet-source): test-harness poll deadline for the live
+  // (threaded, wall-clock) runtime; bounds how long we wait, never feeds
+  // simulation state
   const auto until = std::chrono::steady_clock::now() + deadline;
+  // DETLINT-ALLOW(nondet-source): same poll loop — wall time only gates
+  // the retry, the asserted predicate is protocol state
   while (std::chrono::steady_clock::now() < until) {
     if (pred()) return true;
     std::this_thread::sleep_for(poll);
@@ -61,7 +83,8 @@ struct Collector {
 
   bool wait_for_count(std::size_t n, std::chrono::milliseconds timeout = 5s) {
     std::unique_lock<std::mutex> lk(mu);
-    return cv.wait_for(lk, timeout, [&] { return messages.size() >= n; });
+    return cv.wait_for(lk, timeout * kTimeScale,
+                       [&] { return messages.size() >= n; });
   }
 };
 
@@ -308,9 +331,11 @@ AsyncConfig fast_config() {
 TEST(Live, ClusterConvergesOnRing) {
   poly::shape::RingShape shape(24, 1.0);
   LiveCluster cluster(shape.space_ptr(), shape.generate(), fast_config(), 7);
+  // Initially every node hosts its own point: homogeneity 0.  Checked
+  // before start(): once the threads run, migration can raise it at any
+  // moment, so polling for the initial state after start() is a race.
+  EXPECT_LT(cluster.homogeneity(), 0.01);
   cluster.start();
-  // Initially every node hosts its own point: homogeneity 0.
-  EXPECT_TRUE(eventually([&] { return cluster.homogeneity() < 0.01; }));
   // Views populate.
   EXPECT_TRUE(eventually([&] {
     for (std::size_t i = 0; i < cluster.size(); ++i)
@@ -362,8 +387,8 @@ TEST(Live, RecoversDataPointsAfterRegionCrash) {
 TEST(Live, InjectedNodeAcquiresGuests) {
   poly::shape::RingShape shape(12, 1.0);
   LiveCluster cluster(shape.space_ptr(), shape.generate(), fast_config(), 13);
+  ASSERT_LT(cluster.homogeneity(), 0.01);  // pre-start: see ConvergesOnRing
   cluster.start();
-  ASSERT_TRUE(eventually([&] { return cluster.homogeneity() < 0.01; }));
   const std::size_t idx = cluster.inject(Point(3.5));
   EXPECT_TRUE(eventually(
       [&] { return !cluster.node(idx).guests().empty(); }, 15s));

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""ASLR-robustness check: one fixed-seed trajectory, two processes.
+
+Runs the given binary (test_trajectory_pin) twice with POLY_TRAJ_PRINT=1.
+Each run re-derives the pinned trajectories and prints one `[traj]` line
+per scenario with the end-state metrics at 17 significant digits.  The two
+processes get different address-space layouts (ASLR), different heap
+addresses, and different hash-table layouts for any pointer- or
+address-keyed container — so any address-order dependence that leaked into
+protocol state shows up as a metric diff here, where a single in-process
+repeat run never could.
+
+Exit 0 when both runs print identical [traj] lines, 1 on any difference.
+
+Usage: check_aslr_determinism.py <path-to-test_trajectory_pin>
+"""
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+
+def traj_lines(binary: str) -> list[str]:
+    env = dict(os.environ, POLY_TRAJ_PRINT="1")
+    proc = subprocess.run(
+        [binary],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=600,
+    )
+    lines = [l for l in proc.stdout.splitlines() if l.startswith("[traj]")]
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        raise SystemExit(f"run failed with exit code {proc.returncode}")
+    if not lines:
+        sys.stderr.write(proc.stdout)
+        raise SystemExit("no [traj] lines printed — POLY_TRAJ_PRINT broken?")
+    return lines
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__ or "")
+        return 2
+    binary = sys.argv[1]
+    first = traj_lines(binary)
+    second = traj_lines(binary)
+    if first == second:
+        print(f"aslr-determinism: {len(first)} trajectories bit-identical "
+              "across two process launches")
+        return 0
+    print("aslr-determinism: MISMATCH between two launches of the same "
+          "fixed-seed run:", file=sys.stderr)
+    for a, b in zip(first, second):
+        if a != b:
+            print(f"  run1: {a}\n  run2: {b}", file=sys.stderr)
+    if len(first) != len(second):
+        print(f"  line counts differ: {len(first)} vs {len(second)}",
+              file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

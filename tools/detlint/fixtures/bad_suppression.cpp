@@ -1,0 +1,10 @@
+// detlint fixture: malformed DETLINT-ALLOW comments are findings
+// themselves — unknown check names and missing justifications must not
+// silently suppress anything.
+#include <cstdlib>
+
+// DETLINT-ALLOW(no-such-check): typo'd check names must be rejected
+int a = 1;
+
+// DETLINT-ALLOW(nondet-source):
+int missing_reason() { return std::rand(); }

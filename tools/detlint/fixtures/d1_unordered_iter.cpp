@@ -1,0 +1,31 @@
+// detlint fixture: D1 unordered-iter must fire on iteration over
+// std::unordered_* containers — and must NOT fire on membership ops.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<int, int> table;
+  std::unordered_set<std::uint64_t> members;
+};
+
+// Range-for over an unordered member: the hash order escapes into `acc`.
+int order_escapes(Registry& r) {
+  int acc = 0;
+  for (const auto& [k, v] : r.table) acc = acc * 31 + k + v;  // FINDING
+  return acc;
+}
+
+// Iterator walk: same hazard through begin()/end().
+int iterator_walk(Registry& r) {
+  int acc = 0;
+  for (auto it = r.table.begin(); it != r.table.end(); ++it)  // FINDING
+    acc ^= it->first;
+  return acc;
+}
+
+// Membership lookups are order-free: no findings below this line.
+bool lookup_only(const Registry& r, std::uint64_t id) {
+  return r.members.contains(id) && r.table.find(static_cast<int>(id)) !=
+                                       r.table.end();
+}

@@ -1,0 +1,35 @@
+// detlint fixture: D2 pointer-order must fire on address-based ordering
+// and hashing — container keys, std functors, comparator lambdas, and
+// uintptr_t escapes.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+struct Node {
+  int weight;
+};
+
+std::set<Node*> live_set;                      // FINDING: pointer-keyed set
+std::map<const Node*, int> weights;            // FINDING: pointer-keyed map
+std::unordered_set<Node*> fast_lookup;         // FINDING: pointer hash key
+
+using PtrLess = std::less<Node*>;              // FINDING: std::less over T*
+
+void sort_by_address(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // FINDING
+}
+
+std::uint64_t key_of(const Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n) >> 4;  // FINDING
+}
+
+// Value-based ordering is fine: no findings below this line.
+void sort_by_weight(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Node* a, const Node* b) { return a->weight < b->weight; });
+}

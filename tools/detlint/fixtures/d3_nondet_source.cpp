@@ -1,0 +1,30 @@
+// detlint fixture: D3 nondet-source must fire on every randomness/time
+// source other than a seeded util::Rng and the engine's virtual clock.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned entropy_seed() {
+  std::random_device rd;  // FINDING: unseeded entropy
+  return rd();
+}
+
+int c_prng() {
+  std::srand(7);          // FINDING: global C PRNG
+  return std::rand();     // FINDING
+}
+
+long long wall_clock_ns() {
+  return std::chrono::steady_clock::now()  // FINDING: wall-clock read
+      .time_since_epoch()
+      .count();
+}
+
+long long wall_clock_s() { return time(nullptr); }  // FINDING
+
+// Deterministic uses are fine: no findings below this line.  A named
+// time_point type or duration math never reads the clock.
+std::chrono::steady_clock::time_point epoch() {
+  return std::chrono::steady_clock::time_point{} + std::chrono::seconds(3);
+}

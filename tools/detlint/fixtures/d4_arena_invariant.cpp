@@ -1,0 +1,32 @@
+// detlint fixture: D4 arena-invariant must fire on ArenaVec elements
+// that own heap memory and on ArenaVec variables never bind()-ed.
+#include <string>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace poly {
+
+struct OwningRecord {
+  std::string name;  // heap-owning member
+  int tag;
+};
+
+struct PlainRecord {
+  int id;
+  double score;
+};
+
+struct Views {
+  util::ArenaVec<std::string> names;     // FINDING: owning element type
+  util::ArenaVec<OwningRecord> records;  // FINDING: struct owns heap memory
+  util::ArenaVec<PlainRecord> hot;       // FINDING: never bind()-ed anywhere
+};
+
+// Bound, trivially-copyable ArenaVec: no finding.
+struct Good {
+  util::ArenaVec<PlainRecord> cold;
+  void init(util::Arena& arena) { cold.bind(arena, 64); }
+};
+
+}  // namespace poly

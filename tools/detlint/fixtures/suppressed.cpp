@@ -1,0 +1,23 @@
+// detlint fixture: a DETLINT-ALLOW with a written reason silences the
+// finding, is reported as a suppression, and an unused ALLOW is flagged
+// as a warning.
+#include <cstdlib>
+#include <unordered_map>
+
+std::unordered_map<int, int> counters;
+
+int commutative_sum() {
+  int acc = 0;
+  // DETLINT-ALLOW(unordered-iter): integer sum is commutative and
+  // associative over ints; iteration order cannot change the result
+  for (const auto& [k, v] : counters) acc += v;
+  return acc;
+}
+
+int seeded_elsewhere() {
+  return std::rand();  // DETLINT-ALLOW(nondet-source): fixture exercises same-line suppression
+}
+
+// This ALLOW matches nothing and must be reported as unused.
+// DETLINT-ALLOW(pointer-order): stale justification kept for the test
+int plain_value = 3;

@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
            "directory for the BENCH_<name>.json record; empty disables",
            "POLY_BENCH_JSON");
   cli.flag("smoke", &smoke,
-           "smoke mode: 1 repetition, stages capped at 10 rounds");
+           "smoke mode: stages capped at 10 rounds, 1 repetition "
+           "unless --reps is given");
   cli.parse_or_exit(argc, argv);
 
   scenario::ScenarioProgram program;
@@ -95,7 +96,9 @@ int main(int argc, char** argv) {
   if (cli.was_set("reps")) program.reps = reps == 0 ? 1 : reps;
   if (cli.was_set("every")) program.measure_every = every == 0 ? 1 : every;
   if (smoke) {
-    program.reps = 1;
+    // An explicit --reps wins: smoke-sized stages with a real repetition
+    // pool is how CI exercises the multithreaded rep workers cheaply.
+    if (!cli.was_set("reps")) program.reps = 1;
     cap_rounds(program, 10);
   }
 

@@ -169,14 +169,29 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
     release_buffer(std::move(payload));
     return true;  // accepted, lost in flight
   }
-  SimTime at = engine_.now() + link_->latency(payload.size(), rng_);
+  // Fault plane (docs/FAULTS.md): one consultation per frame that passed
+  // the dead-destination check and the link model's own drop draw.  With
+  // no plane (or no rules) this is a single predictable branch and zero
+  // RNG draws — trajectories are bit-identical to a plane-free hub.
+  fault::FrameFate fate;
+  if (plane_ != nullptr && plane_->active())
+    fate = plane_->fate(from, to, payload.size(), engine_.now());
+  if (fate.blackholed) {
+    // Silent in-flight loss: the sender observes success, exactly like a
+    // link-model drop — a partitioned peer looks slow/lossy, not dead.
+    release_buffer(std::move(payload));
+    return true;
+  }
+  SimTime at = engine_.now() + link_->latency(payload.size(), rng_) +
+               fate.extra_latency;
   // Guard against a link model drawing a negative latency: the batching
   // rendezvous identifies an instant by the head event's execution time,
   // and schedule_at clamps past timestamps to now — a marker recorded
   // under a past `at` would never be found again (leaking its slot and
   // any parked followers).  Clamp here so marker and event always agree.
   if (at < engine_.now()) at = engine_.now();
-  if (link_->may_reorder()) {
+  if (link_->may_reorder() ||
+      (plane_ != nullptr && plane_->may_jitter())) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(from) << 32) | to;
     auto [it, inserted] = fifo_clamp_.try_emplace(key, at);
@@ -188,6 +203,11 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
       it->second = at;
     }
   }
+  // Reorder jitter lands *after* the FIFO clamp on purpose: breaking
+  // per-pair ordering is the entire point of a reorder rule.  The clamp
+  // entry above recorded the pre-jitter time, so later frames on the pair
+  // are not dragged behind the straggler.
+  at += fate.reorder_latency;
   // Round the delivery up to the batch window so frames for this
   // destination coalesce.  Monotone in `at`, so the per-pair FIFO the
   // clamp just established survives the rounding.
@@ -195,6 +215,28 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
     const std::int64_t w = batch_window_.count();
     at = SimTime{(at.count() + w - 1) / w * w};
   }
+  if (fate.corrupt) plane_->corrupt_payload(payload);
+  if (fate.copies > 1) {
+    // Duplicates are byte-identical copies (corruption included) delivered
+    // at the same instant; they coalesce as followers of the original.
+    std::vector<std::vector<std::uint8_t>> dups;
+    dups.reserve(fate.copies - 1);
+    for (std::uint32_t c = 1; c < fate.copies; ++c) {
+      std::vector<std::uint8_t> dup = acquire_buffer();
+      dup.assign(payload.begin(), payload.end());
+      dups.push_back(std::move(dup));
+    }
+    enqueue_frame(from, to, at, std::move(payload));
+    for (auto& dup : dups) enqueue_frame(from, to, at, std::move(dup));
+    return true;
+  }
+  enqueue_frame(from, to, at, std::move(payload));
+  return true;
+}
+
+void EngineHub::enqueue_frame(net::EndpointId from, net::EndpointId to,
+                              SimTime at,
+                              std::vector<std::uint8_t> payload) {
   // Follower?  The marks record is the whole cost of batching on the
   // single-frame common path; the batch list is only consulted when the
   // instant is already marked (or an overflow marker can exist at all).
@@ -233,7 +275,7 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
         frame_pool_.pop_back();
       }
       open_batch->frames.push_back(PendingFrame{from, std::move(payload)});
-      return true;
+      return;
     }
     Batch batch;
     batch.at = at;
@@ -243,7 +285,7 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
     }
     batch.frames.push_back(PendingFrame{from, std::move(payload)});
     batches_[to].push_back(std::move(batch));
-    return true;
+    return;
   }
   // Head of a fresh instant: mark it and carry the frame inline in the
   // delivery event (no batch structure touched until a follower shows up).
@@ -255,7 +297,6 @@ bool EngineHub::send_from(net::EndpointId from, net::EndpointId to,
     batches_[to].push_back(Batch{at, {}});  // overflow marker
   }
   engine_.schedule_at(at, Delivery{this, from, to, std::move(payload)});
-  return true;
 }
 
 void EngineHub::deliver_one(net::EndpointId from, net::EndpointId to,

@@ -62,6 +62,7 @@
 
 #include "engine/event_engine.hpp"
 #include "engine/link_model.hpp"
+#include "fault/fault_plane.hpp"
 #include "net/transport.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -132,6 +133,13 @@ class EngineHub {
   net::EndpointId resolve(const net::Address& address) const;
 
   EventEngine& engine() noexcept { return engine_; }
+
+  /// Installs a fault plane (docs/FAULTS.md): send_from consults it once
+  /// per frame, after the dead-destination check and the link model's own
+  /// drop draw.  `plane` must outlive the hub's traffic; pass nullptr to
+  /// detach.  An installed-but-ruleless plane makes zero RNG draws and
+  /// leaves trajectories bit-identical to no plane at all.
+  void set_fault_plane(fault::FaultPlane* plane) noexcept { plane_ = plane; }
 
   // Traffic counters (frames).
   std::uint64_t frames_sent() const noexcept { return sent_; }
@@ -214,6 +222,11 @@ class EngineHub {
 
   bool send_from(net::EndpointId from, net::EndpointId to,
                  std::vector<std::uint8_t> payload);
+  /// Marks the (destination, instant) rendezvous and schedules or parks
+  /// one frame — the tail of send_from, factored out so duplicated frames
+  /// enqueue through the identical batching path.
+  void enqueue_frame(net::EndpointId from, net::EndpointId to, SimTime at,
+                     std::vector<std::uint8_t> payload);
   /// Delivers the head frame, clears the instant's open marker, and
   /// drains any followers that coalesced at this instant.
   void deliver_head(net::EndpointId from, net::EndpointId to,
@@ -228,6 +241,7 @@ class EngineHub {
   std::unique_ptr<LinkModel> link_;
   util::Rng rng_;  // link randomness, split off the engine stream
   SimTime batch_window_;
+  fault::FaultPlane* plane_ = nullptr;  // optional, not owned
 
   /// Per-endpoint state as type-segregated contiguous slabs, all indexed
   /// by EndpointId.  Splitting by access pattern (instead of one big

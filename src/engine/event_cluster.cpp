@@ -26,7 +26,13 @@ EventCluster::EventCluster(std::shared_ptr<const space::MetricSpace> space,
           std::make_unique<UniformLatency>(cfg_.latency_min, cfg_.latency_max,
                                            cfg_.drop_rate),
           cfg_.delivery_batch_window)),
-      rng_(engine_.split_rng()) {
+      rng_(engine_.split_rng()),
+      // Keyed off the cluster seed directly (not an engine split): the
+      // plane exists whether or not faults are used, and consuming a
+      // split here would shift every per-node stream and break the
+      // pre-fault-plane trajectory pins.
+      plane_(seed ^ 0x8ad5e4f1a3c927b1ull) {
+  hub_->set_fault_plane(&plane_);
   scratch_.bind(arena_, cfg_.node);
   points_.reserve(points.size());
   for (const auto& dp : points) {
@@ -47,12 +53,19 @@ EventCluster::~EventCluster() = default;
 
 std::size_t EventCluster::add_node(std::optional<space::DataPoint> initial) {
   const std::size_t idx = nodes_.size();
+  // The fault plane matches node ids, not endpoint ids (a recovered node
+  // keeps its id under a fresh endpoint): register the mapping for every
+  // endpoint ever made.  make_endpoint draws no randomness, so hoisting
+  // it out of the emplace leaves the per-node seed sequence unchanged.
+  auto ep = hub_->make_endpoint("node-" + std::to_string(idx));
+  plane_.map_endpoint(ep->endpoint_id(), static_cast<std::uint32_t>(idx));
   net::AsyncNode& node = nodes_.emplace_back(
-      static_cast<net::LiveNodeId>(idx), space_,
-      hub_->make_endpoint("node-" + std::to_string(idx)), std::move(initial),
-      cfg_.node, engine_.split_rng().next_u64(), &arena_, &scratch_);
+      static_cast<net::LiveNodeId>(idx), space_, std::move(ep),
+      std::move(initial), cfg_.node, engine_.split_rng().next_u64(), &arena_,
+      &scratch_);
   node.set_manual_drive([this] { return engine_.clock(); });
   crashed_.push_back(false);
+  stall_until_.push_back(SimTime::zero());
   pool_pos_.push_back(static_cast<std::uint32_t>(alive_pool_.size()));
   alive_pool_.push_back(static_cast<std::uint32_t>(idx));
   return idx;
@@ -96,6 +109,14 @@ void EventCluster::bootstrap_node(std::size_t idx) {
 void EventCluster::schedule_tick(std::size_t idx, SimTime delay) {
   engine_.schedule_after(delay, [this, idx] {
     if (crashed_[idx]) return;  // stop rescheduling after a crash
+    if (engine_.now() < stall_until_[idx]) {
+      // Stalled (GC-pause model, docs/FAULTS.md): the tick is skipped but
+      // the timer chain survives — message handlers keep running and the
+      // node resumes on its old phase when the pause ends.
+      ++plane_.counters().stall_rounds;
+      schedule_tick(idx, tick_period(cfg_));
+      return;
+    }
     nodes_[idx].drive_tick();
     schedule_tick(idx, tick_period(cfg_));
   });
@@ -168,6 +189,123 @@ std::size_t EventCluster::inject(const space::Point& pos) {
   nodes_[idx].start();
   schedule_tick(idx, tick_period(cfg_) / 2);
   return idx;
+}
+
+bool EventCluster::recover_node(std::size_t idx) {
+  if (idx >= nodes_.size() || !crashed_[idx]) return false;
+  // The old endpoint id died with the crash and is never reused; the old
+  // *name* is free again, so the rejoined node is reachable by the same
+  // address its stale view entries on peers still advertise.
+  auto ep = hub_->make_endpoint("node-" + std::to_string(idx));
+  plane_.map_endpoint(ep->endpoint_id(), static_cast<std::uint32_t>(idx));
+  nodes_[idx].recover(std::move(ep));
+  crashed_[idx] = false;
+  stall_until_[idx] = SimTime::zero();
+  pool_pos_[idx] = static_cast<std::uint32_t>(alive_pool_.size());
+  alive_pool_.push_back(static_cast<std::uint32_t>(idx));
+  ++plane_.counters().recoveries;
+  nodes_[idx].start();
+  // Fresh random phase, like any starting node.
+  schedule_tick(idx,
+                SimTime{rng_.uniform_i64(0, tick_period(cfg_).count() - 1)});
+  return true;
+}
+
+std::size_t EventCluster::recover_all() {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (crashed_[i] && recover_node(i)) ++n;
+  return n;
+}
+
+std::size_t EventCluster::recover_random(std::size_t count) {
+  // Candidates in id order (deterministic), then a uniform sample.
+  std::vector<std::uint32_t> crashed_ids;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (crashed_[i]) crashed_ids.push_back(static_cast<std::uint32_t>(i));
+  rng_.sample_indices_into(crashed_ids.size(),
+                           std::min(count, crashed_ids.size()),
+                           sample_scratch_);
+  std::size_t n = 0;
+  for (std::size_t slot : sample_scratch_)
+    if (recover_node(crashed_ids[slot])) ++n;
+  return n;
+}
+
+std::vector<std::uint32_t> EventCluster::region_ids(
+    const std::function<bool(const space::Point&)>& pred) const {
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    if (pred(points_[i].pos)) ids.push_back(static_cast<std::uint32_t>(i));
+  return ids;
+}
+
+SimTime EventCluster::heal_at(std::size_t heal_rounds) {
+  if (heal_rounds == 0) return SimTime::max();
+  return engine_.now() +
+         tick_period(cfg_) * static_cast<std::int64_t>(heal_rounds);
+}
+
+std::size_t EventCluster::partition_region(
+    const std::function<bool(const space::Point&)>& pred,
+    std::size_t heal_rounds) {
+  const std::vector<std::uint32_t> side = region_ids(pred);
+  plane_.add_partition(side, engine_.now(), heal_at(heal_rounds));
+  return side.size();
+}
+
+std::size_t EventCluster::degrade_region(
+    const std::function<bool(const space::Point&)>& pred, fault::Direction dir,
+    double extra_drop, SimTime jitter, std::size_t heal_rounds) {
+  const std::vector<std::uint32_t> members = region_ids(pred);
+  plane_.add_degrade(members, dir, extra_drop, jitter, engine_.now(),
+                     heal_at(heal_rounds));
+  return members.size();
+}
+
+void EventCluster::corrupt_frames(double p, std::size_t heal_rounds) {
+  plane_.add_corrupt(p, engine_.now(), heal_at(heal_rounds));
+}
+
+void EventCluster::duplicate_frames(double p, std::size_t heal_rounds) {
+  plane_.add_duplicate(p, engine_.now(), heal_at(heal_rounds));
+}
+
+void EventCluster::reorder_frames(double p, SimTime jitter,
+                                  std::size_t heal_rounds) {
+  plane_.add_reorder(p, jitter, engine_.now(), heal_at(heal_rounds));
+}
+
+std::size_t EventCluster::stall_region(
+    const std::function<bool(const space::Point&)>& pred, std::size_t rounds) {
+  const SimTime until =
+      engine_.now() + tick_period(cfg_) * static_cast<std::int64_t>(rounds);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!crashed_[i] && pred(points_[i].pos)) {
+      stall_until_[i] = until;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t EventCluster::stall_random(std::size_t count, std::size_t rounds) {
+  const SimTime until =
+      engine_.now() + tick_period(cfg_) * static_cast<std::int64_t>(rounds);
+  rng_.sample_indices_into(alive_pool_.size(),
+                           std::min(count, alive_pool_.size()),
+                           sample_scratch_);
+  for (std::size_t slot : sample_scratch_)
+    stall_until_[alive_pool_[slot]] = until;
+  return sample_scratch_.size();
+}
+
+std::uint64_t EventCluster::frames_rejected() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    total += nodes_[i].frames_rejected();
+  return total;
 }
 
 std::vector<net::FleetNodeState> EventCluster::alive_states() const {

@@ -27,6 +27,7 @@
 
 #include "engine/engine_transport.hpp"
 #include "engine/event_engine.hpp"
+#include "fault/fault_plane.hpp"
 #include "net/fleet_metrics.hpp"
 #include "net/runtime.hpp"
 #include "space/metric_space.hpp"
@@ -119,6 +120,70 @@ class EventCluster {
   /// random sample of the alive nodes; returns its index.
   std::size_t inject(const space::Point& pos);
 
+  // ---- recovery -----------------------------------------------------------
+  // Crash-recovery (docs/FAULTS.md): a crashed node rejoins under a fresh
+  // hub endpoint at its old address, keeping its pre-crash (stale) views —
+  // the protocol must absorb the ghost of its former self.
+
+  /// Rejoins crashed node `idx`; false when out of range or not crashed.
+  bool recover_node(std::size_t idx);
+  /// Rejoins every crashed node, in id order; returns the count.
+  std::size_t recover_all();
+  /// Rejoins `count` crashed nodes chosen uniformly; returns the count.
+  std::size_t recover_random(std::size_t count);
+
+  // ---- fault plane --------------------------------------------------------
+  // Scheduled network chaos, applied per frame by the hub (docs/FAULTS.md).
+  // `heal_rounds` bounds a fault's life in tick periods from now; 0 means
+  // it never heals.  Region predicates test *original* data-point
+  // positions, like crash_region.
+
+  /// Partitions the nodes satisfying `pred` from the rest (both
+  /// directions); returns the partitioned-side size.
+  std::size_t partition_region(
+      const std::function<bool(const space::Point&)>& pred,
+      std::size_t heal_rounds);
+
+  /// Gray links: traffic of the nodes satisfying `pred` (filtered by
+  /// `dir`, relative to that set) suffers `extra_drop` loss and up to
+  /// `jitter` extra latency; returns the degraded-set size.
+  std::size_t degrade_region(
+      const std::function<bool(const space::Point&)>& pred,
+      fault::Direction dir, double extra_drop, SimTime jitter,
+      std::size_t heal_rounds);
+
+  /// Corrupts each in-flight frame's payload with probability `p`.
+  void corrupt_frames(double p, std::size_t heal_rounds);
+  /// Duplicates each in-flight frame with probability `p`.
+  void duplicate_frames(double p, std::size_t heal_rounds);
+  /// Reorders (delays by up to `jitter`, past the FIFO clamp) each
+  /// in-flight frame with probability `p`.
+  void reorder_frames(double p, SimTime jitter, std::size_t heal_rounds);
+
+  // ---- stalls -------------------------------------------------------------
+  // GC-pause model: a stalled node's *timers* freeze for `rounds` tick
+  // periods — its ticks are skipped (each skip counts one stall_round) —
+  // while its message handlers keep running and peers keep sending, so
+  // its views age in place.  Distinct from a crash: peers see a slow
+  // node, never a contact failure.
+
+  /// Stalls every alive node satisfying `pred`; returns the count.
+  std::size_t stall_region(const std::function<bool(const space::Point&)>& pred,
+                           std::size_t rounds);
+  /// Stalls `count` alive nodes chosen uniformly; returns the count.
+  std::size_t stall_random(std::size_t count, std::size_t rounds);
+
+  /// Cumulative fault counters (plane frame faults + stalls/recoveries).
+  const fault::FaultCounters& fault_counters() const noexcept {
+    return plane_.counters();
+  }
+  /// The plane itself (tests compose rules the cluster API doesn't).
+  fault::FaultPlane& fault_plane() noexcept { return plane_; }
+
+  /// Fleet-total frames dropped at the decode boundary (util::CodecError),
+  /// summed over every node that ever lived.  Zero on clean links.
+  std::uint64_t frames_rejected() const;
+
   // ---- metrics (fleet-level §IV-A) ---------------------------------------
 
   double homogeneity() const;
@@ -141,12 +206,22 @@ class EventCluster {
   /// Swap-removes node `idx` from the alive-id pool (no-op if absent).
   void pool_remove(std::size_t idx);
   std::vector<net::FleetNodeState> alive_states() const;
+  /// Node ids whose original data point satisfies `pred` (crashed
+  /// included: membership is geometric, and a member may recover).
+  std::vector<std::uint32_t> region_ids(
+      const std::function<bool(const space::Point&)>& pred) const;
+  /// `heal_rounds` tick periods from now; 0 → never (SimTime::max()).
+  SimTime heal_at(std::size_t heal_rounds);
 
   std::shared_ptr<const space::MetricSpace> space_;
   EventClusterConfig cfg_;
   EventEngine engine_;
   std::unique_ptr<EngineHub> hub_;
   util::Rng rng_;  // cluster-level draws: bootstrap samples, churn, jitter
+  /// The fault plane, installed on the hub at construction.  Seeded from
+  /// the cluster seed *without* consuming an engine split, so a fleet
+  /// that never adds a rule draws the exact pre-fault-plane trajectory.
+  fault::FaultPlane plane_;
   std::vector<space::DataPoint> points_;  // originals + injected sentinels
   /// Every node's view storage is carved from this arena (4 MB chunks:
   /// ~1300 nodes per chunk at the default config's ~3.2 KB/node), and all
@@ -160,6 +235,9 @@ class EventCluster {
   /// storage instead of chasing one heap pointer per node.
   util::ObjectSlab<net::AsyncNode> nodes_;
   std::vector<bool> crashed_;
+  /// Per-node stall deadline: a tick firing before stall_until_[i] is
+  /// skipped (and counted) instead of driven.  Zero = not stalled.
+  std::vector<SimTime> stall_until_;
   /// The shared alive-id pool: every alive node id, in swap-remove order.
   /// bootstrap_node samples seed ids straight from it (O(seeds) per node;
   /// the old per-node rebuild of an all-alive candidate vector made fleet

@@ -1,5 +1,7 @@
 #include "net/messages.hpp"
 
+#include <cmath>
+
 namespace poly::net {
 
 namespace {
@@ -24,7 +26,15 @@ space::Point decode_point(util::ByteReader& r) {
   space::Point p;
   p.dim = r.u8();
   if (p.dim < 1 || p.dim > 3) throw util::CodecError("point: bad dimension");
-  for (double& c : p.c) c = r.f64();
+  for (double& c : p.c) {
+    c = r.f64();
+    // A NaN/Inf coordinate from a corrupted frame would poison every
+    // distance it ever enters (NaN comparisons are false, so ranking and
+    // medoid selection silently misorder).  Reject at the trust boundary;
+    // corrupted-but-finite positions are ordinary gray noise the gossip
+    // repair absorbs.
+    if (!std::isfinite(c)) throw util::CodecError("point: non-finite coord");
+  }
   return p;
 }
 

@@ -151,6 +151,30 @@ void AsyncNode::crash() {
   stop();
 }
 
+void AsyncNode::recover(std::unique_ptr<Transport> transport) {
+  {
+    util::MutexLock lk(stop_mu_);
+    if (!crashed_) return;
+    crashed_ = false;
+    stop_requested_ = false;
+  }
+  util::MutexLock lk(state_mu_);
+  transport_ = std::move(transport);
+  transport_->set_handler([this](Message& msg) { on_message(msg); });
+  // The old life's interned endpoint ids are dead; drop them so the first
+  // post-rejoin contacts re-resolve by name instead of eating one failed
+  // send (and a spurious peer_unreachable purge) each.
+  for (std::size_t i = 0; i < kEpCacheSlots; ++i) ep_cache_[i] = EpCacheSlot{};
+  // Any half-open migration handshake died with the old endpoint; the
+  // partner timed out during the outage and kept its guests.
+  migrating_ = false;
+}
+
+std::uint64_t AsyncNode::frames_rejected() const {
+  util::MutexLock lk(state_mu_);
+  return frames_rejected_;
+}
+
 bool AsyncNode::running() const {
   util::MutexLock lk(stop_mu_);
   return started_ && !crashed_;
@@ -281,8 +305,17 @@ void AsyncNode::on_message(Message& msg) {
       }
     }
   } catch (const util::CodecError& e) {
-    util::log_warn(std::string("AsyncNode: dropping malformed frame: ") +
-                   e.what());
+    // The decode boundary is the trust boundary: anything malformed —
+    // truncated, corrupted, out-of-range — lands here, is counted, and is
+    // dropped before it can touch protocol state (the scratch it decoded
+    // into is overwritten by the next frame).
+    ++frames_rejected_;
+    // Under sustained corruption (the fault plane's `corrupt` verb) this
+    // fires thousands of times — log the first few, the counter has the
+    // rest.
+    if (frames_rejected_ <= 3)
+      util::log_warn(std::string("AsyncNode: dropping malformed frame: ") +
+                     e.what());
   }
   reply_ep_ = kInvalidEndpointId;
   reply_from_ = nullptr;

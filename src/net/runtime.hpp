@@ -176,6 +176,16 @@ class AsyncNode {
   /// contact failures and stale backups, exactly like a process kill.
   void crash();
 
+  /// Rejoins a crashed node under a fresh transport registered at the
+  /// *same address* (endpoint ids are never reused, so the node comes back
+  /// under a new id; peers' cached ids for the old life fail like any dead
+  /// endpoint and re-resolve by name).  All protocol state survives as-is:
+  /// the node restarts with its pre-crash — now stale — views, guests and
+  /// backups, like a process restarted from a warm checkpoint.  Any
+  /// half-open migration handshake is abandoned.  No-op unless crashed;
+  /// the caller start()s the node afterwards.
+  void recover(std::unique_ptr<Transport> transport);
+
   // ---- thread-safe inspection ------------------------------------------
 
   LiveNodeId id() const noexcept { return id_; }
@@ -190,6 +200,10 @@ class AsyncNode {
   /// set plus the ghost tables' PointSets (the data plane; the control
   /// plane — views, targets, cache — is all arena memory).
   std::size_t state_heap_bytes() const;
+  /// Frames dropped at the decode boundary (util::CodecError): malformed,
+  /// truncated or corrupted input that never reached a handler.  Zero on
+  /// clean links.
+  std::uint64_t frames_rejected() const;
   bool running() const;
 
  private:
@@ -316,6 +330,11 @@ class AsyncNode {
   bool migrating_ GUARDED_BY(state_mu_) = false;
   LiveNodeId migrate_partner_ GUARDED_BY(state_mu_) = 0;
   int migrate_ticks_left_ GUARDED_BY(state_mu_) = 0;  // timeout countdown
+
+  /// Frames rejected at the decode boundary (see the accessor).  Guarded
+  /// by state_mu_ like the scratch it protects: the increment happens in
+  /// on_message's CodecError catch.
+  std::uint64_t frames_rejected_ GUARDED_BY(state_mu_) = 0;
 
   // Reply fast path: the interned sender id and transport-level source
   // address of the message currently in on_message (null outside it).

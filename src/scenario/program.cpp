@@ -35,6 +35,113 @@ std::string fmt_g(double v) {
   return buf;
 }
 
+/// The metric vocabulary of `expect`, with per-mode availability (sync
+/// cannot observe frame traffic; events cannot observe points/node).
+struct ExpectMetric {
+  const char* name;
+  bool sync_ok;
+  bool events_ok;
+};
+constexpr ExpectMetric kExpectMetrics[] = {
+    {"homogeneity", true, true},
+    {"proximity", true, true},
+    {"reliability", true, true},
+    {"alive", true, true},
+    {"points_per_node", true, false},
+    {"frames", false, true},
+    {"frames_rejected", false, true},
+    {"frames_blackholed", false, true},
+    {"frames_duplicated", false, true},
+    {"frames_corrupted", false, true},
+    {"frames_reordered", false, true},
+    {"stall_rounds", false, true},
+    {"recoveries", false, true},
+};
+
+const ExpectMetric* find_expect_metric(const std::string& name) {
+  for (const auto& m : kExpectMetrics)
+    if (name == m.name) return &m;
+  return nullptr;
+}
+
+std::string expect_metric_names() {
+  std::string out;
+  for (const auto& m : kExpectMetrics) {
+    if (!out.empty()) out += ", ";
+    out += m.name;
+  }
+  return out;
+}
+
+std::optional<Expect::Op> parse_expect_op(const std::string& s) {
+  if (s == "<") return Expect::Op::kLt;
+  if (s == "<=") return Expect::Op::kLe;
+  if (s == ">") return Expect::Op::kGt;
+  if (s == ">=") return Expect::Op::kGe;
+  if (s == "==") return Expect::Op::kEq;
+  if (s == "!=") return Expect::Op::kNe;
+  return std::nullopt;
+}
+
+const char* to_string(Expect::Op op) {
+  switch (op) {
+    case Expect::Op::kLt: return "<";
+    case Expect::Op::kLe: return "<=";
+    case Expect::Op::kGt: return ">";
+    case Expect::Op::kGe: return ">=";
+    case Expect::Op::kEq: return "==";
+    case Expect::Op::kNe: return "!=";
+  }
+  return "?";
+}
+
+bool eval_expect_op(Expect::Op op, double lhs, double rhs) {
+  switch (op) {
+    case Expect::Op::kLt: return lhs < rhs;
+    case Expect::Op::kLe: return lhs <= rhs;
+    case Expect::Op::kGt: return lhs > rhs;
+    case Expect::Op::kGe: return lhs >= rhs;
+    case Expect::Op::kEq: return lhs == rhs;
+    case Expect::Op::kNe: return lhs != rhs;
+  }
+  return false;
+}
+
+/// The measured value an expect compares against.  `reliability` goes
+/// through the runtime (sync's RoundMetrics carries NaN there; the direct
+/// query works in every mode).
+double expect_value(const std::string& metric, const RoundMetrics& m,
+                    const Runtime& rt) {
+  if (metric == "homogeneity") return m.homogeneity;
+  if (metric == "proximity") return m.proximity;
+  if (metric == "reliability") return rt.reliability();
+  if (metric == "alive") return static_cast<double>(m.alive);
+  if (metric == "points_per_node") return m.points_per_node;
+  if (metric == "frames") return static_cast<double>(m.frames);
+  if (metric == "frames_rejected")
+    return static_cast<double>(m.frames_rejected);
+  if (metric == "frames_blackholed")
+    return static_cast<double>(m.frames_blackholed);
+  if (metric == "frames_duplicated")
+    return static_cast<double>(m.frames_duplicated);
+  if (metric == "frames_corrupted")
+    return static_cast<double>(m.frames_corrupted);
+  if (metric == "frames_reordered")
+    return static_cast<double>(m.frames_reordered);
+  if (metric == "stall_rounds") return static_cast<double>(m.stall_rounds);
+  if (metric == "recoveries") return static_cast<double>(m.recoveries);
+  return std::numeric_limits<double>::quiet_NaN();  // unreachable: validated
+}
+
+const char* link_dir_token(LinkDirection dir) {
+  switch (dir) {
+    case LinkDirection::kInto: return "in";
+    case LinkDirection::kOutOf: return "out";
+    case LinkDirection::kBoth: break;
+  }
+  return "both";
+}
+
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> out;
   std::istringstream is(line);
@@ -70,6 +177,7 @@ class Parser {
     if (p.shape_spec.empty())
       fail(0, "missing required 'shape' directive (e.g. shape grid:80x40)");
     check_shapes(p);
+    check_expects(p);
     return p;
   }
 
@@ -107,6 +215,19 @@ class Parser {
     if (end == tok.c_str() || *end != '\0' || !std::isfinite(v))
       fail(line_, std::string("bad ") + what + " '" + tok + "'");
     return v;
+  }
+
+  /// Parses four zone corners starting at `tok[base]` into `s`; rejects
+  /// empty rectangles (shared by crash/partition/degrade/stall zones).
+  void parse_zone(Stage& s, const std::vector<std::string>& tok,
+                  std::size_t base, const char* verb) const {
+    s.x0 = parse_double(tok[base + 0], "zone x0");
+    s.y0 = parse_double(tok[base + 1], "zone y0");
+    s.x1 = parse_double(tok[base + 2], "zone x1");
+    s.y1 = parse_double(tok[base + 3], "zone y1");
+    if (s.x1 <= s.x0 || s.y1 <= s.y0)
+      fail(line_, std::string("empty ") + verb +
+                      " zone (want x0 < x1 and y0 < y1)");
   }
 
   void expect_args(const std::vector<std::string>& tok, std::size_t n,
@@ -204,6 +325,33 @@ class Parser {
   }
 
   void stage(ScenarioProgram& p, const std::vector<std::string>& tok) {
+    // `expect` is an assertion, not a stage — position-independent, keyed
+    // by completed-round count (or `end`), collected outside the timeline.
+    if (tok[0] == "expect") {
+      expect_args(tok, 6, "<metric> <op> <value> @ <round|end>");
+      Expect e;
+      e.line = line_;
+      e.metric = tok[1];
+      if (find_expect_metric(e.metric) == nullptr)
+        fail(line_, "unknown expect metric '" + tok[1] + "' (want one of " +
+                        expect_metric_names() + ")");
+      const auto op = parse_expect_op(tok[2]);
+      if (!op)
+        fail(line_, "unknown expect comparison '" + tok[2] +
+                        "' (want <, <=, >, >=, ==, or !=)");
+      e.op = *op;
+      e.value = parse_double(tok[3], "expect value");
+      if (tok[4] != "@")
+        fail(line_, "'expect' wants: expect <metric> <op> <value> @ "
+                    "<round|end>");
+      if (tok[5] == "end")
+        e.at_end = true;
+      else
+        e.round = parse_count(tok[5], "expect round");
+      p.expects.push_back(std::move(e));
+      return;
+    }
+
     Stage s;
     s.line = line_;
     const std::string& verb = tok[0];
@@ -311,10 +459,115 @@ class Parser {
         fail(line_, "'measure' wants: measure every R");
       s.kind = Stage::Kind::kMeasureEvery;
       s.rounds = parse_count(tok[2], "measure cadence");
+    } else if (verb == "partition") {
+      expect_args(tok, 8, "zone X0 Y0 X1 Y1 heal N");
+      if (tok[1] != "zone" || tok[6] != "heal")
+        fail(line_, "'partition' wants: partition zone X0 Y0 X1 Y1 heal N");
+      s.kind = Stage::Kind::kPartition;
+      s.selector = Stage::CrashSelector::kZone;
+      parse_zone(s, tok, 2, "partition");
+      s.rounds = parse_count(tok[7], "heal round count", 0);
+    } else if (verb == "degrade") {
+      expect_args(tok, 13,
+                  "zone X0 Y0 X1 Y1 in|out|both drop D jitter MS heal N");
+      if (tok[1] != "zone" || tok[7] != "drop" || tok[9] != "jitter" ||
+          tok[11] != "heal")
+        fail(line_, "'degrade' wants: degrade zone X0 Y0 X1 Y1 "
+                    "in|out|both drop D jitter MS heal N");
+      s.kind = Stage::Kind::kDegrade;
+      s.selector = Stage::CrashSelector::kZone;
+      parse_zone(s, tok, 2, "degrade");
+      if (tok[6] == "in")
+        s.dir = LinkDirection::kInto;
+      else if (tok[6] == "out")
+        s.dir = LinkDirection::kOutOf;
+      else if (tok[6] == "both")
+        s.dir = LinkDirection::kBoth;
+      else
+        fail(line_, "unknown degrade direction '" + tok[6] +
+                        "' (want in, out, or both)");
+      s.drop = parse_double(tok[8], "degrade drop rate");
+      if (s.drop < 0.0 || s.drop >= 1.0)
+        fail(line_, "degrade drop rate " + tok[8] + " out of [0, 1)");
+      s.jitter_ms = parse_double(tok[10], "degrade jitter");
+      if (s.jitter_ms < 0.0)
+        fail(line_, "degrade jitter " + tok[10] + " must be >= 0 ms");
+      if (s.drop == 0.0 && s.jitter_ms == 0.0)
+        fail(line_, "degrade with drop 0 and jitter 0 does nothing");
+      s.rounds = parse_count(tok[12], "heal round count", 0);
+    } else if (verb == "corrupt" || verb == "duplicate") {
+      expect_args(tok, 4, "P heal N");
+      if (tok[2] != "heal")
+        fail(line_, "'" + verb + "' wants: " + verb + " P heal N");
+      s.kind = verb == "corrupt" ? Stage::Kind::kCorrupt
+                                 : Stage::Kind::kDuplicate;
+      s.frac = parse_double(tok[1], (verb + " probability").c_str());
+      if (s.frac <= 0.0 || s.frac > 1.0)
+        fail(line_, verb + " probability " + tok[1] + " out of (0, 1]");
+      s.rounds = parse_count(tok[3], "heal round count", 0);
+    } else if (verb == "reorder") {
+      expect_args(tok, 6, "P jitter MS heal N");
+      if (tok[2] != "jitter" || tok[4] != "heal")
+        fail(line_, "'reorder' wants: reorder P jitter MS heal N");
+      s.kind = Stage::Kind::kReorder;
+      s.frac = parse_double(tok[1], "reorder probability");
+      if (s.frac <= 0.0 || s.frac > 1.0)
+        fail(line_, "reorder probability " + tok[1] + " out of (0, 1]");
+      s.jitter_ms = parse_double(tok[3], "reorder jitter");
+      if (s.jitter_ms <= 0.0)
+        fail(line_, "reorder jitter " + tok[3] + " must be > 0 ms");
+      s.rounds = parse_count(tok[5], "heal round count", 0);
+    } else if (verb == "stall") {
+      s.kind = Stage::Kind::kStall;
+      if (tok.size() < 2)
+        fail(line_, "'stall' wants zone X0 Y0 X1 Y1 N or frac F N");
+      if (tok[1] == "zone") {
+        expect_args(tok, 7, "zone X0 Y0 X1 Y1 N");
+        s.selector = Stage::CrashSelector::kZone;
+        parse_zone(s, tok, 2, "stall");
+        s.rounds = parse_count(tok[6], "stall round count");
+      } else if (tok[1] == "frac") {
+        expect_args(tok, 4, "frac F N");
+        s.selector = Stage::CrashSelector::kFrac;
+        s.frac = parse_double(tok[2], "stall fraction");
+        if (s.frac <= 0.0 || s.frac > 1.0)
+          fail(line_, "stall fraction " + tok[2] + " out of (0, 1]");
+        s.rounds = parse_count(tok[3], "stall round count");
+      } else {
+        fail(line_, "unknown stall selector '" + tok[1] +
+                        "' (want zone or frac)");
+      }
+    } else if (verb == "recover") {
+      s.kind = Stage::Kind::kRecover;
+      if (tok.size() < 2)
+        fail(line_, "'recover' wants all, frac F, or ids A,B,…");
+      if (tok[1] == "all") {
+        expect_args(tok, 2, "no further arguments");
+        s.recover = Stage::RecoverSelector::kAll;
+      } else if (tok[1] == "frac") {
+        expect_args(tok, 3, "one fraction");
+        s.recover = Stage::RecoverSelector::kFrac;
+        s.frac = parse_double(tok[2], "recover fraction");
+        if (s.frac <= 0.0 || s.frac > 1.0)
+          fail(line_, "recover fraction " + tok[2] + " out of (0, 1]");
+      } else if (tok[1] == "ids") {
+        expect_args(tok, 3, "a comma-separated id list");
+        s.recover = Stage::RecoverSelector::kIds;
+        std::istringstream is(tok[2]);
+        std::string part;
+        while (std::getline(is, part, ','))
+          s.ids.push_back(parse_count(part, "node id", 0));
+        if (s.ids.empty()) fail(line_, "empty recover id list");
+      } else {
+        fail(line_, "unknown recover selector '" + tok[1] +
+                        "' (want all, frac, or ids)");
+      }
     } else {
       fail(line_, "unknown stage '" + verb +
                       "' (want run, grow, crash, churn, flash-crowd, "
-                      "morph, migrate, snapshot, or measure)");
+                      "morph, migrate, snapshot, measure, partition, "
+                      "degrade, corrupt, duplicate, reorder, stall, "
+                      "recover, or expect)");
     }
     p.timeline.push_back(std::move(s));
   }
@@ -353,6 +606,18 @@ class Parser {
     }
   }
 
+  /// An expect keyed past the last executed round would silently never
+  /// fire — reject it at parse time.
+  void check_expects(const ScenarioProgram& p) const {
+    const std::size_t total = p.total_rounds();
+    for (const auto& e : p.expects)
+      if (!e.at_end && e.round > total)
+        throw ProgramError(p.file, e.line,
+                           "expect @ round " + std::to_string(e.round) +
+                               " but the timeline only runs " +
+                               std::to_string(total) + " rounds");
+  }
+
   const std::string& text_;
   std::string file_;
   int line_ = 0;
@@ -380,10 +645,22 @@ int ScenarioProgram::line_of(const std::string& directive) const {
 
 std::size_t ScenarioProgram::total_rounds() const noexcept {
   std::size_t n = 0;
-  for (const auto& s : timeline)
-    if (s.kind != Stage::Kind::kMeasureEvery &&
-        s.kind != Stage::Kind::kSnapshot)
-      n += s.rounds;
+  for (const auto& s : timeline) {
+    switch (s.kind) {
+      case Stage::Kind::kRun:
+      case Stage::Kind::kChurn:
+      case Stage::Kind::kFlashCrowd:
+      case Stage::Kind::kMorphDrift:
+      case Stage::Kind::kMorphShape:
+      case Stage::Kind::kMigrate:
+        n += s.rounds;
+        break;
+      default:
+        // Instantaneous stages; the fault verbs' `rounds` is a heal bound
+        // or stall span, not executed rounds.
+        break;
+    }
+  }
   return n;
 }
 
@@ -473,15 +750,113 @@ std::string serialize(const ScenarioProgram& p) {
       case Stage::Kind::kMeasureEvery:
         os << "measure every " << s.rounds;
         break;
+      case Stage::Kind::kPartition:
+        os << "partition zone " << fmt_g(s.x0) << ' ' << fmt_g(s.y0) << ' '
+           << fmt_g(s.x1) << ' ' << fmt_g(s.y1) << " heal " << s.rounds;
+        break;
+      case Stage::Kind::kDegrade:
+        os << "degrade zone " << fmt_g(s.x0) << ' ' << fmt_g(s.y0) << ' '
+           << fmt_g(s.x1) << ' ' << fmt_g(s.y1) << ' '
+           << link_dir_token(s.dir) << " drop " << fmt_g(s.drop)
+           << " jitter " << fmt_g(s.jitter_ms) << " heal " << s.rounds;
+        break;
+      case Stage::Kind::kCorrupt:
+        os << "corrupt " << fmt_g(s.frac) << " heal " << s.rounds;
+        break;
+      case Stage::Kind::kDuplicate:
+        os << "duplicate " << fmt_g(s.frac) << " heal " << s.rounds;
+        break;
+      case Stage::Kind::kReorder:
+        os << "reorder " << fmt_g(s.frac) << " jitter " << fmt_g(s.jitter_ms)
+           << " heal " << s.rounds;
+        break;
+      case Stage::Kind::kStall:
+        if (s.selector == Stage::CrashSelector::kZone)
+          os << "stall zone " << fmt_g(s.x0) << ' ' << fmt_g(s.y0) << ' '
+             << fmt_g(s.x1) << ' ' << fmt_g(s.y1) << ' ' << s.rounds;
+        else
+          os << "stall frac " << fmt_g(s.frac) << ' ' << s.rounds;
+        break;
+      case Stage::Kind::kRecover:
+        switch (s.recover) {
+          case Stage::RecoverSelector::kAll:
+            os << "recover all";
+            break;
+          case Stage::RecoverSelector::kFrac:
+            os << "recover frac " << fmt_g(s.frac);
+            break;
+          case Stage::RecoverSelector::kIds:
+            os << "recover ids ";
+            for (std::size_t i = 0; i < s.ids.size(); ++i)
+              os << (i ? "," : "") << s.ids[i];
+            break;
+        }
+        break;
     }
     os << '\n';
+  }
+
+  if (!p.expects.empty()) {
+    os << '\n';
+    for (const auto& e : p.expects) {
+      os << "expect " << e.metric << ' ' << to_string(e.op) << ' '
+         << fmt_g(e.value) << " @ ";
+      if (e.at_end)
+        os << "end";
+      else
+        os << e.round;
+      os << '\n';
+    }
   }
   return os.str();
 }
 
 void validate_for_mode(const ScenarioProgram& p, EngineMode mode) {
-  if (mode == EngineMode::kSync) return;
   const char* m = to_string(mode);
+
+  // The fault plane lives in the event hub — every chaos / recovery verb
+  // needs engine events, in any other mode the stage cannot execute.
+  if (mode != EngineMode::kEvents) {
+    for (const auto& s : p.timeline) {
+      const char* verb = nullptr;
+      switch (s.kind) {
+        case Stage::Kind::kPartition: verb = "partition"; break;
+        case Stage::Kind::kDegrade: verb = "degrade"; break;
+        case Stage::Kind::kCorrupt: verb = "corrupt"; break;
+        case Stage::Kind::kDuplicate: verb = "duplicate"; break;
+        case Stage::Kind::kReorder: verb = "reorder"; break;
+        case Stage::Kind::kStall: verb = "stall"; break;
+        case Stage::Kind::kRecover: verb = "recover"; break;
+        default: break;
+      }
+      if (verb != nullptr)
+        throw ProgramError(p.file, s.line,
+                           std::string("'") + verb +
+                               "' needs engine events (the fault plane "
+                               "lives in the event hub), not " + m);
+    }
+  }
+
+  // Expects replay against a fixed trajectory, and each metric must be
+  // observable under the mode that runs.
+  for (const auto& e : p.expects) {
+    if (mode == EngineMode::kLive)
+      throw ProgramError(p.file, e.line,
+                         "expect needs a deterministic trajectory; engine "
+                         "live is not reproducible");
+    const auto* info = find_expect_metric(e.metric);
+    if (info == nullptr) continue;  // unreachable: parse already rejected
+    if (mode == EngineMode::kSync && !info->sync_ok)
+      throw ProgramError(p.file, e.line,
+                         "metric '" + e.metric +
+                             "' is events-only (sync mode has no frame "
+                             "traffic)");
+    if (mode == EngineMode::kEvents && !info->events_ok)
+      throw ProgramError(p.file, e.line,
+                         "metric '" + e.metric + "' is sync-only");
+  }
+
+  if (mode == EngineMode::kSync) return;
 
   if (!p.options.polystyrene)
     throw ProgramError(p.file, p.line_of("polystyrene"),
@@ -551,10 +926,35 @@ ProgramRun run_program_once(const shape::Shape& shape,
           static_cast<double>(rt->rounds_run() - crash_round);
   };
 
+  // Expect evaluation measures freshly at the trigger point so a sparse
+  // measure cadence cannot shift what an assertion sees.
+  auto check_expects_at = [&](bool at_end) {
+    for (const auto& e : p.expects) {
+      if (e.at_end != at_end) continue;
+      if (!at_end && e.round != rt->rounds_run()) continue;
+      const RoundMetrics m = rt->measure();
+      const double actual = expect_value(e.metric, m, *rt);
+      if (!eval_expect_op(e.op, actual, e.value))
+        throw ProgramError(
+            p.file, e.line,
+            "expect failed: " + e.metric + " = " + fmt_g(actual) +
+                ", want " + to_string(e.op) + " " + fmt_g(e.value) +
+                (at_end ? std::string(" @ end")
+                        : " @ round " + std::to_string(e.round)));
+    }
+  };
+
   auto step = [&]() {
     rt->run_round();
     if (++since_measure >= cadence) measure_now();
     if (hook) hook(*rt, rt->rounds_run() - 1);
+    check_expects_at(false);
+  };
+
+  auto heal_text = [](std::size_t rounds) {
+    return rounds != 0
+               ? ", heal after " + std::to_string(rounds) + " rounds"
+               : std::string(", never heals");
   };
 
   auto record_crash = [&](std::size_t n, const std::string& how) {
@@ -724,12 +1124,110 @@ ProgramRun run_program_once(const shape::Shape& shape,
         cadence = s.rounds;
         since_measure = 0;
         break;
+
+      case Stage::Kind::kPartition: {
+        const std::size_t n = rt->partition_region(
+            [&](const space::Point& pt) {
+              return pt.x() >= s.x0 && pt.x() < s.x1 && pt.y() >= s.y0 &&
+                     pt.y() < s.y1;
+            },
+            s.rounds);
+        note("partitioned " + std::to_string(n) + " nodes (zone " +
+             fmt_g(s.x0) + "," + fmt_g(s.y0) + " to " + fmt_g(s.x1) + "," +
+             fmt_g(s.y1) + heal_text(s.rounds) + ")");
+        break;
+      }
+
+      case Stage::Kind::kDegrade: {
+        const std::size_t n = rt->degrade_region(
+            [&](const space::Point& pt) {
+              return pt.x() >= s.x0 && pt.x() < s.x1 && pt.y() >= s.y0 &&
+                     pt.y() < s.y1;
+            },
+            s.dir, s.drop, s.jitter_ms, s.rounds);
+        note("degraded links of " + std::to_string(n) + " nodes (" +
+             link_dir_token(s.dir) + ", drop " + fmt_g(s.drop) +
+             ", jitter " + fmt_g(s.jitter_ms) + "ms" + heal_text(s.rounds) +
+             ")");
+        break;
+      }
+
+      case Stage::Kind::kCorrupt:
+        rt->corrupt_frames(s.frac, s.rounds);
+        note("corrupting frames (p " + fmt_g(s.frac) + heal_text(s.rounds) +
+             ")");
+        break;
+
+      case Stage::Kind::kDuplicate:
+        rt->duplicate_frames(s.frac, s.rounds);
+        note("duplicating frames (p " + fmt_g(s.frac) + heal_text(s.rounds) +
+             ")");
+        break;
+
+      case Stage::Kind::kReorder:
+        rt->reorder_frames(s.frac, s.jitter_ms, s.rounds);
+        note("reordering frames (p " + fmt_g(s.frac) + ", jitter " +
+             fmt_g(s.jitter_ms) + "ms" + heal_text(s.rounds) + ")");
+        break;
+
+      case Stage::Kind::kStall: {
+        std::size_t n = 0;
+        std::string how;
+        if (s.selector == Stage::CrashSelector::kZone) {
+          n = rt->stall_region(
+              [&](const space::Point& pt) {
+                return pt.x() >= s.x0 && pt.x() < s.x1 && pt.y() >= s.y0 &&
+                       pt.y() < s.y1;
+              },
+              s.rounds);
+          how = "zone " + fmt_g(s.x0) + "," + fmt_g(s.y0) + " to " +
+                fmt_g(s.x1) + "," + fmt_g(s.y1);
+        } else {
+          n = rt->stall_random(
+              static_cast<std::size_t>(
+                  s.frac * static_cast<double>(rt->alive_count())),
+              s.rounds);
+          how = "random " + fmt_g(s.frac) + " of alive";
+        }
+        note("stalled " + std::to_string(n) + " nodes for " +
+             std::to_string(s.rounds) + " rounds (" + how + ")");
+        break;
+      }
+
+      case Stage::Kind::kRecover: {
+        std::size_t n = 0;
+        std::string how;
+        switch (s.recover) {
+          case Stage::RecoverSelector::kAll:
+            n = rt->recover_all();
+            how = "all crashed";
+            break;
+          case Stage::RecoverSelector::kFrac: {
+            const std::size_t candidates =
+                run.crashed > run.recovered ? run.crashed - run.recovered
+                                            : 0;
+            n = rt->recover_random(static_cast<std::size_t>(
+                s.frac * static_cast<double>(candidates)));
+            how = "random " + fmt_g(s.frac) + " of crashed";
+            break;
+          }
+          case Stage::RecoverSelector::kIds:
+            n = rt->recover_ids(s.ids);
+            how = "explicit ids";
+            break;
+        }
+        run.recovered += n;
+        note("recovered " + std::to_string(n) + " nodes (" + how + ")");
+        break;
+      }
     }
   }
 
   // The last executed round is always measured, so "final" values exist
   // even at a sparse cadence.
   if (rt->rounds_run() > 0 && since_measure != 0) measure_now();
+
+  check_expects_at(true);
 
   run.reliability = rt->reliability();
   run.rounds_total = rt->rounds_run();
@@ -762,11 +1260,19 @@ ProgramResult run_program(const ScenarioProgram& p, const RoundHook& hook) {
 
   const std::size_t reps = std::max<std::size_t>(1, p.reps);
   std::vector<ProgramRun> runs(reps);
+  // A throw on a worker thread (a failed expect, mostly) must not
+  // std::terminate — capture per repetition, rethrow the lowest index
+  // after the join so the diagnostic is deterministic.
+  std::vector<std::exception_ptr> errors(reps);
 
-  auto run_rep = [&](std::size_t i) {
-    ScenarioOptions opt = p.options;
-    opt.seed = p.options.seed + i;
-    runs[i] = run_program_once(*shape, p, opt, i == 0 ? hook : nullptr);
+  auto run_rep = [&](std::size_t i) noexcept {
+    try {
+      ScenarioOptions opt = p.options;
+      opt.seed = p.options.seed + i;
+      runs[i] = run_program_once(*shape, p, opt, i == 0 ? hook : nullptr);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
   };
 
   // Live mode runs real threads per node — keep repetitions sequential.
@@ -793,6 +1299,9 @@ ProgramResult run_program(const ScenarioProgram& p, const RoundHook& hook) {
     for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+
+  for (std::size_t i = 0; i < reps; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
 
   // Deterministic aggregation in repetition order.
   ProgramResult out;

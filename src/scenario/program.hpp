@@ -70,24 +70,53 @@ struct Stage {
     kMigrate,       ///< migrate DX DY N — total displacement over N rounds
     kSnapshot,      ///< snapshot [label] — density map + summary now
     kMeasureEvery,  ///< measure every R — change the sampling cadence
+    // Fault verbs (events mode only; docs/FAULTS.md).  `heal N` bounds a
+    // fault's life in rounds from its install point; heal 0 = never.
+    kPartition,     ///< partition zone X0 Y0 X1 Y1 heal N
+    kDegrade,       ///< degrade zone … in|out|both drop D jitter MS heal N
+    kCorrupt,       ///< corrupt P heal N — payload corruption
+    kDuplicate,     ///< duplicate P heal N — frame duplication
+    kReorder,       ///< reorder P jitter MS heal N — FIFO-breaking delay
+    kStall,         ///< stall zone X0 Y0 X1 Y1 N | stall frac F N
+    kRecover,       ///< recover all | frac F | ids A,B,…
   };
   enum class CrashSelector { kHalf, kFrac, kZone, kIds };
+  enum class RecoverSelector { kAll, kFrac, kIds };
 
   Kind kind = Kind::kRun;
   int line = 0;  ///< 1-based source line, for diagnostics
 
-  std::size_t rounds = 0;  ///< run/churn/flash-crowd/morph/migrate/measure
+  std::size_t rounds = 0;  ///< run/churn/…/measure; fault heal / stall span
   std::size_t count = 0;   ///< grow N / flash-crowd N
   bool grow_crashed = false;
 
-  CrashSelector selector = CrashSelector::kHalf;
-  double frac = 0.0;  ///< crash frac F / churn PCT
-  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  ///< crash zone corners
-  std::vector<std::size_t> ids;                   ///< crash ids
+  CrashSelector selector = CrashSelector::kHalf;  ///< crash / stall zone|frac
+  RecoverSelector recover = RecoverSelector::kAll;
+  double frac = 0.0;  ///< crash/stall/recover frac; corrupt/duplicate/reorder P
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  ///< zone corners
+  std::vector<std::size_t> ids;                   ///< crash/recover ids
 
   double dx = 0.0, dy = 0.0;  ///< morph drift (per round) / migrate (total)
+  LinkDirection dir = LinkDirection::kBoth;  ///< degrade direction
+  double drop = 0.0;                         ///< degrade extra drop rate
+  double jitter_ms = 0.0;                    ///< degrade/reorder jitter cap
   std::string shape_spec;     ///< morph shape target
   std::string label;          ///< snapshot label
+};
+
+/// A self-check: `expect <metric> <op> <value> @ <round|end>` — evaluated
+/// after `round` completed rounds (or at run end), against the repetition's
+/// own trajectory.  A failed expectation aborts the run with a file:line
+/// ProgramError, which the drivers turn into a nonzero exit — any scenario
+/// with expects is a self-checking test.
+struct Expect {
+  enum class Op { kLt, kLe, kGt, kGe, kEq, kNe };
+  int line = 0;
+  std::string metric;
+  Op op = Op::kLt;
+  double value = 0.0;
+  std::size_t round = 0;  ///< completed-rounds trigger (unused when at_end)
+  bool at_end = false;
 };
 
 /// A compiled scenario: resolved header plus the stage timeline.
@@ -99,6 +128,8 @@ struct ScenarioProgram {
   std::size_t reps = 1;
   std::size_t measure_every = 1;  ///< initial sampling cadence
   std::vector<Stage> timeline;
+  /// Self-check assertions, position-independent (triggered by round).
+  std::vector<Expect> expects;
 
   /// Source line of a header directive (0 when it was defaulted) — lets
   /// mode validation point at the offending line.
@@ -150,6 +181,7 @@ struct ProgramRun {
       std::numeric_limits<double>::quiet_NaN();
   std::size_t crashed = 0;   ///< total nodes crashed by crash/churn stages
   std::size_t injected = 0;  ///< total nodes injected by grow/churn/flash
+  std::size_t recovered = 0;  ///< crashed nodes rejoined by recover stages
   std::size_t rounds_total = 0;
 };
 

@@ -152,6 +152,46 @@ class EventsRuntime final : public Runtime {
     return positions.size();
   }
 
+  bool supports_faults() const noexcept override { return true; }
+  std::size_t partition_region(
+      const std::function<bool(const space::Point&)>& pred,
+      std::size_t heal_rounds) override {
+    return fleet_.partition_region(pred, heal_rounds);
+  }
+  std::size_t degrade_region(
+      const std::function<bool(const space::Point&)>& pred, LinkDirection dir,
+      double extra_drop, double jitter_ms, std::size_t heal_rounds) override {
+    return fleet_.degrade_region(pred, to_fault_dir(dir), extra_drop,
+                                 to_simtime_ms(jitter_ms), heal_rounds);
+  }
+  void corrupt_frames(double p, std::size_t heal_rounds) override {
+    fleet_.corrupt_frames(p, heal_rounds);
+  }
+  void duplicate_frames(double p, std::size_t heal_rounds) override {
+    fleet_.duplicate_frames(p, heal_rounds);
+  }
+  void reorder_frames(double p, double jitter_ms,
+                      std::size_t heal_rounds) override {
+    fleet_.reorder_frames(p, to_simtime_ms(jitter_ms), heal_rounds);
+  }
+  std::size_t stall_region(
+      const std::function<bool(const space::Point&)>& pred,
+      std::size_t rounds) override {
+    return fleet_.stall_region(pred, rounds);
+  }
+  std::size_t stall_random(std::size_t count, std::size_t rounds) override {
+    return fleet_.stall_random(count, rounds);
+  }
+  std::size_t recover_all() override { return fleet_.recover_all(); }
+  std::size_t recover_random(std::size_t count) override {
+    return fleet_.recover_random(count);
+  }
+  std::size_t recover_ids(std::span<const std::size_t> ids) override {
+    std::size_t n = 0;
+    for (std::size_t id : ids) n += fleet_.recover_node(id) ? 1 : 0;
+    return n;
+  }
+
   RoundMetrics measure() const override {
     RoundMetrics m;
     m.round = rounds_ > 0 ? rounds_ - 1 : 0;
@@ -164,6 +204,14 @@ class EventsRuntime final : public Runtime {
     m.msg_paper = m.msg_tman = m.msg_backup = m.msg_migration = m.msg_rps =
         kNaN;
     m.frames = fleet_.hub().frames_sent();
+    m.frames_rejected = fleet_.frames_rejected();
+    const auto& fc = fleet_.fault_counters();
+    m.frames_blackholed = fc.frames_blackholed;
+    m.frames_duplicated = fc.frames_duplicated;
+    m.frames_corrupted = fc.frames_corrupted;
+    m.frames_reordered = fc.frames_reordered;
+    m.stall_rounds = fc.stall_rounds;
+    m.recoveries = fc.recoveries;
     return m;
   }
   double reliability() const override { return fleet_.reliability(); }
@@ -179,6 +227,18 @@ class EventsRuntime final : public Runtime {
     cfg.node.replication = opt.replication;
     cfg.node.split_kind = opt.split;
     return cfg;
+  }
+  static fault::Direction to_fault_dir(LinkDirection dir) noexcept {
+    switch (dir) {
+      case LinkDirection::kInto: return fault::Direction::kInto;
+      case LinkDirection::kOutOf: return fault::Direction::kOutOf;
+      case LinkDirection::kBoth: break;
+    }
+    return fault::Direction::kBoth;
+  }
+  static engine::SimTime to_simtime_ms(double ms) {
+    return std::chrono::duration_cast<engine::SimTime>(
+        std::chrono::duration<double, std::milli>(ms));
   }
 
   const shape::Shape& shape_;
@@ -291,6 +351,42 @@ void Runtime::morph(
   throw std::logic_error(std::string("morph/migrate stages need --engine "
                                      "sync; this cluster runs ") +
                          to_string(mode()));
+}
+
+namespace {
+[[noreturn]] void no_faults(const Runtime& rt) {
+  throw std::logic_error(
+      std::string("fault/recover verbs need --engine events; this cluster "
+                  "runs ") +
+      to_string(rt.mode()));
+}
+}  // namespace
+
+std::size_t Runtime::partition_region(
+    const std::function<bool(const space::Point&)>&, std::size_t) {
+  no_faults(*this);
+}
+std::size_t Runtime::degrade_region(
+    const std::function<bool(const space::Point&)>&, LinkDirection, double,
+    double, std::size_t) {
+  no_faults(*this);
+}
+void Runtime::corrupt_frames(double, std::size_t) { no_faults(*this); }
+void Runtime::duplicate_frames(double, std::size_t) { no_faults(*this); }
+void Runtime::reorder_frames(double, double, std::size_t) {
+  no_faults(*this);
+}
+std::size_t Runtime::stall_region(
+    const std::function<bool(const space::Point&)>&, std::size_t) {
+  no_faults(*this);
+}
+std::size_t Runtime::stall_random(std::size_t, std::size_t) {
+  no_faults(*this);
+}
+std::size_t Runtime::recover_all() { no_faults(*this); }
+std::size_t Runtime::recover_random(std::size_t) { no_faults(*this); }
+std::size_t Runtime::recover_ids(std::span<const std::size_t>) {
+  no_faults(*this);
 }
 
 std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,

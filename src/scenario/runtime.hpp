@@ -82,7 +82,21 @@ struct RoundMetrics {
   double msg_migration = 0.0;
   double msg_rps = 0.0;
   std::uint64_t frames = 0;      ///< cumulative hub frames (events mode)
+  // Fault-plane counters (events mode; 0 elsewhere and on clean runs).
+  // All cumulative since construction — docs/FAULTS.md gives semantics.
+  std::uint64_t frames_rejected = 0;    ///< decode-boundary rejects
+  std::uint64_t frames_blackholed = 0;  ///< partition/blackhole/degrade loss
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t stall_rounds = 0;       ///< node-ticks frozen by stalls
+  std::uint64_t recoveries = 0;         ///< crashed nodes rejoined
 };
+
+/// Traffic directions for link degradation, relative to the degraded set
+/// (the scenario-level mirror of fault::Direction — keeps fault headers
+/// out of every driver).
+enum class LinkDirection { kBoth, kInto, kOutOf };
 
 /// A running cluster under one engine mode, driven through scenario verbs.
 class Runtime {
@@ -119,6 +133,42 @@ class Runtime {
   virtual bool supports_morph() const noexcept { return false; }
   virtual void morph(
       const std::function<space::Point(const space::Point&)>& transform);
+
+  // ---- fault plane (events mode only; the defaults throw) ---------------
+  // Scheduled chaos verbs (docs/FAULTS.md): faults install now and heal
+  // after `heal_rounds` rounds (0 = never).  Region predicates test
+  // *original* data-point positions, like crash_region.
+
+  virtual bool supports_faults() const noexcept { return false; }
+  /// Partitions the region from the rest of the fleet; returns its size.
+  virtual std::size_t partition_region(
+      const std::function<bool(const space::Point&)>& pred,
+      std::size_t heal_rounds);
+  /// Gray links on the region's traffic (`dir`-filtered): `extra_drop`
+  /// loss plus up to `jitter_ms` extra latency.  Returns the region size.
+  virtual std::size_t degrade_region(
+      const std::function<bool(const space::Point&)>& pred, LinkDirection dir,
+      double extra_drop, double jitter_ms, std::size_t heal_rounds);
+  /// Corrupts each in-flight frame with probability `p`.
+  virtual void corrupt_frames(double p, std::size_t heal_rounds);
+  /// Duplicates each in-flight frame with probability `p`.
+  virtual void duplicate_frames(double p, std::size_t heal_rounds);
+  /// Reorders (FIFO-breaking delay up to `jitter_ms`) with probability `p`.
+  virtual void reorder_frames(double p, double jitter_ms,
+                              std::size_t heal_rounds);
+  /// Freezes the region's timers for `rounds` rounds (GC-pause model);
+  /// returns the number of nodes stalled.
+  virtual std::size_t stall_region(
+      const std::function<bool(const space::Point&)>& pred,
+      std::size_t rounds);
+  /// Stalls `count` alive nodes chosen uniformly.
+  virtual std::size_t stall_random(std::size_t count, std::size_t rounds);
+  /// Rejoins every crashed node (stale views intact); returns the count.
+  virtual std::size_t recover_all();
+  /// Rejoins `count` crashed nodes chosen uniformly.
+  virtual std::size_t recover_random(std::size_t count);
+  /// Rejoins the listed node ids; not-crashed ids are skipped.
+  virtual std::size_t recover_ids(std::span<const std::size_t> ids);
 
   virtual RoundMetrics measure() const = 0;
   /// Fraction of the original data points still hosted (end-of-run

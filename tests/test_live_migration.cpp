@@ -54,6 +54,8 @@ TEST(LiveMigration, FleetConvergesAndReplicates) {
         return ghosts >= 24 * 2;
       },
       200));
+  // Clean links: the decode boundary must never have fired.
+  EXPECT_EQ(fleet.frames_rejected(), 0u);
 }
 
 TEST(LiveMigration, RecoversAfterHalfRegionCrash) {

@@ -327,4 +327,168 @@ TEST(ProgramRun, InvalidForEngineThrowsBeforeRunning) {
   EXPECT_THROW(run_program(p), ProgramError);
 }
 
+// ---- fault verbs and expects ------------------------------------------------
+
+TEST(FaultProgram, FaultVerbsAndExpectsRoundTrip) {
+  const std::string text =
+      "name chaos\n"
+      "shape grid:8x8\n"
+      "engine events\n"
+      "run 10\n"
+      "partition zone 0 0 4 8 heal 12\n"
+      "degrade zone 0 0 4 8 in drop 0.25 jitter 1.5 heal 0\n"
+      "corrupt 0.05 heal 8\n"
+      "duplicate 0.1 heal 0\n"
+      "reorder 0.2 jitter 3 heal 4\n"
+      "stall zone 0 0 4 8 6\n"
+      "stall frac 0.5 3\n"
+      "crash frac 0.25\n"
+      "recover all\n"
+      "recover frac 0.5\n"
+      "recover ids 1,2,3\n"
+      "run 10\n"
+      "expect frames_blackholed > 100 @ 15\n"
+      "expect recoveries >= 1 @ end\n";
+  const auto p = parse_program(text, "chaos.poly");
+  ASSERT_EQ(p.expects.size(), 2u);
+  EXPECT_EQ(p.expects[0].metric, "frames_blackholed");
+  EXPECT_EQ(p.expects[0].round, 15u);
+  EXPECT_FALSE(p.expects[0].at_end);
+  EXPECT_TRUE(p.expects[1].at_end);
+  // Only run stages execute rounds; fault `rounds` are heal/stall spans.
+  EXPECT_EQ(p.total_rounds(), 20u);
+
+  const auto canon = serialize(p);
+  const auto p2 = parse_program(canon, "chaos2.poly");
+  EXPECT_EQ(serialize(p2), canon);
+  ASSERT_EQ(p2.timeline.size(), p.timeline.size());
+  for (std::size_t i = 0; i < p.timeline.size(); ++i) {
+    EXPECT_EQ(p2.timeline[i].kind, p.timeline[i].kind) << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].rounds, p.timeline[i].rounds) << "stage " << i;
+    EXPECT_DOUBLE_EQ(p2.timeline[i].frac, p.timeline[i].frac)
+        << "stage " << i;
+    EXPECT_DOUBLE_EQ(p2.timeline[i].drop, p.timeline[i].drop)
+        << "stage " << i;
+    EXPECT_DOUBLE_EQ(p2.timeline[i].jitter_ms, p.timeline[i].jitter_ms)
+        << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].dir, p.timeline[i].dir) << "stage " << i;
+  }
+  ASSERT_EQ(p2.expects.size(), 2u);
+  EXPECT_EQ(p2.expects[0].op, p.expects[0].op);
+  EXPECT_DOUBLE_EQ(p2.expects[0].value, p.expects[0].value);
+}
+
+TEST(FaultProgram, Diagnostics) {
+  const std::string hdr = "shape grid:8x8\nengine events\n";
+  expect_parse_error(hdr + "partition zone 4 0 0 8 heal 5\n", 3,
+                     "empty partition zone");
+  expect_parse_error(hdr + "degrade zone 0 0 4 8 up drop 0.1 jitter 1 heal 0\n",
+                     3, "unknown degrade direction");
+  expect_parse_error(hdr + "degrade zone 0 0 4 8 in drop 1.5 jitter 1 heal 0\n",
+                     3, "out of [0, 1)");
+  expect_parse_error(hdr + "corrupt 0 heal 5\n", 3, "out of (0, 1]");
+  expect_parse_error(hdr + "reorder 0.5 jitter 0 heal 5\n", 3,
+                     "must be > 0 ms");
+  expect_parse_error(hdr + "stall frac 2 5\n", 3, "out of (0, 1]");
+  expect_parse_error(hdr + "recover sideways\n", 3,
+                     "unknown recover selector");
+  expect_parse_error(hdr + "expect bogus > 1 @ end\n", 3,
+                     "unknown expect metric");
+  expect_parse_error(hdr + "expect alive >< 1 @ end\n", 3,
+                     "unknown expect comparison");
+  expect_parse_error(hdr + "run 5\nexpect alive > 1 @ 9\n", 4,
+                     "only runs 5 rounds");
+}
+
+TEST(FaultProgram, ValidationRules) {
+  // Fault verbs are events-only.
+  {
+    auto p = parse_program(
+        "shape grid:6x6\nengine events\nrun 2\ncorrupt 0.1 heal 0\n");
+    EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kEvents));
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kSync), ProgramError);
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kLive), ProgramError);
+  }
+  // Expects are rejected under live (not reproducible)…
+  {
+    auto p = parse_program(
+        "shape grid:6x6\nrun 2\nexpect alive > 1 @ end\n");
+    EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kSync));
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kLive), ProgramError);
+  }
+  // …and per-metric: frame counters need events, points/node needs sync.
+  {
+    auto p = parse_program(
+        "shape grid:6x6\nrun 2\nexpect frames_rejected == 0 @ end\n");
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kSync), ProgramError);
+    EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kEvents));
+  }
+  {
+    auto p = parse_program(
+        "shape grid:6x6\nrun 2\nexpect points_per_node > 0 @ end\n");
+    EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kSync));
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kEvents), ProgramError);
+  }
+}
+
+TEST(FaultProgram, PassingExpectsRunClean) {
+  const auto p = parse_program(
+      "shape grid:6x6\nengine events\nseed 3\nrun 4\n"
+      "expect alive == 36 @ 2\nexpect frames > 0 @ end\n"
+      "expect frames_rejected == 0 @ end\n");
+  EXPECT_NO_THROW(run_program(p));
+}
+
+TEST(FaultProgram, FailingExpectAbortsWithFileAndLine) {
+  const auto p = parse_program(
+      "shape grid:6x6\nengine events\nseed 3\nrun 4\n"
+      "expect alive == 1 @ end\n",
+      "failing.poly");
+  try {
+    run_program(p);
+    FAIL() << "expected ProgramError";
+  } catch (const ProgramError& e) {
+    EXPECT_EQ(e.file(), "failing.poly");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("expect failed: alive = 36"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultProgram, FailingExpectOnWorkerRepDoesNotTerminate) {
+  // reps > 1 runs repetitions on a thread pool; a failing expect there
+  // must surface as the same ProgramError, not std::terminate.
+  const auto p = parse_program(
+      "shape grid:6x6\nengine events\nseed 3\nreps 3\nrun 4\n"
+      "expect alive == 1 @ 2\n");
+  EXPECT_THROW(run_program(p), ProgramError);
+}
+
+TEST(FaultProgram, ChaosScenarioRunsDeterministically) {
+  const auto p = parse_program(
+      "shape grid:6x6\nengine events\nseed 3\nrun 4\n"
+      "partition zone 0 0 3 6 heal 4\ncorrupt 0.2 heal 6\n"
+      "stall frac 0.25 2\nrun 8\ncrash frac 0.2\nrun 2\nrecover all\n"
+      "run 6\n");
+  const auto a = run_program(p);
+  const auto b = run_program(p);
+  ASSERT_EQ(a.first.rounds.size(), b.first.rounds.size());
+  for (std::size_t i = 0; i < a.first.rounds.size(); ++i) {
+    EXPECT_EQ(a.first.rounds[i].homogeneity, b.first.rounds[i].homogeneity);
+    EXPECT_EQ(a.first.rounds[i].frames, b.first.rounds[i].frames);
+    EXPECT_EQ(a.first.rounds[i].frames_blackholed,
+              b.first.rounds[i].frames_blackholed);
+    EXPECT_EQ(a.first.rounds[i].frames_corrupted,
+              b.first.rounds[i].frames_corrupted);
+    EXPECT_EQ(a.first.rounds[i].frames_rejected,
+              b.first.rounds[i].frames_rejected);
+    EXPECT_EQ(a.first.rounds[i].stall_rounds, b.first.rounds[i].stall_rounds);
+  }
+  EXPECT_EQ(a.first.recovered, b.first.recovered);
+  EXPECT_GT(a.first.rounds.back().frames_blackholed, 0u);
+  EXPECT_GT(a.first.rounds.back().stall_rounds, 0u);
+  EXPECT_EQ(a.first.recovered, a.first.crashed);
+}
+
 }  // namespace

@@ -106,4 +106,49 @@ TEST(TrajectoryPin, JitteredChurnAndInject) {
               "jitter/churn+inject");
 }
 
+// Fault-plane chaos, K=2: partition with scheduled heal, in-flight payload
+// corruption, GC-pause stalls, crash + recovery.  Pins every per-rule RNG
+// stream of the fault plane (docs/FAULTS.md) plus the decode-boundary
+// reject counter — a reordered fate draw or a shifted stall tick moves
+// these even when the clean-link pins above stay put.
+TEST(TrajectoryPin, ChaosPartitionStallRecover) {
+  shape::GridTorusShape shape(12, 8);
+  engine::EventClusterConfig cfg;  // defaults: 2 ms links, no drop, K=2
+  engine::EventCluster fleet(shape.space_ptr(), shape.generate(), cfg,
+                             /*seed=*/5);
+  fleet.run_rounds(10);
+  fleet.partition_region(
+      [](const space::Point& p) { return p.x() < 6.0; }, /*heal_rounds=*/16);
+  fleet.corrupt_frames(0.1, /*heal_rounds=*/20);
+  fleet.run_rounds(20);
+  fleet.stall_random(8, /*rounds=*/4);
+  fleet.crash_random(10);
+  fleet.run_rounds(10);
+  fleet.recover_all();
+  fleet.run_rounds(15);
+
+  const auto& fc = fleet.fault_counters();
+  if (std::getenv("POLY_TRAJ_PRINT") != nullptr) {
+    std::printf("[traj] chaos blackholed=%llu corrupted=%llu stalls=%llu "
+                "recoveries=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(fc.frames_blackholed),
+                static_cast<unsigned long long>(fc.frames_corrupted),
+                static_cast<unsigned long long>(fc.stall_rounds),
+                static_cast<unsigned long long>(fc.recoveries),
+                static_cast<unsigned long long>(fleet.frames_rejected()));
+  } else {
+    // stall_rounds < 8*4: crash_random lands on some stalled nodes, and a
+    // crashed node's frozen ticks stop counting.
+    EXPECT_EQ(fc.frames_blackholed, 2806ull);
+    EXPECT_EQ(fc.frames_corrupted, 880ull);
+    EXPECT_EQ(fc.stall_rounds, 20ull);
+    EXPECT_EQ(fc.recoveries, 10ull);
+    EXPECT_EQ(fleet.frames_rejected(), 320ull);
+  }
+  expect_traj(measure(fleet),
+              Trajectory{"0.96875", "0.27730682377937416",
+                         "0.84129246021709214", 29685, 36417},
+              "chaos/partition+stall+recover");
+}
+
 }  // namespace

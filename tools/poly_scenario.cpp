@@ -30,13 +30,24 @@ namespace {
 
 using namespace poly;
 
-/// Caps every round-consuming stage for --smoke runs.
+/// Caps every round-consuming stage for --smoke runs.  Fault stages keep
+/// their `rounds` field untouched — there it is a heal bound or stall
+/// span, and shrinking it would change the injected fault, not the cost.
 void cap_rounds(scenario::ScenarioProgram& p, std::size_t cap) {
+  using Kind = scenario::Stage::Kind;
   for (auto& s : p.timeline) {
-    if (s.kind == scenario::Stage::Kind::kSnapshot ||
-        s.kind == scenario::Stage::Kind::kMeasureEvery)
-      continue;
-    if (s.rounds > cap) s.rounds = cap;
+    switch (s.kind) {
+      case Kind::kRun:
+      case Kind::kChurn:
+      case Kind::kFlashCrowd:
+      case Kind::kMorphDrift:
+      case Kind::kMorphShape:
+      case Kind::kMigrate:
+        if (s.rounds > cap) s.rounds = cap;
+        break;
+      default:
+        break;
+    }
   }
 }
 
@@ -100,6 +111,13 @@ int main(int argc, char** argv) {
     // pool is how CI exercises the multithreaded rep workers cheaply.
     if (!cli.was_set("reps")) program.reps = 1;
     cap_rounds(program, 10);
+    // Expect thresholds are tuned against full-length runs; a capped
+    // timeline would trip them spuriously.
+    if (!program.expects.empty()) {
+      std::printf("# smoke: dropping %zu expect assertion(s)\n",
+                  program.expects.size());
+      program.expects.clear();
+    }
   }
 
   scenario::ProgramResult result;
@@ -138,6 +156,8 @@ int main(int argc, char** argv) {
 
   std::printf("\ncrashed=%zu injected=%zu", result.first.crashed,
               result.first.injected);
+  if (result.first.recovered > 0)
+    std::printf(" recovered=%zu", result.first.recovered);
   if (!std::isnan(result.first.reference_h_after_crash)) {
     const auto reshaping = result.reshaping_ci();
     std::printf(" reshaping=%s",

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "traffic/workload.hpp"
+
 namespace poly::engine {
 
 namespace {
@@ -20,6 +22,7 @@ EventCluster::EventCluster(std::shared_ptr<const space::MetricSpace> space,
                            EventClusterConfig config, std::uint64_t seed)
     : space_(std::move(space)),
       cfg_(config),
+      seed_(seed),
       engine_(seed),
       hub_(std::make_unique<EngineHub>(
           engine_,
@@ -299,6 +302,29 @@ std::size_t EventCluster::stall_random(std::size_t count, std::size_t rounds) {
   for (std::size_t slot : sample_scratch_)
     stall_until_[alive_pool_[slot]] = until;
   return sample_scratch_.size();
+}
+
+SimTime EventCluster::round_period() const {
+  return tick_period(cfg_);
+}
+
+void EventCluster::start_traffic(const traffic::TrafficConfig& cfg) {
+  if (!traffic_) {
+    // Like the fault plane: keyed off the cluster seed directly, never an
+    // engine split, so starting traffic cannot shift the per-node streams
+    // and the protocol trajectory pins survive.
+    traffic_ = std::make_unique<traffic::TrafficPlane>(
+        *this, seed_ ^ 0x3f6c2a91e8d75b04ull);
+  }
+  traffic_->start(cfg);
+}
+
+void EventCluster::stop_traffic() {
+  if (traffic_) traffic_->stop();
+}
+
+std::size_t EventCluster::traffic_inflight() const {
+  return traffic_ ? traffic_->in_flight() : 0;
 }
 
 std::uint64_t EventCluster::frames_rejected() const {

@@ -36,6 +36,11 @@
 #include "util/rng.hpp"
 #include "util/slab.hpp"
 
+namespace poly::traffic {
+class TrafficPlane;
+struct TrafficConfig;
+}  // namespace poly::traffic
+
 namespace poly::engine {
 
 /// Fleet configuration: protocol tunables + link model parameters.
@@ -184,6 +189,45 @@ class EventCluster {
   /// summed over every node that ever lived.  Zero on clean links.
   std::uint64_t frames_rejected() const;
 
+  // ---- traffic plane ------------------------------------------------------
+  // Open-loop get/put workload routed over the live views (src/traffic/,
+  // docs/TRAFFIC.md).  The plane is created lazily on the first
+  // start_traffic and seeded from the cluster seed without consuming an
+  // engine split — a fleet that never serves traffic draws the exact
+  // pre-traffic trajectory, and one that does keeps its protocol
+  // trajectory bit-identical (the plane only reads view snapshots).
+
+  /// Starts (or retunes) the request workload.
+  void start_traffic(const traffic::TrafficConfig& cfg);
+  /// Stops injecting; in-flight requests drain as rounds run.
+  void stop_traffic();
+  /// In-flight request count (0 when traffic was never started).
+  std::size_t traffic_inflight() const;
+  /// The plane itself, or nullptr before the first start_traffic.
+  const traffic::TrafficPlane* traffic_plane() const noexcept {
+    return traffic_.get();
+  }
+  traffic::TrafficPlane* traffic_plane() noexcept { return traffic_.get(); }
+
+  // ---- read surface for the traffic plane --------------------------------
+
+  const EventClusterConfig& config() const noexcept { return cfg_; }
+  const space::MetricSpace& metric_space() const noexcept { return *space_; }
+  /// Original data points plus injected sentinels — the key population
+  /// requests target (crashed nodes' keys stay targetable: the overlay is
+  /// supposed to absorb them).
+  const std::vector<space::DataPoint>& points() const noexcept {
+    return points_;
+  }
+  /// Alive node ids, in swap-remove pool order (deterministic for a given
+  /// trajectory; *not* id-sorted).
+  const std::vector<std::uint32_t>& alive_ids() const noexcept {
+    return alive_pool_;
+  }
+  /// One virtual tick period — the "round" every per-round rate is
+  /// quoted against.
+  SimTime round_period() const;
+
   // ---- metrics (fleet-level §IV-A) ---------------------------------------
 
   double homogeneity() const;
@@ -215,6 +259,7 @@ class EventCluster {
 
   std::shared_ptr<const space::MetricSpace> space_;
   EventClusterConfig cfg_;
+  std::uint64_t seed_;  ///< cluster seed (traffic-plane derivation)
   EventEngine engine_;
   std::unique_ptr<EngineHub> hub_;
   util::Rng rng_;  // cluster-level draws: bootstrap samples, churn, jitter
@@ -249,6 +294,8 @@ class EventCluster {
   // Bootstrap/churn scratch: reused across calls, no steady allocation.
   std::vector<std::size_t> sample_scratch_;
   std::vector<net::Seed> seed_scratch_;
+  /// Lazily-created request workload (nullptr until start_traffic).
+  std::unique_ptr<traffic::TrafficPlane> traffic_;
 };
 
 }  // namespace poly::engine

@@ -62,6 +62,8 @@ void encode_peers(util::ByteWriter& w, const std::vector<WirePeer>& peers) {
     w.u64(p.id);
     w.str(p.addr);
     w.u32(p.age);
+    encode_point(w, p.pos);
+    w.u64(p.version);
   }
 }
 
@@ -73,6 +75,8 @@ void decode_peers_into(util::ByteReader& r, std::vector<WirePeer>& out) {
     p.id = r.u64();
     r.str_into(p.addr);
     p.age = r.u32();
+    p.pos = decode_point(r);
+    p.version = r.u64();
   }
 }
 

@@ -41,11 +41,20 @@ enum class MsgType : std::uint8_t {
   kMigrateResp = 7,
 };
 
-/// A peer reference gossiped by the RPS layer.
+/// A peer reference gossiped by the RPS layer.  Besides the Cyclon
+/// (id, addr, age) triple, a peer carries its last known topology
+/// descriptor (position + version): the RPS layer is T-Man's supply of
+/// uniformly random merge candidates (as in the T-Man paper), which is
+/// what lets two spatial neighbourhoods that have stopped gossiping
+/// with each other rediscover the links between them.  `version == 0`
+/// means the position is unknown (bootstrap seeds) and must not be
+/// used as a descriptor.
 struct WirePeer {
   LiveNodeId id = 0;
   Address addr;
   std::uint32_t age = 0;
+  space::Point pos;
+  std::uint64_t version = 0;
 };
 
 /// A topology descriptor gossiped by the T-Man layer.

@@ -102,7 +102,7 @@ void AsyncNode::bootstrap(const std::vector<Seed>& seeds) {
   for (const auto& s : seeds) {
     if (s.id == id_) continue;
     if (rps_view_.size() < cfg_.rps_view)
-      rps_view_.push_back(PeerHot{s.id, 0}, s.addr);
+      rps_view_.push_back(PeerHot{s.id, 0, {}, 0}, s.addr);
   }
 }
 
@@ -333,13 +333,14 @@ void AsyncNode::step_rps() {
 
   auto& out = scratch_->out_peers;
   out.clear();
-  out.push_back(WirePeer{id_, addr_, 0});
+  out.push_back(WirePeer{id_, addr_, 0, pos_, pos_version_});
   rng_.sample_indices_into(rps_view_.size(),
                            std::min(cfg_.rps_shuffle - 1, rps_view_.size()),
                            scratch_->samples);
   for (std::size_t i : scratch_->samples)
     out.push_back({rps_view_.hot[i].id, rps_view_.names[i].str(),
-                   rps_view_.hot[i].age});
+                   rps_view_.hot[i].age, rps_view_.hot[i].pos,
+                   rps_view_.hot[i].version});
 
   util::ByteWriter w = frame_writer();
   encode_rps(w, header(MsgType::kRpsShuffleReq), out);
@@ -357,7 +358,8 @@ void AsyncNode::handle_rps(const Header& h, const std::vector<WirePeer>& peers,
                              scratch_->samples);
     for (std::size_t i : scratch_->samples)
       out.push_back({rps_view_.hot[i].id, rps_view_.names[i].str(),
-                     rps_view_.hot[i].age});
+                     rps_view_.hot[i].age, rps_view_.hot[i].pos,
+                     rps_view_.hot[i].version});
     util::ByteWriter w = frame_writer();
     encode_rps(w, header(MsgType::kRpsShuffleResp), out);
     send_reply(h, w.take());
@@ -368,16 +370,20 @@ void AsyncNode::handle_rps(const Header& h, const std::vector<WirePeer>& peers,
     if (p.id == id_) continue;
     const std::size_t i = rps_view_.find(p.id);
     if (i < rps_view_.size()) {
-      if (p.age < rps_view_.hot[i].age)
-        rps_view_.hot[i].age = p.age;  // keep the fresher view
+      PeerHot& e = rps_view_.hot[i];
+      if (p.age < e.age) e.age = p.age;  // keep the fresher view
+      if (p.version > e.version) {
+        e.pos = p.pos;
+        e.version = p.version;
+      }
       continue;
     }
     if (rps_view_.size() < cfg_.rps_view) {
-      rps_view_.push_back(PeerHot{p.id, p.age}, p.addr);
+      rps_view_.push_back(PeerHot{p.id, p.age, p.pos, p.version}, p.addr);
     } else {
       const std::size_t oldest = oldest_index(rps_view_.hot);
       if (rps_view_.hot[oldest].age > p.age) {
-        rps_view_.hot[oldest] = PeerHot{p.id, p.age};
+        rps_view_.hot[oldest] = PeerHot{p.id, p.age, p.pos, p.version};
         rps_view_.names[oldest].assign(p.addr);
       }
     }
@@ -413,8 +419,67 @@ void AsyncNode::rank_closest(DescriptorList& entries,
 }
 
 void AsyncNode::step_tman() {
+  // Age the view and evict the unheard-of.  First-hand contact resets an
+  // entry's age (handle_tman); anything past the TTL is a member we have
+  // no recent evidence for — crashed, or moved far enough that gossip no
+  // longer circulates its descriptors here, in which case its advertised
+  // position is a lie that would rank as "nearby" forever.  erase_if is
+  // order-preserving, so an already-ranked view stays ranked.
+  if (cfg_.tman_ttl > 0 && !tman_view_.empty()) {
+    const auto ttl = static_cast<std::uint32_t>(cfg_.tman_ttl);
+    bool expired = false;
+    for (std::size_t i = 0; i < tman_view_.size(); ++i) {
+      DescriptorHot& e = tman_view_.hot[i];
+      if (e.age <= ttl) ++e.age;  // saturating: no wraparound
+      expired = expired || e.age > ttl;
+    }
+    if (expired)
+      tman_view_.erase_if(
+          [ttl](const DescriptorHot& e) { return e.age > ttl; });
+  }
+  const std::uint32_t fwd_horizon = tman_forward_age(cfg_);
+  // Random-candidate injection — the role the RPS layer plays in the
+  // T-Man paper: every tick, offer the view the random sample's known
+  // descriptors.  Almost all are far away and rejected by the cheap
+  // pre-filter without dirtying the ranked view; the rare nearby one is
+  // how two neighbourhoods whose mutual links all aged out rediscover
+  // each other (routing across such a seam otherwise dead-ends forever:
+  // both sides gossip strictly away from it).  Injected entries count
+  // as second-hand, exactly as if a gossip partner had forwarded them.
+  {
+    const std::size_t phys = tman_phys_cap(cfg_);
+    for (std::size_t i = 0; i < rps_view_.size(); ++i) {
+      const PeerHot& p = rps_view_.hot[i];
+      if (p.version == 0 || p.id == id_) continue;
+      const std::size_t j = tman_view_.find(p.id);
+      if (j < tman_view_.size()) {
+        DescriptorHot& e = tman_view_.hot[j];
+        if (p.version > e.version) {
+          e.pos = p.pos;
+          e.version = p.version;
+          tman_ranked_ = false;
+        }
+        e.age = std::min(e.age, fwd_horizon);
+        continue;
+      }
+      if (tman_ranked_ && tman_view_.size() >= cfg_.tman_view) {
+        // A candidate no closer than the worst ranked entry cannot
+        // enter a full view — reject without touching the rank.
+        const DescriptorHot& worst = tman_view_.hot[tman_view_.size() - 1];
+        if (space_->distance2(pos_, p.pos) >=
+            space_->distance2(pos_, worst.pos))
+          continue;
+      }
+      if (tman_view_.size() >= phys)
+        rank_closest(tman_view_, pos_, cfg_.tman_view);
+      tman_view_.push_back(DescriptorHot{p.id, p.version, p.pos, fwd_horizon},
+                           rps_view_.names[i]);
+      tman_ranked_ = false;
+    }
+  }
   if (tman_view_.empty()) {
-    // Seed the topology view from the peer-sampling view.
+    // Cold start (no peer has a known position yet): seed the topology
+    // view with placeholder descriptors so there is someone to contact.
     for (std::size_t i = 0; i < rps_view_.size(); ++i)
       tman_view_.push_back(DescriptorHot{rps_view_.hot[i].id, 0, pos_},
                            rps_view_.names[i]);
@@ -447,6 +512,17 @@ void AsyncNode::step_tman() {
   for (std::size_t i = 0; i < cand.size(); ++i) {
     if (out.size() >= cfg_.tman_msg) break;
     if (cand.hot[i].id == target.id) continue;
+    // Version-0 entries are bootstrap placeholders carrying our *own*
+    // position as a stand-in for the member's.  Forwarding such a guess
+    // would plant "node X is here" lies in third-party views, where they
+    // rank as nearby and never heal (gossip only refreshes entries that
+    // really are near their holder).  Placeholders stay local.
+    if (cand.hot[i].version == 0) continue;
+    // Forward only first-hand-fresh entries (see tman_forward_age):
+    // second-hand copies arrive exactly at the horizon and are never
+    // re-forwarded, so rumors about dead or moved members cannot
+    // circulate past their last direct confirmation.
+    if (cfg_.tman_ttl > 0 && cand.hot[i].age >= fwd_horizon) continue;
     out.push_back({cand.hot[i].id, cand.names[i].str(), cand.hot[i].pos,
                    cand.hot[i].version});
   }
@@ -468,9 +544,14 @@ void AsyncNode::handle_tman(const Header& h,
     auto& cand = scratch_->tman_cand;
     cand.assign(tman_view_);
     rank_closest(cand, sender_pos, cfg_.tman_msg);
+    const std::uint32_t fwd_horizon = tman_forward_age(cfg_);
     for (std::size_t i = 0; i < cand.size(); ++i) {
       if (out.size() >= cfg_.tman_msg) break;
       if (cand.hot[i].id == h.sender) continue;
+      // Never forward bootstrap placeholders or second-hand entries
+      // past the forwarding horizon (see step_tman).
+      if (cand.hot[i].version == 0) continue;
+      if (cfg_.tman_ttl > 0 && cand.hot[i].age >= fwd_horizon) continue;
       out.push_back({cand.hot[i].id, cand.names[i].str(), cand.hot[i].pos,
                      cand.hot[i].version});
     }
@@ -488,18 +569,29 @@ void AsyncNode::handle_tman(const Header& h,
   // view cap mid-merge keeps exactly the entries the unbounded merge
   // would have kept.
   const std::size_t phys = tman_phys_cap(cfg_);
+  const std::uint32_t fwd_horizon = tman_forward_age(cfg_);
   for (const auto& d : descriptors) {
     if (d.id == id_) continue;
+    // First-hand contact (the member itself is talking to us) proves it
+    // alive *now*: age 0.  A forwarded copy only proves someone heard
+    // from it within the forwarding horizon, so it arrives that old and
+    // can lower — never raise — the age we already track.
+    const std::uint32_t arrival_age = d.id == h.sender ? 0 : fwd_horizon;
     const std::size_t i = tman_view_.find(d.id);
     if (i < tman_view_.size()) {
-      if (d.version > tman_view_.hot[i].version) {
-        tman_view_.hot[i] = DescriptorHot{d.id, d.version, d.pos};
+      DescriptorHot& e = tman_view_.hot[i];
+      if (d.version > e.version) {
+        e = DescriptorHot{d.id, d.version, d.pos,
+                          std::min(e.age, arrival_age)};
         tman_view_.names[i].assign(d.addr);
+      } else {
+        e.age = std::min(e.age, arrival_age);
       }
     } else {
       if (tman_view_.size() >= phys)
         rank_closest(tman_view_, pos_, cfg_.tman_view);
-      tman_view_.push_back(DescriptorHot{d.id, d.version, d.pos}, d.addr);
+      tman_view_.push_back(DescriptorHot{d.id, d.version, d.pos, arrival_age},
+                           d.addr);
     }
   }
   // Rank-and-truncate in one step: only the kept view-cap prefix is
@@ -519,7 +611,8 @@ void AsyncNode::step_backup() {
     const PeerHot& cand = rps_view_.hot[ci];
     if (cand.id == id_) continue;
     if (backups_.find(cand.id) < backups_.size()) continue;
-    backups_.push_back(PeerHot{cand.id, 0}, rps_view_.names[ci]);
+    backups_.push_back(PeerHot{cand.id, 0, cand.pos, cand.version},
+                       rps_view_.names[ci]);
   }
   // Push guests (full copy; doubles as the origin's heartbeat).  Iterate
   // over a scratch copy: send failures mutate backups_ via
@@ -651,6 +744,36 @@ void AsyncNode::reproject() {
 space::Point AsyncNode::position() const {
   util::MutexLock lk(state_mu_);
   return pos_;
+}
+
+AsyncNode::ViewHop AsyncNode::closest_view_member(
+    const space::Point& target, bool (*accept)(void* ctx, LiveNodeId id),
+    void* ctx) const {
+  util::MutexLock lk(state_mu_);
+  ViewHop best;
+  for (std::size_t i = 0; i < tman_view_.size(); ++i) {
+    const DescriptorHot& d = tman_view_.hot[i];
+    if (accept != nullptr && !accept(ctx, d.id)) continue;
+    const double dist = space_->distance(d.pos, target);
+    if (!best.found || dist < best.distance ||
+        (dist == best.distance && d.id < best.id)) {
+      best.id = d.id;
+      best.distance = dist;
+      best.found = true;
+    }
+  }
+  return best;
+}
+
+void AsyncNode::for_each_view_member(
+    void (*fn)(void* ctx, LiveNodeId id, const space::Point& advertised,
+               std::uint64_t version),
+    void* ctx) const {
+  util::MutexLock lk(state_mu_);
+  for (std::size_t i = 0; i < tman_view_.size(); ++i) {
+    const DescriptorHot& d = tman_view_.hot[i];
+    fn(ctx, d.id, d.pos, d.version);
+  }
 }
 
 core::PointSet AsyncNode::guests() const {

@@ -70,6 +70,13 @@ struct AsyncConfig {
   /// An origin that has not pushed a backup within this window is presumed
   /// dead (heartbeat timeout of the §III-A failure detector).
   std::chrono::milliseconds origin_timeout{400};
+  /// T-Man view entries unrefreshed for this many ticks are evicted.
+  /// Bounds view staleness: without it, a member that crashed — or moved
+  /// far away while its old descriptor still advertises a nearby
+  /// position — occupies a view slot forever, because T-Man gossip only
+  /// circulates a member's fresh descriptors near its *current*
+  /// vicinity.  0 disables aging (and the forwarding horizon with it).
+  std::size_t tman_ttl = 48;
 };
 
 /// Physical capacity of the T-Man view storage: the ranked view plus one
@@ -80,6 +87,16 @@ inline std::uint32_t tman_phys_cap(const AsyncConfig& cfg) {
   const std::size_t phys = cfg.tman_view + cfg.tman_msg;
   return static_cast<std::uint32_t>(
       phys > cfg.tman_view + 1 ? phys : cfg.tman_view + 1);
+}
+
+/// Forwarding horizon of the T-Man descriptor-age mechanism: only
+/// entries younger than this are forwarded to third parties, and a
+/// forwarded copy arrives exactly this old — so second-hand information
+/// is never re-forwarded and a rumor dies one hop from its last
+/// first-hand confirmation.  A member that crashes (or whose descriptor
+/// goes stale) vanishes from every view within tman_ttl ticks.
+inline std::uint32_t tman_forward_age(const AsyncConfig& cfg) {
+  return static_cast<std::uint32_t>(cfg.tman_ttl / 2);
 }
 
 /// A contactable peer: identity + transport address.
@@ -191,6 +208,30 @@ class AsyncNode {
   LiveNodeId id() const noexcept { return id_; }
   Address address() const { return transport_->address(); }
   space::Point position() const;
+
+  /// The T-Man view member closest to `target` (the greedy-routing
+  /// neighbourhood query of src/traffic/).  Deterministic: linear scan in
+  /// view order, strict-< improvement with lowest-id tie-break.  `found`
+  /// is false when no entry qualifies.  An optional `accept(ctx, id)`
+  /// filter skips entries (the traffic plane rejects crashed members —
+  /// modelling a sender that times out on a dead neighbour and tries its
+  /// next candidate; a plain function pointer keeps the hot path
+  /// allocation-free).  The RPS view is not consulted — its entries carry
+  /// no positions (PeerHot is id+age only).
+  struct ViewHop {
+    LiveNodeId id = 0;
+    double distance = 0.0;
+    bool found = false;
+  };
+  ViewHop closest_view_member(const space::Point& target,
+                              bool (*accept)(void* ctx, LiveNodeId id) = nullptr,
+                              void* ctx = nullptr) const;
+  /// Visits every T-Man view entry (id, advertised position, version)
+  /// under the state lock — diagnostics and view-quality tests.
+  void for_each_view_member(void (*fn)(void* ctx, LiveNodeId id,
+                                       const space::Point& advertised,
+                                       std::uint64_t version),
+                            void* ctx) const;
   core::PointSet guests() const;
   std::size_t ghost_point_count() const;
   std::size_t tman_view_size() const;

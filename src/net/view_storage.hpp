@@ -61,17 +61,30 @@ struct InlineAddr {
 };
 static_assert(sizeof(InlineAddr) == 24, "InlineAddr layout drifted");
 
-/// Hot half of an RPS view entry: what aging, sampling and merge compare.
+/// Hot half of an RPS view entry: what aging, sampling and merge
+/// compare, plus the peer's last known topology descriptor (see
+/// WirePeer — `version == 0` means the position is unknown).
 struct PeerHot {
   LiveNodeId id = 0;
   std::uint32_t age = 0;
+  space::Point pos;
+  std::uint64_t version = 0;
 };
 
 /// Hot half of a T-Man view entry: what ranking and merge compare.
+///
+/// `age` is purely local state (never on the wire): ticks since the
+/// entry was last refreshed.  First-hand contact (the member itself
+/// sent us a message) resets it to 0; a forwarded third-party copy can
+/// only lower it to the forwarding horizon (tman_forward_age).  Entries
+/// older than AsyncConfig::tman_ttl are evicted each tick — the view's
+/// only defence against members that crashed or moved far away, whose
+/// stale descriptors would otherwise rank as "nearby" forever.
 struct DescriptorHot {
   LiveNodeId id = 0;
   std::uint64_t version = 0;
   space::Point pos;
+  std::uint32_t age = 0;
 };
 
 /// An index-parallel (hot entries, cold names) pair over arena storage.

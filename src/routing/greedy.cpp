@@ -46,12 +46,18 @@ RoutingStats evaluate(
   const auto alive = net.alive_ids();
   if (alive.empty() || lookups == 0) return stats;
 
+  // Targets draw from a dedicated child stream: index() rejection-samples
+  // (its draw count depends on alive.size()), so interleaving both on one
+  // stream made the target sequence a function of the alive count — the
+  // same seed sampled different keys after an unrelated crash.
+  util::Rng target_rng = rng.split();
+
   std::size_t successes = 0;
   double hops = 0.0;
   double final_distance = 0.0;
   for (std::size_t i = 0; i < lookups; ++i) {
     const sim::NodeId start = alive[rng.index(alive.size())];
-    const space::Point target = sample_target(rng);
+    const space::Point target = sample_target(target_rng);
     const Route r = route(net, space, topology, start, target, config);
     hops += static_cast<double>(r.hops());
     final_distance += r.final_distance;

@@ -56,6 +56,15 @@ constexpr ExpectMetric kExpectMetrics[] = {
     {"frames_reordered", false, true},
     {"stall_rounds", false, true},
     {"recoveries", false, true},
+    // Traffic-plane metrics (docs/TRAFFIC.md) — the workload runs on the
+    // event engine only.
+    {"requests", false, true},
+    {"requests_failed", false, true},
+    {"success_rate", false, true},
+    {"p50_latency_ms", false, true},
+    {"p99_latency_ms", false, true},
+    {"p999_latency_ms", false, true},
+    {"mean_hops", false, true},
 };
 
 const ExpectMetric* find_expect_metric(const std::string& name) {
@@ -130,7 +139,24 @@ double expect_value(const std::string& metric, const RoundMetrics& m,
     return static_cast<double>(m.frames_reordered);
   if (metric == "stall_rounds") return static_cast<double>(m.stall_rounds);
   if (metric == "recoveries") return static_cast<double>(m.recoveries);
+  if (metric == "requests") return static_cast<double>(m.requests);
+  if (metric == "requests_failed")
+    return static_cast<double>(m.requests_failed);
+  if (metric == "success_rate") return m.success_rate;
+  if (metric == "p50_latency_ms") return m.p50_latency_ms;
+  if (metric == "p99_latency_ms") return m.p99_latency_ms;
+  if (metric == "p999_latency_ms") return m.p999_latency_ms;
+  if (metric == "mean_hops") return m.mean_hops;
   return std::numeric_limits<double>::quiet_NaN();  // unreachable: validated
+}
+
+const char* traffic_mix_token(TrafficMix mix) {
+  switch (mix) {
+    case TrafficMix::kGet: return "get";
+    case TrafficMix::kPut: return "put";
+    case TrafficMix::kMixed: break;
+  }
+  return "mixed";
 }
 
 const char* link_dir_token(LinkDirection dir) {
@@ -562,12 +588,28 @@ class Parser {
         fail(line_, "unknown recover selector '" + tok[1] +
                         "' (want all, frac, or ids)");
       }
+    } else if (verb == "traffic") {
+      expect_args(tok, 3, "<rate> get|put|mixed");
+      s.kind = Stage::Kind::kTraffic;
+      s.count = parse_count(tok[1], "traffic rate");
+      if (tok[2] == "get")
+        s.mix = TrafficMix::kGet;
+      else if (tok[2] == "put")
+        s.mix = TrafficMix::kPut;
+      else if (tok[2] == "mixed")
+        s.mix = TrafficMix::kMixed;
+      else
+        fail(line_, "unknown traffic mix '" + tok[2] +
+                        "' (want get, put, or mixed)");
+    } else if (verb == "drain") {
+      expect_args(tok, 1, "no arguments");
+      s.kind = Stage::Kind::kDrain;
     } else {
       fail(line_, "unknown stage '" + verb +
                       "' (want run, grow, crash, churn, flash-crowd, "
                       "morph, migrate, snapshot, measure, partition, "
                       "degrade, corrupt, duplicate, reorder, stall, "
-                      "recover, or expect)");
+                      "recover, traffic, drain, or expect)");
     }
     p.timeline.push_back(std::move(s));
   }
@@ -657,7 +699,9 @@ std::size_t ScenarioProgram::total_rounds() const noexcept {
         break;
       default:
         // Instantaneous stages; the fault verbs' `rounds` is a heal bound
-        // or stall span, not executed rounds.
+        // or stall span, not executed rounds.  `drain` does run rounds,
+        // but how many depends on the in-flight population — expects
+        // about the post-drain state must use `@ end`.
         break;
     }
   }
@@ -792,6 +836,12 @@ std::string serialize(const ScenarioProgram& p) {
             break;
         }
         break;
+      case Stage::Kind::kTraffic:
+        os << "traffic " << s.count << ' ' << traffic_mix_token(s.mix);
+        break;
+      case Stage::Kind::kDrain:
+        os << "drain";
+        break;
     }
     os << '\n';
   }
@@ -827,13 +877,16 @@ void validate_for_mode(const ScenarioProgram& p, EngineMode mode) {
         case Stage::Kind::kReorder: verb = "reorder"; break;
         case Stage::Kind::kStall: verb = "stall"; break;
         case Stage::Kind::kRecover: verb = "recover"; break;
+        case Stage::Kind::kTraffic: verb = "traffic"; break;
+        case Stage::Kind::kDrain: verb = "drain"; break;
         default: break;
       }
       if (verb != nullptr)
         throw ProgramError(p.file, s.line,
                            std::string("'") + verb +
-                               "' needs engine events (the fault plane "
-                               "lives in the event hub), not " + m);
+                               "' needs engine events (the fault and "
+                               "traffic planes live in the event hub), "
+                               "not " + m);
     }
   }
 
@@ -1220,6 +1273,27 @@ ProgramRun run_program_once(const shape::Shape& shape,
         note("recovered " + std::to_string(n) + " nodes (" + how + ")");
         break;
       }
+
+      case Stage::Kind::kTraffic:
+        rt->start_traffic(s.count, s.mix);
+        note("traffic " + std::to_string(s.count) + "/round (" +
+             traffic_mix_token(s.mix) + ")");
+        break;
+
+      case Stage::Kind::kDrain: {
+        rt->stop_traffic();
+        std::size_t drained = 0;
+        while (rt->traffic_inflight() > 0) {
+          if (++drained > 10000)
+            throw ProgramError(p.file, s.line,
+                               "drain ran 10000 rounds with traffic still "
+                               "in flight — the workload is not draining");
+          step();
+        }
+        note("drained in-flight traffic (" + std::to_string(drained) +
+             " rounds)");
+        break;
+      }
     }
   }
 
@@ -1370,6 +1444,20 @@ util::Table series_table_for(const ProgramResult& r) {
     headers.push_back("reliability");
     if (mode == EngineMode::kEvents) headers.push_back("frames");
   }
+  // Traffic columns (cumulative since the first `traffic` verb) when the
+  // workload ran: the series then shows the before/during/after service
+  // arc directly.  Aggregated (reps > 1) tables keep the protocol-only
+  // shape — per-rep traffic spreads belong to a later stats row.
+  const bool traffic_cols =
+      mode == EngineMode::kEvents && !aggregated &&
+      std::any_of(r.first.rounds.begin(), r.first.rounds.end(),
+                  [](const RoundMetrics& m) {
+                    return m.requests + m.requests_failed > 0;
+                  });
+  if (traffic_cols)
+    for (const char* h : {"requests", "success", "p50_ms", "p99_ms",
+                          "p999_ms", "hops"})
+      headers.push_back(h);
 
   util::Table table(std::move(headers));
   for (std::size_t i = 0; i < r.first.rounds.size(); ++i) {
@@ -1399,6 +1487,18 @@ util::Table series_table_for(const ProgramResult& r) {
         row.push_back(util::fmt(m.reliability, 3));
         if (mode == EngineMode::kEvents)
           row.push_back(std::to_string(m.frames));
+      }
+    }
+    if (traffic_cols) {
+      if (m.requests + m.requests_failed == 0) {
+        for (int c = 0; c < 6; ++c) row.push_back("-");
+      } else {
+        row.push_back(std::to_string(m.requests));
+        row.push_back(util::fmt(m.success_rate, 4));
+        row.push_back(util::fmt(m.p50_latency_ms, 2));
+        row.push_back(util::fmt(m.p99_latency_ms, 2));
+        row.push_back(util::fmt(m.p999_latency_ms, 2));
+        row.push_back(util::fmt(m.mean_hops, 1));
       }
     }
     table.add_row(std::move(row));

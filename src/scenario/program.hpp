@@ -79,6 +79,9 @@ struct Stage {
     kReorder,       ///< reorder P jitter MS heal N — FIFO-breaking delay
     kStall,         ///< stall zone X0 Y0 X1 Y1 N | stall frac F N
     kRecover,       ///< recover all | frac F | ids A,B,…
+    // Traffic verbs (events mode only; docs/TRAFFIC.md).
+    kTraffic,       ///< traffic RATE get|put|mixed — start/retune workload
+    kDrain,         ///< drain — stop arrivals, run rounds until none in flight
   };
   enum class CrashSelector { kHalf, kFrac, kZone, kIds };
   enum class RecoverSelector { kAll, kFrac, kIds };
@@ -98,6 +101,7 @@ struct Stage {
 
   double dx = 0.0, dy = 0.0;  ///< morph drift (per round) / migrate (total)
   LinkDirection dir = LinkDirection::kBoth;  ///< degrade direction
+  TrafficMix mix = TrafficMix::kMixed;       ///< traffic request mix
   double drop = 0.0;                         ///< degrade extra drop rate
   double jitter_ms = 0.0;                    ///< degrade/reorder jitter cap
   std::string shape_spec;     ///< morph shape target

@@ -8,6 +8,7 @@
 #include "engine/event_cluster.hpp"
 #include "net/runtime.hpp"
 #include "sim/traffic.hpp"
+#include "traffic/workload.hpp"
 
 namespace poly::scenario {
 
@@ -82,6 +83,8 @@ class SyncRuntime final : public Runtime {
       m.msg_rps = traffic.per_node(m.round, sim::Channel::kRps);
       m.msg_paper = m.msg_tman + m.msg_backup + m.msg_migration;
     }
+    m.success_rate = m.p50_latency_ms = m.p99_latency_ms = m.p999_latency_ms =
+        m.mean_hops = kNaN;
     return m;
   }
   double reliability() const override { return sim_.reliability(); }
@@ -192,6 +195,18 @@ class EventsRuntime final : public Runtime {
     return n;
   }
 
+  bool supports_traffic() const noexcept override { return true; }
+  void start_traffic(std::size_t rate, TrafficMix mix) override {
+    traffic::TrafficConfig cfg;
+    cfg.rate_per_round = rate;
+    cfg.mix = to_traffic_mix(mix);
+    fleet_.start_traffic(cfg);
+  }
+  void stop_traffic() override { fleet_.stop_traffic(); }
+  std::size_t traffic_inflight() const override {
+    return fleet_.traffic_inflight();
+  }
+
   RoundMetrics measure() const override {
     RoundMetrics m;
     m.round = rounds_ > 0 ? rounds_ - 1 : 0;
@@ -212,6 +227,26 @@ class EventsRuntime final : public Runtime {
     m.frames_reordered = fc.frames_reordered;
     m.stall_rounds = fc.stall_rounds;
     m.recoveries = fc.recoveries;
+    if (const traffic::TrafficPlane* tp = fleet_.traffic_plane()) {
+      const traffic::TrafficCounters& t = tp->totals();
+      m.requests = t.completed;
+      m.requests_failed = t.failed;
+      m.requests_inflight = tp->in_flight();
+      const std::uint64_t settled = t.completed + t.failed;
+      m.success_rate = settled == 0 ? kNaN
+                                    : static_cast<double>(t.completed) /
+                                          static_cast<double>(settled);
+      m.p50_latency_ms = t.latency.quantile_ms(0.5);
+      m.p99_latency_ms = t.latency.quantile_ms(0.99);
+      m.p999_latency_ms = t.latency.quantile_ms(0.999);
+      m.mean_hops = t.completed == 0
+                        ? kNaN
+                        : static_cast<double>(t.hops_total) /
+                              static_cast<double>(t.completed);
+    } else {
+      m.success_rate = m.p50_latency_ms = m.p99_latency_ms =
+          m.p999_latency_ms = m.mean_hops = kNaN;
+    }
     return m;
   }
   double reliability() const override { return fleet_.reliability(); }
@@ -239,6 +274,14 @@ class EventsRuntime final : public Runtime {
   static engine::SimTime to_simtime_ms(double ms) {
     return std::chrono::duration_cast<engine::SimTime>(
         std::chrono::duration<double, std::milli>(ms));
+  }
+  static traffic::Mix to_traffic_mix(TrafficMix mix) noexcept {
+    switch (mix) {
+      case TrafficMix::kGet: return traffic::Mix::kGet;
+      case TrafficMix::kPut: return traffic::Mix::kPut;
+      case TrafficMix::kMixed: break;
+    }
+    return traffic::Mix::kMixed;
   }
 
   const shape::Shape& shape_;
@@ -303,6 +346,8 @@ class LiveRuntime final : public Runtime {
     m.reliability = fleet_.reliability();
     m.msg_paper = m.msg_tman = m.msg_backup = m.msg_migration = m.msg_rps =
         kNaN;
+    m.success_rate = m.p50_latency_ms = m.p99_latency_ms = m.p999_latency_ms =
+        m.mean_hops = kNaN;
     return m;
   }
   double reliability() const override { return fleet_.reliability(); }
@@ -388,6 +433,18 @@ std::size_t Runtime::recover_random(std::size_t) { no_faults(*this); }
 std::size_t Runtime::recover_ids(std::span<const std::size_t>) {
   no_faults(*this);
 }
+
+namespace {
+[[noreturn]] void no_traffic(const Runtime& rt) {
+  throw std::logic_error(
+      std::string("traffic verbs need --engine events; this cluster runs ") +
+      to_string(rt.mode()));
+}
+}  // namespace
+
+void Runtime::start_traffic(std::size_t, TrafficMix) { no_traffic(*this); }
+void Runtime::stop_traffic() { no_traffic(*this); }
+std::size_t Runtime::traffic_inflight() const { no_traffic(*this); }
 
 std::unique_ptr<Runtime> make_cluster(const shape::Shape& shape,
                                       const ScenarioOptions& options) {

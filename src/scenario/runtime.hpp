@@ -91,7 +91,22 @@ struct RoundMetrics {
   std::uint64_t frames_reordered = 0;
   std::uint64_t stall_rounds = 0;       ///< node-ticks frozen by stalls
   std::uint64_t recoveries = 0;         ///< crashed nodes rejoined
+  // Traffic-plane counters (events mode, cumulative since the first
+  // `traffic` verb; 0 / NaN before that and in other modes — see
+  // docs/TRAFFIC.md for the workload model and histogram error bounds).
+  std::uint64_t requests = 0;            ///< completed get/put requests
+  std::uint64_t requests_failed = 0;     ///< failed (dead end / crash / hops)
+  std::uint64_t requests_inflight = 0;   ///< currently routing
+  double success_rate = 0.0;             ///< completed / (completed+failed)
+  double p50_latency_ms = 0.0;           ///< request-latency percentiles …
+  double p99_latency_ms = 0.0;           ///< … (log-bucketed, ≤3.125% high)
+  double p999_latency_ms = 0.0;
+  double mean_hops = 0.0;                ///< over completed requests
 };
+
+/// Traffic-mix selector for the `traffic` scenario verb (the scenario-level
+/// mirror of traffic::Mix — keeps traffic headers out of every driver).
+enum class TrafficMix { kGet, kPut, kMixed };
 
 /// Traffic directions for link degradation, relative to the degraded set
 /// (the scenario-level mirror of fault::Direction — keeps fault headers
@@ -169,6 +184,17 @@ class Runtime {
   virtual std::size_t recover_random(std::size_t count);
   /// Rejoins the listed node ids; not-crashed ids are skipped.
   virtual std::size_t recover_ids(std::span<const std::size_t> ids);
+
+  // ---- traffic plane (events mode only; the defaults throw) --------------
+  // Open-loop get/put workload over the live views (docs/TRAFFIC.md).
+
+  virtual bool supports_traffic() const noexcept { return false; }
+  /// Starts (or retunes) the workload: `rate` requests per round of `mix`.
+  virtual void start_traffic(std::size_t rate, TrafficMix mix);
+  /// Stops injecting; in-flight requests drain as rounds run.
+  virtual void stop_traffic();
+  /// Requests currently routing (0 when traffic was never started).
+  virtual std::size_t traffic_inflight() const;
 
   virtual RoundMetrics measure() const = 0;
   /// Fraction of the original data points still hosted (end-of-run

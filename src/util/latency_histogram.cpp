@@ -1,0 +1,123 @@
+#include "util/latency_histogram.hpp"
+
+#include <bit>
+
+namespace poly::util {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // m = index of the highest set bit (>= kSubBits here).  The octave
+  // group g starts at 0 for values in [32, 64); within an octave the top
+  // kSubBits bits below the leading bit select the sub-bucket.
+  const unsigned m = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned g = m - (kSubBits - 1);  // 1 for [32,64), 2 for [64,128)…
+  const std::uint64_t sub = (value >> (g - 1)) - kSubBuckets;
+  return static_cast<std::size_t>(g) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_edge(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const std::uint64_t g = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  // Bucket covers [(32+sub) << (g-1), (32+sub+1) << (g-1) - 1].
+  return ((kSubBuckets + sub + 1) << (g - 1)) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  ++count_;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  const std::uint64_t s = sum_ + value;
+  sum_ = s >= sum_ ? s : ~0ull;  // saturate instead of wrapping
+  ++buckets_[bucket_index(value)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  count_ += other.count_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  const std::uint64_t s = sum_ + other.sum_;
+  sum_ = s >= sum_ ? s : ~0ull;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (!(q > 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  // rank = ceil(q * count), clamped to [1, count]: the standard
+  // nearest-rank order statistic (q = 0.5 of 4 values → the 2nd).
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t edge = bucket_upper_edge(i);
+      // The true order statistic is inside this bucket, so the upper edge
+      // is >= it; clamping to the recorded max keeps the tail quantiles
+      // exact when the max is the answer.
+      return edge < max_ ? edge : max_;
+    }
+  }
+  return max_;  // unreachable: every recorded value is in some bucket
+}
+
+void LatencyHistogram::clear() noexcept {
+  count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0;
+  buckets_.fill(0);
+}
+
+namespace {
+
+void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> LatencyHistogram::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 * (4 + kBuckets));
+  put_u64le(out, count_);
+  put_u64le(out, min_);
+  put_u64le(out, max_);
+  put_u64le(out, sum_);
+  for (std::uint64_t b : buckets_) put_u64le(out, b);
+  return out;
+}
+
+bool LatencyHistogram::deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != 8 * (4 + kBuckets)) return false;
+  const std::uint8_t* p = bytes.data();
+  count_ = get_u64le(p + 0);
+  min_ = get_u64le(p + 8);
+  max_ = get_u64le(p + 16);
+  sum_ = get_u64le(p + 24);
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    buckets_[i] = get_u64le(p + 32 + 8 * i);
+  return true;
+}
+
+}  // namespace poly::util

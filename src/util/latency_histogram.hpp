@@ -1,0 +1,98 @@
+// Log-bucketed latency histogram with documented quantile error bounds.
+//
+// The traffic plane (src/traffic/) completes hundreds of thousands of
+// requests per scenario; storing every latency for exact percentiles would
+// dominate memory and break the zero-steady-state-allocation discipline.
+// LatencyHistogram is the classic HDR-style log-linear compromise: fixed
+// storage (kBuckets 64-bit counters, no heap), O(1) record, O(kBuckets)
+// quantile, and a *provable* relative error bound:
+//
+//   quantile(q) ∈ [exact, exact * (1 + kMaxRelativeError)]
+//
+// where `exact` is the rank-ceil(q·count) order statistic of the recorded
+// values.  Values below 32 are exact (one bucket per integer); above, each
+// power-of-two octave splits into 32 sub-buckets, so a bucket's width is
+// at most 1/32 of its lower edge.  quantile() returns the bucket's upper
+// edge clamped to the recorded maximum — never below the true value.
+//
+// Histograms are mergeable (bucket-wise add; merge is associative and
+// commutative, so per-shard histograms combine in any order) and carry a
+// bit-stable little-endian serialization for trajectory pinning.
+//
+// Determinism: record/merge/quantile are pure integer arithmetic — the
+// same sequence of values yields bit-identical state and serialized bytes
+// on every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace poly::util {
+
+/// Fixed-size log-linear histogram over non-negative 64-bit values
+/// (nanoseconds, byte counts, hop counts — any magnitude-style unit).
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per power-of-two octave (32 = 2^kSubBits).
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;  // 32
+  /// Bucket count covering the full uint64 range: one exact bucket per
+  /// value below 32, then 32 sub-buckets for each of the 59 octaves
+  /// [2^5, 2^64).  (g in [0, 59], sub in [0, 32) → 60*32 = 1920.)
+  static constexpr std::size_t kBuckets = 60 * kSubBuckets;
+  /// Documented quantile error: a bucket's width over its lower edge is
+  /// at most 1/32 = 3.125%.
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+  /// Records one value.  O(1), allocation-free.
+  void record(std::uint64_t value) noexcept;
+
+  /// Bucket-wise accumulate of `other` (associative, commutative).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Recorded-value count / extremes / mean.  min()/max() are exact.
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept;
+
+  /// The rank-ceil(q·count) order statistic, overestimated by at most
+  /// kMaxRelativeError (see header comment).  q is clamped to (0, 1];
+  /// returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// quantile() of a nanosecond-valued histogram, in milliseconds.
+  double quantile_ms(double q) const noexcept {
+    return static_cast<double>(quantile(q)) / 1e6;
+  }
+
+  void clear() noexcept;
+
+  /// Bit-stable little-endian bytes: count, min, max, sum, then every
+  /// bucket counter — identical content serializes identically on every
+  /// platform.  `deserialize` round-trips; returns false on a malformed
+  /// buffer (wrong size).
+  std::vector<std::uint8_t> serialize() const;
+  bool deserialize(const std::vector<std::uint8_t>& bytes);
+
+  friend bool operator==(const LatencyHistogram& a,
+                         const LatencyHistogram& b) noexcept {
+    return a.count_ == b.count_ && a.min_ == b.min_ && a.max_ == b.max_ &&
+           a.sum_ == b.sum_ && a.buckets_ == b.buckets_;
+  }
+
+  /// The bucket a value lands in (exposed for the property tests).
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Largest value mapping to `index` (inclusive upper edge).
+  static std::uint64_t bucket_upper_edge(std::size_t index) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;  // saturating; mean() only (quantiles unaffected)
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace poly::util

@@ -65,7 +65,8 @@ void expect_truncations_throw(const std::vector<std::uint8_t>& frame) {
 }
 
 const Header kHeader{MsgType::kBackupPush, 42, "10.0.0.1:4242"};
-const std::vector<WirePeer> kPeers{{2, "addr-2", 3}, {5, "addr-5", 0}};
+const std::vector<WirePeer> kPeers{{2, "addr-2", 3, Point(4.0, -1.0), 7},
+                                   {5, "addr-5", 0, Point(), 0}};
 const std::vector<WireDescriptor> kDescriptors{
     {9, "addr-9", Point(1.5, 2.5), 12}, {10, "addr-10", Point(7.0), 1}};
 const std::vector<WirePoint> kPoints{{100, Point(1, 1)},
@@ -113,6 +114,9 @@ TEST(Codec, PeersRoundTrip) {
     EXPECT_EQ(peers[i].id, kPeers[i].id);
     EXPECT_EQ(peers[i].addr, kPeers[i].addr);
     EXPECT_EQ(peers[i].age, kPeers[i].age);
+    EXPECT_EQ(peers[i].pos.dim, kPeers[i].pos.dim);
+    EXPECT_EQ(peers[i].pos.c, kPeers[i].pos.c);
+    EXPECT_EQ(peers[i].version, kPeers[i].version);
   }
 }
 

@@ -131,6 +131,42 @@ TEST(Routing, CatastropheDegradesTmanButNotPolystyrene) {
   EXPECT_GT(tman.mean_final_distance, poly.mean_final_distance);
 }
 
+TEST(Routing, EvaluateTargetSequenceIndependentOfAliveSetAndLookups) {
+  // Regression: evaluate() used to draw lookup-start indices and sampler
+  // targets from one interleaved stream.  index() rejection-samples, so
+  // its draw count depends on the alive count — crashing unrelated nodes
+  // (or changing `lookups`) silently re-keyed the whole target sequence.
+  // Targets now come from a dedicated split stream: same seed, same keys.
+  GridTorusShape shape(12, 12);
+  SimulationConfig config;
+  config.seed = 21;
+  auto record = [&](std::size_t crashes, std::size_t lookups) {
+    Simulation sim(shape, config);
+    sim.run_rounds(10);
+    for (std::size_t i = 0; i < crashes; ++i) sim.network().crash(i);
+    std::vector<Point> targets;
+    auto sampler = [&targets](Rng& r) {
+      const Point p{r.uniform_real(0, 12.0), r.uniform_real(0, 12.0)};
+      targets.push_back(p);
+      return p;
+    };
+    Rng rng(77);
+    poly::routing::evaluate(sim.network(), sim.metric_space(), sim.topology(),
+                            sampler, rng, lookups, /*success_radius=*/1.0);
+    return targets;
+  };
+  const auto base = record(0, 60);
+  const auto after_crashes = record(30, 60);
+  const auto more_lookups = record(0, 120);
+  ASSERT_EQ(base.size(), 60u);
+  ASSERT_EQ(after_crashes.size(), 60u);
+  ASSERT_EQ(more_lookups.size(), 120u);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i], after_crashes[i]) << "target " << i;
+    EXPECT_EQ(base[i], more_lookups[i]) << "target " << i;
+  }
+}
+
 // ---- load balance ------------------------------------------------------------
 
 TEST(LoadBalance, PerfectBalanceIsZeroCv) {

@@ -16,6 +16,7 @@ using poly::scenario::ProgramError;
 using poly::scenario::ScenarioProgram;
 using poly::scenario::Stage;
 using poly::scenario::Substrate;
+using poly::scenario::TrafficMix;
 using poly::scenario::parse_program;
 using poly::scenario::run_program;
 using poly::scenario::serialize;
@@ -489,6 +490,124 @@ TEST(FaultProgram, ChaosScenarioRunsDeterministically) {
   EXPECT_GT(a.first.rounds.back().frames_blackholed, 0u);
   EXPECT_GT(a.first.rounds.back().stall_rounds, 0u);
   EXPECT_EQ(a.first.recovered, a.first.crashed);
+}
+
+// ---- traffic verbs ----------------------------------------------------------
+
+TEST(TrafficProgram, ParseAndSerializeRoundTrip) {
+  const std::string text =
+      "name served\n"
+      "shape grid:8x8\n"
+      "engine events\n"
+      "run 5\n"
+      "traffic 500 get\n"
+      "run 5\n"
+      "traffic 250 put\n"
+      "run 5\n"
+      "traffic 125 mixed\n"
+      "drain\n"
+      "expect requests > 0 @ end\n"
+      "expect success_rate >= 0.5 @ end\n";
+  const auto p = parse_program(text, "served.poly");
+
+  ASSERT_EQ(p.timeline.size(), 7u);
+  EXPECT_EQ(p.timeline[1].kind, Stage::Kind::kTraffic);
+  EXPECT_EQ(p.timeline[1].count, 500u);
+  EXPECT_EQ(p.timeline[1].mix, TrafficMix::kGet);
+  EXPECT_EQ(p.timeline[3].mix, TrafficMix::kPut);
+  EXPECT_EQ(p.timeline[5].mix, TrafficMix::kMixed);
+  EXPECT_EQ(p.timeline[6].kind, Stage::Kind::kDrain);
+  // traffic/drain execute no scheduled rounds themselves (drain's rounds
+  // are demand-driven); only the runs count.
+  EXPECT_EQ(p.total_rounds(), 15u);
+  ASSERT_EQ(p.expects.size(), 2u);
+  EXPECT_EQ(p.expects[0].metric, "requests");
+  EXPECT_EQ(p.expects[1].metric, "success_rate");
+
+  const auto canon = serialize(p);
+  const auto p2 = parse_program(canon, "served2.poly");
+  EXPECT_EQ(serialize(p2), canon);
+  ASSERT_EQ(p2.timeline.size(), p.timeline.size());
+  for (std::size_t i = 0; i < p.timeline.size(); ++i) {
+    EXPECT_EQ(p2.timeline[i].kind, p.timeline[i].kind) << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].count, p.timeline[i].count) << "stage " << i;
+    EXPECT_EQ(p2.timeline[i].mix, p.timeline[i].mix) << "stage " << i;
+  }
+}
+
+TEST(TrafficProgram, Diagnostics) {
+  const std::string hdr = "shape grid:8x8\nengine events\n";
+  expect_parse_error(hdr + "traffic 500 burst\n", 3, "unknown traffic mix");
+  expect_parse_error(hdr + "traffic lots mixed\n", 3, "bad traffic rate");
+  expect_parse_error(hdr + "traffic 500\n", 3, "wants <rate> get|put|mixed");
+  expect_parse_error(hdr + "drain now\n", 3, "wants no arguments");
+}
+
+TEST(TrafficProgram, TrafficVerbsNeedEventsEngine) {
+  auto p = parse_program(
+      "shape grid:6x6\nengine events\nrun 2\ntraffic 100 mixed\n"
+      "run 2\ndrain\n");
+  EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kEvents));
+  EXPECT_THROW(validate_for_mode(p, EngineMode::kSync), ProgramError);
+  EXPECT_THROW(validate_for_mode(p, EngineMode::kLive), ProgramError);
+}
+
+TEST(TrafficProgram, TrafficMetricsAreEventsOnly) {
+  for (const char* metric :
+       {"requests", "requests_failed", "success_rate", "p50_latency_ms",
+        "p99_latency_ms", "p999_latency_ms", "mean_hops"}) {
+    auto p = parse_program("shape grid:6x6\nrun 2\nexpect " +
+                           std::string(metric) + " >= 0 @ end\n");
+    EXPECT_THROW(validate_for_mode(p, EngineMode::kSync), ProgramError)
+        << metric;
+    EXPECT_NO_THROW(validate_for_mode(p, EngineMode::kEvents)) << metric;
+  }
+}
+
+TEST(TrafficProgram, EndToEndServesAndDrains) {
+  // A small fleet serves a few rounds of load through a crash; the run
+  // must complete requests, drain to zero in flight, and pass its own
+  // SLO expects.
+  const auto p = parse_program(
+      "shape grid:8x8\nengine events\nseed 5\nrun 10\n"
+      "traffic 50 mixed\nrun 20\ncrash frac 0.25\nrun 20\ndrain\n"
+      "expect requests > 500 @ end\n"
+      "expect success_rate >= 0.8 @ end\n"
+      "expect mean_hops < 16 @ end\n");
+  const auto r = run_program(p);
+  ASSERT_FALSE(r.first.rounds.empty());
+  const auto& last = r.first.rounds.back();
+  EXPECT_GT(last.requests, 500u);
+  EXPECT_EQ(last.requests_inflight, 0u);
+  EXPECT_GE(last.success_rate, 0.8);
+  EXPECT_GT(last.p50_latency_ms, 0.0);
+  EXPECT_GE(last.p999_latency_ms, last.p99_latency_ms);
+  EXPECT_GE(last.p99_latency_ms, last.p50_latency_ms);
+}
+
+TEST(TrafficProgram, SameSeedSameTraffic) {
+  const auto p = parse_program(
+      "shape grid:8x8\nengine events\nseed 9\nrun 5\n"
+      "traffic 40 mixed\nrun 15\ncrash frac 0.25\nrun 10\ndrain\n");
+  const auto a = run_program(p);
+  const auto b = run_program(p);
+  // Rounds measured before the traffic verb report NaN latency metrics;
+  // bit-equality (NaN matches NaN) is the determinism contract.
+  const auto same = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  ASSERT_EQ(a.first.rounds.size(), b.first.rounds.size());
+  for (std::size_t i = 0; i < a.first.rounds.size(); ++i) {
+    EXPECT_EQ(a.first.rounds[i].requests, b.first.rounds[i].requests);
+    EXPECT_EQ(a.first.rounds[i].requests_failed,
+              b.first.rounds[i].requests_failed);
+    EXPECT_PRED2(same, a.first.rounds[i].success_rate,
+                 b.first.rounds[i].success_rate);
+    EXPECT_PRED2(same, a.first.rounds[i].p99_latency_ms,
+                 b.first.rounds[i].p99_latency_ms);
+    EXPECT_PRED2(same, a.first.rounds[i].mean_hops,
+                 b.first.rounds[i].mean_hops);
+  }
 }
 
 }  // namespace

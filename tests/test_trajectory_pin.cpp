@@ -23,6 +23,7 @@
 
 #include "engine/event_cluster.hpp"
 #include "shape/grid_torus.hpp"
+#include "traffic/workload.hpp"
 
 namespace {
 
@@ -76,8 +77,8 @@ TEST(TrajectoryPin, FixedLatencyHalfCrash) {
   fleet.run_rounds(30);
 
   expect_traj(measure(fleet),
-              Trajectory{"0.83999999999999997", "0.58517528925361539",
-                         "1.2922046721220164", 50692, 60789},
+              Trajectory{"0.84499999999999997", "0.5253553390593273",
+                         "1.2919095998979637", 52296, 63145},
               "fixed/half-crash");
 }
 
@@ -101,8 +102,8 @@ TEST(TrajectoryPin, JitteredChurnAndInject) {
   fleet.run_rounds(25);
 
   expect_traj(measure(fleet),
-              Trajectory{"1", "0.33000000000000002",
-                         "0.99783955582844219", 42261, 40616},
+              Trajectory{"0.98999999999999999", "0.27000000000000002",
+                         "1.0249636770515542", 43308, 41615},
               "jitter/churn+inject");
 }
 
@@ -139,16 +140,71 @@ TEST(TrajectoryPin, ChaosPartitionStallRecover) {
   } else {
     // stall_rounds < 8*4: crash_random lands on some stalled nodes, and a
     // crashed node's frozen ticks stop counting.
-    EXPECT_EQ(fc.frames_blackholed, 2806ull);
-    EXPECT_EQ(fc.frames_corrupted, 880ull);
+    EXPECT_EQ(fc.frames_blackholed, 2012ull);
+    EXPECT_EQ(fc.frames_corrupted, 1096ull);
     EXPECT_EQ(fc.stall_rounds, 20ull);
     EXPECT_EQ(fc.recoveries, 10ull);
-    EXPECT_EQ(fleet.frames_rejected(), 320ull);
+    EXPECT_EQ(fleet.frames_rejected(), 351ull);
   }
   expect_traj(measure(fleet),
-              Trajectory{"0.96875", "0.27730682377937416",
-                         "0.84129246021709214", 29685, 36417},
+              Trajectory{"0.98958333333333337", "0.16056716850191713",
+                         "0.97633447770103177", 31060, 38359},
               "chaos/partition+stall+recover");
+}
+
+// Traffic plane, K=2: converge, serve an open-loop mixed workload through
+// a half crash and a full recovery, drain.  Pins the workload counters
+// and the latency histogram's quantiles (bit-stable by construction) on
+// top of the protocol trajectory — a perturbed arrival draw, a changed
+// hop rule, or a histogram layout change all move these constants.  The
+// protocol pin doubles as the traffic-isolation proof: these values must
+// match ChaosPartitionStallRecover's sibling fleets bit for bit whenever
+// the same timeline runs without traffic.
+TEST(TrajectoryPin, TrafficThroughCrashAndRecovery) {
+  shape::GridTorusShape shape(12, 8);
+  engine::EventClusterConfig cfg;  // defaults: 2 ms links, no drop, K=2
+  engine::EventCluster fleet(shape.space_ptr(), shape.generate(), cfg,
+                             /*seed=*/9);
+  fleet.run_rounds(15);
+  traffic::TrafficConfig tcfg;
+  tcfg.rate_per_round = 24;
+  tcfg.mix = traffic::Mix::kMixed;
+  fleet.start_traffic(tcfg);
+  fleet.run_rounds(15);
+  fleet.crash_region(
+      [&](const space::Point& p) { return shape.in_failure_half(p); });
+  fleet.run_rounds(15);
+  fleet.recover_all();
+  fleet.run_rounds(15);
+  fleet.stop_traffic();
+  std::size_t drained = 0;
+  while (fleet.traffic_inflight() > 0 && ++drained < 100) fleet.run_rounds(1);
+
+  const traffic::TrafficPlane* plane = fleet.traffic_plane();
+  ASSERT_NE(plane, nullptr);
+  const traffic::TrafficCounters& t = plane->totals();
+  if (std::getenv("POLY_TRAJ_PRINT") != nullptr) {
+    std::printf("[traj] traffic launched=%llu completed=%llu failed=%llu "
+                "hops=%llu p50=%s p99=%s drained=%zu\n",
+                static_cast<unsigned long long>(t.launched),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.hops_total),
+                g17(t.latency.quantile_ms(0.5)).c_str(),
+                g17(t.latency.quantile_ms(0.99)).c_str(), drained);
+  } else {
+    EXPECT_EQ(t.launched, 1104ull);
+    EXPECT_EQ(t.completed, 1040ull);
+    EXPECT_EQ(t.failed, 64ull);
+    EXPECT_EQ(t.hops_total, 1748ull);
+    EXPECT_EQ(g17(t.latency.quantile_ms(0.5)), "2.0316149999999999");
+    EXPECT_EQ(g17(t.latency.quantile_ms(0.99)), "16.252927");
+  }
+  EXPECT_EQ(t.launched, t.completed + t.failed);
+  EXPECT_EQ(fleet.traffic_inflight(), 0u);
+  expect_traj(measure(fleet),
+              Trajectory{"1", "0.15625", "0.95981391274719796", 37885, 41207},
+              "traffic/crash+recover");
 }
 
 }  // namespace

@@ -10,16 +10,20 @@ a per-bench comparison either way.
 Usage:
   tools/bench_check.py --baseline BENCH_baseline --current . \
       [--max-regression 0.25] [--name micro_engine_hotpath ...] \
-      [--metric msgs_per_s:0.15] [--metric mem_bytes_per_node:0.02]
+      [--metric msgs_per_s:0.15] [--metric mem_bytes_per_node:0.02] \
+      [--metric success_rate:0.02:up]
 
-Beyond the whole-record wall-clock gate, --metric COL:TOL gates an
-individual table column with its own tolerance, compared row by row
-(rows are matched on their leading workload/size cells).  Direction is
-inferred from the column name: throughput columns (ending `_per_s` or
-`/s`) must not *drop* more than TOL; every other column (wall_s,
-mem_bytes_per_node, ...) must not *rise* more than TOL.  This lets a
-deterministic memory column gate at a few percent while wall-clock keeps
-the loose machine-variance threshold.
+Beyond the whole-record wall-clock gate, --metric COL:TOL[:up|:down]
+gates an individual table column with its own tolerance, compared row by
+row (rows are matched on their leading workload/size cells).  An
+explicit `:up` (higher is better — must not drop more than TOL) or
+`:down` (lower is better — must not rise more than TOL) wins; otherwise
+direction is inferred from the column name: throughput columns (ending
+`_per_s` or `/s`) are higher-is-better, every other column (wall_s,
+mem_bytes_per_node, ...) lower-is-better.  This lets a deterministic
+memory column gate at a few percent while wall-clock keeps the loose
+machine-variance threshold, and lets quality columns like success_rate
+gate in the right direction.
 
 Notes on methodology: wall-clock comparisons are only meaningful on
 comparable hardware.  The committed baseline records the machine that
@@ -81,25 +85,31 @@ def main() -> int:
         "--metric",
         action="append",
         default=None,
-        metavar="COL:TOL",
+        metavar="COL:TOL[:up|:down]",
         help="gate column COL at fractional tolerance TOL (repeatable); "
-        "columns ending _per_s or /s are higher-is-better, the rest "
+        "optional :up/:down forces the direction, otherwise columns "
+        "ending _per_s or /s are higher-is-better, the rest "
         "lower-is-better",
     )
     args = ap.parse_args()
 
     metrics = []
     for spec in args.metric or []:
-        col, sep, tol_text = spec.rpartition(":")
+        parts = spec.split(":")
+        direction = None
+        if len(parts) == 3 and parts[2] in ("up", "down"):
+            direction = parts.pop()
+        col, tol_text = (parts + [""])[:2] if len(parts) == 2 else ("", "")
         try:
             tol = float(tol_text)
         except ValueError:
             tol = -1.0
-        if not sep or not col or tol < 0:
-            print(f"bench_check: bad --metric {spec!r} (want COL:TOL, "
-                  "TOL a non-negative fraction)", file=sys.stderr)
+        if not col or tol < 0:
+            print(f"bench_check: bad --metric {spec!r} (want "
+                  "COL:TOL[:up|:down], TOL a non-negative fraction)",
+                  file=sys.stderr)
             return 2
-        metrics.append((col, tol))
+        metrics.append((col, tol, direction))
 
     base_dir = pathlib.Path(args.baseline)
     cur_dir = pathlib.Path(args.current)
@@ -170,8 +180,11 @@ def main() -> int:
                                   f"{b:.0f} -> {c:.0f} ({c / b:.2f}x)")
             # Per-metric gates: each --metric COL:TOL compares that column
             # row by row at its own tolerance.
-            for col, tol in metrics:
-                higher_better = col.endswith("_per_s") or col.endswith("/s")
+            for col, tol, direction in metrics:
+                if direction is not None:
+                    higher_better = direction == "up"
+                else:
+                    higher_better = col.endswith("_per_s") or col.endswith("/s")
                 for key, brow in brows.items():
                     if col not in brow:
                         continue
@@ -197,7 +210,7 @@ def main() -> int:
                         bound = f"<= {1.0 + tol:.2f}x"
                     verdict = "FAIL" if bad else "OK"
                     print(f"{verdict} {name} {'/'.join(key)} {col}: "
-                          f"{b:.0f} -> {c:.0f} ({ratio:.3f}x, need {bound})")
+                          f"{b:.4g} -> {c:.4g} ({ratio:.3f}x, need {bound})")
                     if bad:
                         failed = True
     return 1 if failed else 0

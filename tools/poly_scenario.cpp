@@ -56,6 +56,7 @@ void cap_rounds(scenario::ScenarioProgram& p, std::size_t cap) {
 int main(int argc, char** argv) {
   std::string file;
   std::string engine;
+  std::string shape;
   std::uint64_t seed = 1;
   std::uint64_t reps = 1;
   std::uint64_t every = 1;
@@ -69,6 +70,9 @@ int main(int argc, char** argv) {
   cli.positional("FILE", &file, "scenario program to run");
   cli.flag("engine", &engine,
            "override the program's engine: sync|events|live");
+  cli.flag("shape", &shape,
+           "override the program's shape (grid:WxH, ring:N, cube:XxYxZ) — "
+           "e.g. a small grid for CI smoke runs of large scenarios");
   cli.flag("seed", &seed, "override the program's base RNG seed",
            "POLY_BENCH_SEED");
   cli.flag("reps", &reps, "override the program's repetition count",
@@ -102,6 +106,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     program.options.engine = *mode;
+  }
+  if (cli.was_set("shape")) {
+    std::string err;
+    if (!poly::shape::make_shape(shape, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    program.shape_spec = shape;
   }
   if (cli.was_set("seed")) program.options.seed = seed;
   if (cli.was_set("reps")) program.reps = reps == 0 ? 1 : reps;
@@ -172,6 +184,15 @@ int main(int argc, char** argv) {
     const auto& last = result.first.rounds.back();
     std::printf("final: round=%zu alive=%zu homogeneity=%.3f (H=%.3f)\n",
                 last.round, last.alive, last.homogeneity, last.reference_h);
+    if (last.requests + last.requests_failed > 0) {
+      std::printf(
+          "traffic: requests=%llu failed=%llu success_rate=%.4f "
+          "p50=%.2fms p99=%.2fms p999=%.2fms mean_hops=%.1f\n",
+          static_cast<unsigned long long>(last.requests),
+          static_cast<unsigned long long>(last.requests_failed),
+          last.success_rate, last.p50_latency_ms, last.p99_latency_ms,
+          last.p999_latency_ms, last.mean_hops);
+    }
   }
   return 0;
 }
